@@ -1,0 +1,167 @@
+// Command sibench exercises the reference transactional engines (SI,
+// SER, PSI) with the built-in workloads, reports commit/conflict
+// statistics, and optionally certifies the recorded history against
+// the engine's own consistency model.
+//
+// Usage:
+//
+//	sibench -engine si|ser|psi|ssi -workload registers|writeskew|transfers|longfork|banking|smallbank
+//	        [-sessions N] [-txs N] [-ops N] [-objects N] [-rounds N]
+//	        [-accounts N] [-hops N] [-chopped] [-seed N] [-certify]
+//
+// Exit status 0 on success, 1 when -certify fails, 2 on usage or
+// processing errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sian/internal/check"
+	"sian/internal/depgraph"
+	"sian/internal/engine"
+	"sian/internal/model"
+	"sian/internal/workload"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sibench:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("sibench", flag.ContinueOnError)
+	engineFlag := fs.String("engine", "si", "engine: si, ser, psi or ssi")
+	workloadFlag := fs.String("workload", "registers", "workload: registers, writeskew, transfers, longfork, banking or smallbank")
+	sessions := fs.Int("sessions", 4, "concurrent sessions")
+	txs := fs.Int("txs", 50, "transactions per session (registers)")
+	ops := fs.Int("ops", 3, "operations per transaction (registers)")
+	objects := fs.Int("objects", 4, "object pool size (registers)")
+	rounds := fs.Int("rounds", 50, "rounds (writeskew)")
+	accounts := fs.Int("accounts", 8, "account pool size (transfers)")
+	hops := fs.Int("hops", 4, "accounts per transfer (transfers)")
+	transfers := fs.Int("transfers", 20, "transfers per session (transfers)")
+	chopped := fs.Bool("chopped", false, "run transfers chopped into one transaction per account")
+	seed := fs.Int64("seed", 1, "workload seed")
+	atomicLookup := fs.Bool("atomic-lookup", false, "banking: query both accounts in one transaction (the incorrect Figure 5 chopping)")
+	certify := fs.Bool("certify", false, "certify the recorded history against the engine's model")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	kind, m, err := selectEngine(*engineFlag)
+	if err != nil {
+		return 2, err
+	}
+	cfg := engine.Config{}
+	if *workloadFlag == "longfork" {
+		cfg.ManualPropagation = true
+	}
+	db, err := engine.New(kind, cfg)
+	if err != nil {
+		return 2, err
+	}
+	defer db.Close()
+
+	start := time.Now()
+	var h *model.History
+	switch *workloadFlag {
+	case "registers":
+		h, err = workload.RunRegisters(db, workload.RegistersConfig{
+			Sessions: *sessions, TxPerSession: *txs, OpsPerTx: *ops,
+			Objects: *objects, Seed: *seed,
+		})
+	case "writeskew":
+		var out *workload.WriteSkewOutcome
+		out, err = workload.RunWriteSkew(db, *rounds)
+		if err == nil {
+			fmt.Fprintf(stdout, "write-skew anomalies: %d / %d rounds\n", out.Anomalies, out.Rounds)
+			db.Flush()
+			h = db.History()
+		}
+	case "transfers":
+		var out *workload.TransferOutcome
+		out, err = workload.RunTransfers(db, workload.TransferConfig{
+			Sessions: *sessions, Transfers: *transfers, Accounts: *accounts,
+			Hops: *hops, Chopped: *chopped, Seed: *seed,
+		})
+		if err == nil {
+			fmt.Fprintf(stdout, "transfers: %d commits, %d conflict aborts\n", out.Commits, out.Conflicts)
+			db.Flush()
+			h = db.History()
+		}
+	case "longfork":
+		if kind != engine.PSI {
+			return 2, fmt.Errorf("workload longfork requires -engine psi")
+		}
+		h, err = workload.StageLongFork(db)
+	case "smallbank":
+		var out *workload.SmallBankOutcome
+		out, err = workload.RunSmallBank(db, workload.SmallBankConfig{
+			Customers: *accounts / 2, Sessions: *sessions, TxPerSession: *txs, Seed: *seed,
+		})
+		if err == nil {
+			fmt.Fprintf(stdout, "smallbank: %d operations, %d overdrawn customers\n", out.Operations, out.Overdrafts)
+			db.Flush()
+			h = db.History()
+		}
+	case "banking":
+		h, err = workload.StageBankingChopped(db, *atomicLookup)
+		if err == nil {
+			spliced, serr := check.Certify(h.Splice(), m, check.Options{
+				AddInit: false, PinInit: true, Budget: 1_000_000,
+			})
+			if serr != nil {
+				return 2, serr
+			}
+			fmt.Fprintf(stdout, "spliced history allowed by %v: %v\n", m, spliced.Member)
+		}
+	default:
+		return 2, fmt.Errorf("unknown workload %q", *workloadFlag)
+	}
+	if err != nil {
+		return 2, err
+	}
+	elapsed := time.Since(start)
+
+	stats := db.Stats()
+	fmt.Fprintf(stdout, "engine=%s workload=%s commits=%d conflicts=%d elapsed=%v\n",
+		kind, *workloadFlag, stats.Commits, stats.Conflicts, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "history: %d sessions, %d transactions\n", h.NumSessions(), h.NumTransactions())
+
+	if *certify {
+		res, err := check.Certify(h, m, check.Options{AddInit: false, PinInit: true, Budget: 10_000_000})
+		if err != nil {
+			return 2, fmt.Errorf("certify: %w", err)
+		}
+		if !res.Member {
+			fmt.Fprintf(stdout, "CERTIFICATION FAILED: history not allowed by %v\n", m)
+			return 1, nil
+		}
+		fmt.Fprintf(stdout, "history certified %v (%d candidate graphs examined)\n", m, res.Examined)
+	}
+	return 0, nil
+}
+
+func selectEngine(s string) (engine.Kind, depgraph.Model, error) {
+	switch s {
+	case "si":
+		return engine.SI, depgraph.SI, nil
+	case "ser":
+		return engine.SER, depgraph.SER, nil
+	case "psi":
+		return engine.PSI, depgraph.PSI, nil
+	case "ssi":
+		// SSI guarantees serializable histories; certify against SER.
+		return engine.SSI, depgraph.SER, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown engine %q (want si, ser, psi or ssi)", s)
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sian/internal/histio"
+	"sian/internal/workload"
+)
+
+// historyFile writes the example history to a temp file and returns
+// its path.
+func historyFile(t *testing.T, name string, ex *workload.Example) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := histio.EncodeHistory(f, ex.History); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWriteSkew(t *testing.T) {
+	t.Parallel()
+	path := historyFile(t, "ws", workload.WriteSkew())
+	var out bytes.Buffer
+	code, err := run([]string{"-init=false", path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (SER rejects write skew)", code)
+	}
+	s := out.String()
+	for _, want := range []string{"SER  DISALLOWED", "SI   ALLOWED", "PSI  ALLOWED"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSingleModelWithWitness(t *testing.T) {
+	t.Parallel()
+	path := historyFile(t, "ws", workload.WriteSkew())
+	var out bytes.Buffer
+	code, err := run([]string{"-init=false", "-model", "si", "-witness", path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+	s := out.String()
+	for _, want := range []string{"SI   ALLOWED", "WR(", "WW("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := histio.EncodeHistory(&buf, workload.SessionGuarantees().History); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-model", "ser"}, &buf, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "ALLOWED") {
+		t.Errorf("code=%d out=%q", code, out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if _, err := run([]string{"-model", "bogus"}, strings.NewReader("{}"), &out); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if _, err := run([]string{"nope.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+		t.Error("extra args accepted")
+	}
+	if _, err := run(nil, strings.NewReader("not json"), &out); err == nil {
+		t.Error("invalid json accepted")
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	t.Parallel()
+	path := historyFile(t, "ws", workload.WriteSkew())
+	dotPath := filepath.Join(t.TempDir(), "out.dot")
+	var out bytes.Buffer
+	code, err := run([]string{"-init=false", "-model", "si", "-dot", dotPath, path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph") {
+		t.Errorf("dot file content: %s", data)
+	}
+	// '-' writes to stdout.
+	out.Reset()
+	if _, err := run([]string{"-init=false", "-model", "si", "-dot", "-", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph dependencies") {
+		t.Errorf("stdout missing dot: %s", out.String())
+	}
+}
+
+// TestRunFixtures exercises the committed sample files in testdata/.
+func TestRunFixtures(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-init=false", "../../testdata/longfork_history.json"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"SI   DISALLOWED", "PSI  ALLOWED", "forbidden cycle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunClassify(t *testing.T) {
+	t.Parallel()
+	path := historyFile(t, "ws", workload.WriteSkew())
+	var out bytes.Buffer
+	code, err := run([]string{"-init=false", "-classify", path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "write skew") {
+		t.Errorf("output: %s", out.String())
+	}
+	// A serializable history exits 0.
+	path2 := historyFile(t, "ok", workload.SessionGuarantees())
+	out.Reset()
+	code, err = run([]string{"-init=false", "-classify", path2}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "serializable") {
+		t.Errorf("code=%d out=%s", code, out.String())
+	}
+}

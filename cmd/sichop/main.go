@@ -1,0 +1,139 @@
+// Command sichop runs the static transaction-chopping analysis of §5
+// of Cerone & Gotsman (PODC 2016) on a set of programs with declared
+// per-piece read and write sets.
+//
+// Usage:
+//
+//	sichop [-level all|ser|si|psi] [programs.json]
+//
+// The program set is read from the file argument or standard input;
+// see internal/histio for the JSON schema. For each requested level
+// the tool reports whether the chopping is correct under the
+// corresponding consistency model (Theorem 29 for SER, Corollary 18
+// for SI, Theorem 31 for PSI) and prints the critical cycle otherwise.
+// Exit status 0 means correct at every requested level, 1 that some
+// level has a critical cycle, 2 a usage or processing error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sian/internal/chopping"
+	"sian/internal/dot"
+	"sian/internal/histio"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sichop:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("sichop", flag.ContinueOnError)
+	level := fs.String("level", "all", "criticality level: all, ser, si or psi")
+	dotOut := fs.String("dot", "", "write the static chopping graph (with the first critical cycle highlighted) as Graphviz DOT to this file ('-' for stdout)")
+	autochop := fs.Bool("autochop", false, "when a chopping is incorrect, print a coarsened correct chopping")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	var in io.Reader = stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return 2, fmt.Errorf("at most one programs file expected, got %d args", fs.NArg())
+	}
+
+	programs, err := histio.DecodePrograms(in)
+	if err != nil {
+		return 2, err
+	}
+
+	levels, err := selectLevels(*level)
+	if err != nil {
+		return 2, err
+	}
+
+	exit := 0
+	dotDone := false
+	for _, l := range levels {
+		verdict, err := chopping.CheckStatic(programs, l)
+		if err != nil {
+			return 2, fmt.Errorf("%v: %w", l, err)
+		}
+		if *dotOut != "" && !dotDone {
+			dotDone = true
+			if err := writeDot(*dotOut, stdout, verdict.Graph, verdict.Witness); err != nil {
+				return 2, err
+			}
+		}
+		if verdict.OK {
+			fmt.Fprintf(stdout, "%-12s chopping CORRECT: no critical cycle\n", l)
+			continue
+		}
+		exit = 1
+		fmt.Fprintf(stdout, "%-12s chopping MAY BE INCORRECT: %s\n",
+			l, verdict.Graph.DescribeCycle(verdict.Witness))
+		if *autochop {
+			fixed, err := chopping.Autochop(programs, l)
+			if err != nil {
+				return 2, err
+			}
+			fmt.Fprintf(stdout, "%-12s suggested correct chopping:\n", l)
+			for _, p := range fixed {
+				fmt.Fprintf(stdout, "  %s:", p.Name)
+				for _, pc := range p.Pieces {
+					fmt.Fprintf(stdout, "  [R%v W%v]", pc.Reads, pc.Writes)
+				}
+				fmt.Fprintln(stdout)
+			}
+		}
+	}
+	return exit, nil
+}
+
+// writeDot emits the chopping graph as DOT to the named file, or to
+// stdout when the name is "-".
+func writeDot(name string, stdout io.Writer, g *chopping.Graph, cyc chopping.Cycle) error {
+	if name == "-" {
+		return dot.ChopGraph(stdout, g, cyc)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := dot.ChopGraph(f, g, cyc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func selectLevels(s string) ([]chopping.Criticality, error) {
+	switch s {
+	case "all":
+		return []chopping.Criticality{chopping.SERCritical, chopping.SICritical, chopping.PSICritical}, nil
+	case "ser":
+		return []chopping.Criticality{chopping.SERCritical}, nil
+	case "si":
+		return []chopping.Criticality{chopping.SICritical}, nil
+	case "psi":
+		return []chopping.Criticality{chopping.PSICritical}, nil
+	default:
+		return nil, fmt.Errorf("unknown level %q (want all, ser, si or psi)", s)
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sian/internal/chopping"
+	"sian/internal/histio"
+	"sian/internal/workload"
+)
+
+func programsInput(t *testing.T, programs []chopping.Program) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := histio.EncodePrograms(&buf, programs); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRunFig5Incorrect(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-level", "si"}, programsInput(t, workload.Fig5Programs()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "MAY BE INCORRECT") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunFig6Correct(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-level", "all"}, programsInput(t, workload.Fig6Programs()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0\n%s", code, out.String())
+	}
+	if got := strings.Count(out.String(), "CORRECT"); got != 3 {
+		t.Errorf("want 3 CORRECT lines, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestRunFig11PerLevel(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-level", "si"}, programsInput(t, workload.Fig11Programs()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("Fig11 under SI: exit = %d\n%s", code, out.String())
+	}
+	out.Reset()
+	code, err = run([]string{"-level", "ser"}, programsInput(t, workload.Fig11Programs()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("Fig11 under SER: exit = %d\n%s", code, out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if _, err := run([]string{"-level", "bogus"}, strings.NewReader(`{"programs":[{"pieces":[{}]}]}`), &out); err == nil {
+		t.Error("bogus level accepted")
+	}
+	if _, err := run(nil, strings.NewReader("nope"), &out); err == nil {
+		t.Error("invalid json accepted")
+	}
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+		t.Error("extra args accepted")
+	}
+	if _, err := run([]string{"missing.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-level", "si", "-dot", "-"}, programsInput(t, workload.Fig5Programs()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "digraph chopping") || !strings.Contains(out.String(), "penwidth=2") {
+		t.Errorf("missing highlighted dot output:\n%s", out.String())
+	}
+}
+
+// TestRunFixtures exercises the committed sample files in testdata/.
+func TestRunFixtures(t *testing.T) {
+	t.Parallel()
+	f, err := os.Open("../../testdata/fig5_programs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	code, err := run([]string{"-level", "si"}, f, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "MAY BE INCORRECT") {
+		t.Errorf("code=%d out=%s", code, out.String())
+	}
+}
+
+func TestRunAutochop(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-level", "si", "-autochop"}, programsInput(t, workload.Fig5Programs()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "suggested correct chopping") {
+		t.Errorf("missing suggestion:\n%s", out.String())
+	}
+}

@@ -1,0 +1,88 @@
+// Command sirobust runs the static robustness analyses of §6 of
+// Cerone & Gotsman (PODC 2016) on an application described by per-
+// transaction read and write sets.
+//
+// Usage:
+//
+//	sirobust [-analysis both|si|psi] [app.json]
+//
+// The application spec is read from the file argument or standard
+// input; see internal/histio for the JSON schema. "si" checks
+// robustness against SI towards serializability (§6.1); "psi" checks
+// robustness against parallel SI towards SI (§6.2). Exit status 0
+// means robust for every requested analysis, 1 not robust, 2 a usage
+// or processing error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sian/internal/histio"
+	"sian/internal/robustness"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sirobust:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("sirobust", flag.ContinueOnError)
+	analysis := fs.String("analysis", "both", "analysis to run: both, si or psi")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	var in io.Reader = stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return 2, fmt.Errorf("at most one app file expected, got %d args", fs.NArg())
+	}
+
+	app, err := histio.DecodeApp(in)
+	if err != nil {
+		return 2, err
+	}
+
+	runSI := *analysis == "both" || *analysis == "si"
+	runPSI := *analysis == "both" || *analysis == "psi"
+	if !runSI && !runPSI {
+		return 2, fmt.Errorf("unknown analysis %q (want both, si or psi)", *analysis)
+	}
+
+	exit := 0
+	if runSI {
+		w, robust := robustness.CheckSIRobust(app)
+		if robust {
+			fmt.Fprintln(stdout, "SI→SER  ROBUST: running under SI gives only serializable behaviour")
+		} else {
+			exit = 1
+			fmt.Fprintf(stdout, "SI→SER  NOT ROBUST: dangerous cycle %s\n", w)
+		}
+	}
+	if runPSI {
+		w, robust := robustness.CheckPSIRobust(app)
+		if robust {
+			fmt.Fprintln(stdout, "PSI→SI  ROBUST: running under parallel SI gives only SI behaviour")
+		} else {
+			exit = 1
+			fmt.Fprintf(stdout, "PSI→SI  NOT ROBUST: dangerous cycle %s\n", w)
+		}
+	}
+	return exit, nil
+}

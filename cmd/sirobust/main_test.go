@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sian/internal/histio"
+	"sian/internal/robustness"
+	"sian/internal/workload"
+)
+
+func appInput(t *testing.T, app robustness.App) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := histio.EncodeApp(&buf, app); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRunWriteSkewApp(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-analysis", "si"}, appInput(t, workload.WriteSkewApp()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "NOT ROBUST") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunFixedApp(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-analysis", "both"}, appInput(t, workload.WriteSkewAppFixed()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0\n%s", code, out.String())
+	}
+	if strings.Count(out.String(), "ROBUST") != 2 {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunLongForkApp(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run(nil, appInput(t, workload.LongForkApp()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "SI→SER  ROBUST") {
+		t.Errorf("long fork app should be SI-robust:\n%s", s)
+	}
+	if !strings.Contains(s, "PSI→SI  NOT ROBUST") {
+		t.Errorf("long fork app should not be PSI-robust:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if _, err := run([]string{"-analysis", "bogus"}, appInput(t, workload.WriteSkewApp()), &out); err == nil {
+		t.Error("bogus analysis accepted")
+	}
+	if _, err := run(nil, strings.NewReader("nope"), &out); err == nil {
+		t.Error("invalid json accepted")
+	}
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+		t.Error("extra args accepted")
+	}
+	if _, err := run([]string{"missing.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestRunFixtures exercises the committed SmallBank sample.
+func TestRunFixtures(t *testing.T) {
+	t.Parallel()
+	f, err := os.Open("../../testdata/smallbank_app.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	code, err := run([]string{"-analysis", "si"}, f, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "NOT ROBUST") {
+		t.Errorf("code=%d out=%s", code, out.String())
+	}
+}

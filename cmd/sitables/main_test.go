@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllTables(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	wants := []string{
+		"Table 1", "Table 2", "Table 3", "Table 4",
+		// Figure 2 classification row fragments.
+		"write skew (Fig 2d)", "long fork (Fig 2c)",
+		// Chopping verdicts.
+		"Fig 5", "critical", "Fig 6", "correct",
+		// Robustness.
+		"NOT robust",
+		// Engine staging: SER must not realise the write skew, SI must.
+		"SER", "not realisable", "realisable",
+	}
+	for _, w := range wants {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-table", "anomalies"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Table 2") {
+		t.Error("unexpected chopping table")
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Error("missing anomaly table")
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-table", "bogus"}, &out); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+// TestEngineRows verifies the semantic content of Table 4: the SI and
+// PSI engines realise the write skew, the SER engine does not, and
+// only PSI realises the long fork.
+func TestEngineRows(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-table", "engines"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		switch fields[0] {
+		case "SER":
+			if !strings.Contains(line, "not realisable") {
+				t.Errorf("SER row: %s", line)
+			}
+		case "SI":
+			if !strings.HasPrefix(strings.TrimSpace(line), "SI       realisable") &&
+				!strings.Contains(line, "realisable") {
+				t.Errorf("SI row: %s", line)
+			}
+		case "PSI":
+			if strings.Count(line, "realisable")-strings.Count(line, "not realisable") < 1 {
+				t.Errorf("PSI row should realise both anomalies: %s", line)
+			}
+		}
+	}
+}

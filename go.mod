@@ -1,0 +1,3 @@
+module sian
+
+go 1.22

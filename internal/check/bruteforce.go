@@ -1,0 +1,363 @@
+package check
+
+import (
+	"fmt"
+
+	"sian/internal/execution"
+	"sian/internal/model"
+	"sian/internal/relation"
+)
+
+// Brute-force size limits. Beyond these the enumeration spaces
+// (permutations of CO, visibility prefixes / subsets) become too large
+// to be useful; BruteForce returns an error rather than running for
+// hours.
+const (
+	maxBruteSER = 8
+	maxBruteSI  = 6
+	maxBrutePSI = 5
+)
+
+// BruteForce decides HistSER / HistSI / HistPSI membership directly
+// from the axiomatic definitions (Definitions 4 and 20), by
+// enumerating abstract executions. It is exponential and accepts only
+// very small histories; it exists to cross-validate the
+// dependency-graph characterisations in tests. The history must
+// already contain its initialising writes (use History.WithInit).
+//
+// When pinInit is true, transaction 0 is treated as the paper's
+// initialisation transaction: it precedes every other transaction in
+// CO and VIS (§2: "a special transaction that writes initial versions
+// of all objects and precedes all the other transactions in VIS and
+// CO"). This matches Certify's PinInit option.
+func BruteForce(h *model.History, m Model, pinInit bool) (bool, error) {
+	if err := h.Validate(); err != nil {
+		return false, fmt.Errorf("check: invalid history: %w", err)
+	}
+	if h.CheckInt() != nil {
+		return false, nil
+	}
+	n := h.NumTransactions()
+	switch m {
+	case BruteSER:
+		if n > maxBruteSER {
+			return false, fmt.Errorf("check: history too large for brute-force SER (%d > %d)", n, maxBruteSER)
+		}
+		return bruteSER(h, pinInit), nil
+	case BruteSI:
+		if n > maxBruteSI {
+			return false, fmt.Errorf("check: history too large for brute-force SI (%d > %d)", n, maxBruteSI)
+		}
+		return bruteSI(h, pinInit), nil
+	case BrutePSI:
+		if n > maxBrutePSI {
+			return false, fmt.Errorf("check: history too large for brute-force PSI (%d > %d)", n, maxBrutePSI)
+		}
+		return brutePSI(h, pinInit), nil
+	case BrutePC:
+		if n > maxBruteSI {
+			return false, fmt.Errorf("check: history too large for brute-force PC (%d > %d)", n, maxBruteSI)
+		}
+		return brutePC(h, pinInit), nil
+	case BruteGSI:
+		if n > maxBruteSI {
+			return false, fmt.Errorf("check: history too large for brute-force GSI (%d > %d)", n, maxBruteSI)
+		}
+		return bruteGSI(h, pinInit), nil
+	default:
+		return false, fmt.Errorf("check: unknown brute-force model %v", m)
+	}
+}
+
+// Model selects the consistency model for BruteForce. (A separate type
+// from depgraph.Model to keep the axiomatic checker independent of the
+// graph characterisations it validates.)
+type Model int
+
+// Brute-force model selectors.
+const (
+	BruteInvalid Model = iota
+	BruteSER
+	BruteSI
+	BrutePSI
+	BrutePC
+	BruteGSI
+)
+
+// String returns "SER", "SI", "PSI", "PC" or "GSI".
+func (m Model) String() string {
+	switch m {
+	case BruteSER:
+		return "SER"
+	case BruteSI:
+		return "SI"
+	case BrutePSI:
+		return "PSI"
+	case BrutePC:
+		return "PC"
+	case BruteGSI:
+		return "GSI"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// permutations invokes fn with every permutation of {0,…,n-1},
+// stopping early when fn returns true.
+func permutations(n int, fn func(perm []int) bool) bool {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return fn(perm)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if rec(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// bruteSER enumerates total orders as CO = VIS and checks the ExecSER
+// axioms.
+func bruteSER(h *model.History, pinInit bool) bool {
+	n := h.NumTransactions()
+	return permutations(n, func(perm []int) bool {
+		if pinInit && perm[0] != 0 {
+			return false
+		}
+		co := relationFromOrder(n, perm)
+		x := execution.New(h, co, co.Clone())
+		return x.IsSER() == nil
+	})
+}
+
+// bruteSI exploits the shape forced by the SI axioms: given a total CO
+// (a permutation), PREFIX and VIS ⊆ CO force every VIS⁻¹(T) to be a
+// CO-prefix, so VIS is determined by a cut position per transaction.
+// The cuts are enumerated with backtracking; SESSION, NOCONFLICT and
+// EXT constrain each cut locally against earlier transactions only.
+func bruteSI(h *model.History, pinInit bool) bool {
+	n := h.NumTransactions()
+	so := h.SessionOrder()
+	return permutations(n, func(perm []int) bool {
+		if pinInit && perm[0] != 0 {
+			return false
+		}
+		pos := make([]int, n) // pos[t] = position of transaction t in perm
+		for i, t := range perm {
+			pos[t] = i
+		}
+		// cut[p] for transaction perm[p]: VIS⁻¹(perm[p]) = perm[0:cut[p]].
+		cut := make([]int, n)
+		var rec func(p int) bool
+		rec = func(p int) bool {
+			if p == n {
+				return true
+			}
+			t := perm[p]
+			minCut := 0
+			if pinInit && p > 0 {
+				minCut = 1 // the init transaction is visible to everyone
+			}
+			// SESSION: every SO-predecessor must be visible.
+			for _, s := range so.Predecessors(t) {
+				if pos[s] >= p {
+					return false // SO contradicts this CO order
+				}
+				if pos[s]+1 > minCut {
+					minCut = pos[s] + 1
+				}
+			}
+			// NOCONFLICT: every earlier writer of an object t also
+			// writes must be visible.
+			for _, x := range h.Transaction(t).WriteSet() {
+				for _, w := range h.WriteTx(x) {
+					if w != t && pos[w] < p && pos[w]+1 > minCut {
+						minCut = pos[w] + 1
+					}
+				}
+			}
+			for c := minCut; c <= p; c++ {
+				if siExtOK(h, perm, t, c) {
+					cut[p] = c
+					if rec(p + 1) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return rec(0)
+	})
+}
+
+// siExtOK checks EXT for transaction t when its snapshot is
+// perm[0:cut]: each external read of t must return the final write of
+// the latest (in perm order) writer within the cut.
+func siExtOK(h *model.History, perm []int, t, cut int) bool {
+	tx := h.Transaction(t)
+	for _, x := range tx.Objects() {
+		val, reads := tx.ReadsBeforeWrites(x)
+		if !reads {
+			continue
+		}
+		last := -1
+		for p := 0; p < cut; p++ {
+			if h.Transaction(perm[p]).Writes(x) {
+				last = perm[p]
+			}
+		}
+		if last < 0 {
+			return false // reads with an empty visible writer set
+		}
+		w, _ := h.Transaction(last).FinalWrite(x)
+		if w != val {
+			return false
+		}
+	}
+	return true
+}
+
+// brutePC is bruteSI without the NOCONFLICT constraint: PREFIX and
+// VIS ⊆ CO still force VIS⁻¹(T) to be a CO-prefix, but earlier writers
+// of T's write set need not be visible.
+func brutePC(h *model.History, pinInit bool) bool {
+	n := h.NumTransactions()
+	so := h.SessionOrder()
+	return permutations(n, func(perm []int) bool {
+		if pinInit && perm[0] != 0 {
+			return false
+		}
+		pos := make([]int, n)
+		for i, t := range perm {
+			pos[t] = i
+		}
+		var rec func(p int) bool
+		rec = func(p int) bool {
+			if p == n {
+				return true
+			}
+			t := perm[p]
+			minCut := 0
+			if pinInit && p > 0 {
+				minCut = 1
+			}
+			for _, s := range so.Predecessors(t) {
+				if pos[s] >= p {
+					return false
+				}
+				if pos[s]+1 > minCut {
+					minCut = pos[s] + 1
+				}
+			}
+			for c := minCut; c <= p; c++ {
+				if siExtOK(h, perm, t, c) {
+					if rec(p + 1) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return rec(0)
+	})
+}
+
+// bruteGSI is bruteSI without the SESSION constraints: the commit
+// order need not respect the session order, and a transaction's
+// snapshot need not include its session predecessors. PREFIX and
+// NOCONFLICT still shape the search.
+func bruteGSI(h *model.History, pinInit bool) bool {
+	n := h.NumTransactions()
+	return permutations(n, func(perm []int) bool {
+		pos := make([]int, n)
+		for i, t := range perm {
+			pos[t] = i
+		}
+		var rec func(p int) bool
+		rec = func(p int) bool {
+			if p == n {
+				return true
+			}
+			t := perm[p]
+			minCut := 0
+			if pinInit && p > 0 {
+				minCut = 1
+			}
+			// NOCONFLICT: earlier writers of t's write set must be
+			// visible.
+			for _, x := range h.Transaction(t).WriteSet() {
+				for _, w := range h.WriteTx(x) {
+					if w != t && pos[w] < p && pos[w]+1 > minCut {
+						minCut = pos[w] + 1
+					}
+				}
+			}
+			for c := minCut; c <= p; c++ {
+				if siExtOK(h, perm, t, c) {
+					if rec(p + 1) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if pinInit && perm[0] != 0 {
+			return false
+		}
+		return rec(0)
+	})
+}
+
+// brutePSI enumerates a total CO (permutation) and every
+// order-compatible visibility relation, checking the ExecPSI axioms.
+func brutePSI(h *model.History, pinInit bool) bool {
+	n := h.NumTransactions()
+	var pairs [][2]int
+	return permutations(n, func(perm []int) bool {
+		if pinInit && perm[0] != 0 {
+			return false
+		}
+		// With a pinned init, the VIS edges init → t are mandatory and
+		// excluded from enumeration.
+		pairs = pairs[:0]
+		first := 0
+		if pinInit {
+			first = 1
+		}
+		for i := first; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pairs = append(pairs, [2]int{perm[i], perm[j]})
+			}
+		}
+		co := relationFromOrder(n, perm)
+		k := len(pairs)
+		for mask := 0; mask < 1<<uint(k); mask++ {
+			vis := relation.New(n)
+			if pinInit {
+				for _, t := range perm[1:] {
+					vis.Add(0, t)
+				}
+			}
+			for b := 0; b < k; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					vis.Add(pairs[b][0], pairs[b][1])
+				}
+			}
+			x := execution.New(h, vis, co)
+			if x.IsPSI() == nil {
+				return true
+			}
+		}
+		return false
+	})
+}

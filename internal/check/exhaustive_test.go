@@ -1,0 +1,230 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/model"
+)
+
+// enumerateOps yields every operation over the given objects and
+// values.
+func enumerateOps(objs []model.Obj, vals []model.Value) []model.Op {
+	var out []model.Op
+	for _, x := range objs {
+		for _, v := range vals {
+			out = append(out, model.Read(x, v), model.Write(x, v))
+		}
+	}
+	return out
+}
+
+// enumerateTxs yields every transaction with 1..maxOps operations.
+func enumerateTxs(ops []model.Op, maxOps int) [][]model.Op {
+	var out [][]model.Op
+	var cur []model.Op
+	var rec func(depth int)
+	rec = func(depth int) {
+		if len(cur) > 0 {
+			cp := make([]model.Op, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+		}
+		if depth == maxOps {
+			return
+		}
+		for _, op := range ops {
+			cur = append(cur, op)
+			rec(depth + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestExhaustiveSmallScope is the executable form of Theorems 8, 9 and
+// 21 (plus the PC characterisation) on an exhaustively enumerated
+// space: every history of two transactions over objects {x, y} and
+// values {0, 1}, with up to two operations each, in one session or
+// two. For each history (extended with a pinned init transaction) the
+// graph-search certifier must agree exactly with the brute-force
+// axiomatic checker, for all four models.
+func TestExhaustiveSmallScope(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	objs := []model.Obj{"x", "y"}
+	vals := []model.Value{0, 1}
+	txs := enumerateTxs(enumerateOps(objs, vals), 2)
+	t.Logf("%d transaction shapes, %d history candidates", len(txs), 2*len(txs)*len(txs))
+
+	pairs := []struct {
+		graph depgraph.Model
+		brute Model
+	}{
+		{depgraph.SER, BruteSER},
+		{depgraph.SI, BruteSI},
+		{depgraph.PSI, BrutePSI},
+		{depgraph.PC, BrutePC},
+		{depgraph.GSI, BruteGSI},
+	}
+
+	checked := 0
+	for _, sameSession := range []bool{true, false} {
+		for i, ops1 := range txs {
+			for j, ops2 := range txs {
+				var h *model.History
+				t1 := model.NewTransaction("T1", ops1...)
+				t2 := model.NewTransaction("T2", ops2...)
+				if sameSession {
+					// Unordered pairs are symmetric across the two-
+					// session case but NOT here (session order);
+					// enumerate all ordered pairs in one session and
+					// only i ≤ j across two sessions.
+					h = model.NewHistory(model.Session{ID: "s", Transactions: []model.Transaction{t1, t2}})
+				} else {
+					if i > j {
+						continue
+					}
+					h = model.NewHistory(
+						model.Session{ID: "s1", Transactions: []model.Transaction{t1}},
+						model.Session{ID: "s2", Transactions: []model.Transaction{t2}},
+					)
+				}
+				hi := h.WithInit(0)
+				checked++
+				for _, p := range pairs {
+					res, err := Certify(hi, p.graph, Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+					if err != nil {
+						t.Fatalf("certify: %v\n%v", err, hi)
+					}
+					brute, err := BruteForce(hi, p.brute, true)
+					if err != nil {
+						t.Fatalf("brute force: %v", err)
+					}
+					if res.Member != brute {
+						t.Fatalf("characterisation of %v violated on\n%v\ngraph=%v brute=%v",
+							p.graph, hi, res.Member, brute)
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing enumerated")
+	}
+	t.Logf("exhaustively validated %d histories × 4 models", checked)
+}
+
+// TestExhaustiveLattice checks the model lattice on the same space:
+// SER ⊆ SI, SI ⊆ PSI, SI ⊆ PC.
+func TestExhaustiveLattice(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	objs := []model.Obj{"x", "y"}
+	vals := []model.Value{0, 1}
+	txs := enumerateTxs(enumerateOps(objs, vals), 2)
+	for i, ops1 := range txs {
+		for j, ops2 := range txs {
+			if i > j {
+				continue
+			}
+			h := model.NewHistory(
+				model.Session{ID: "s1", Transactions: []model.Transaction{model.NewTransaction("T1", ops1...)}},
+				model.Session{ID: "s2", Transactions: []model.Transaction{model.NewTransaction("T2", ops2...)}},
+			).WithInit(0)
+			member := func(m depgraph.Model) bool {
+				res, err := Certify(h, m, Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+				if err != nil {
+					t.Fatalf("certify: %v", err)
+				}
+				return res.Member
+			}
+			ser, si, psi, pc := member(depgraph.SER), member(depgraph.SI), member(depgraph.PSI), member(depgraph.PC)
+			gsi := member(depgraph.GSI)
+			describe := func() string {
+				return fmt.Sprintf("SER=%v SI=%v PSI=%v PC=%v GSI=%v\n%v", ser, si, psi, pc, gsi, h)
+			}
+			if ser && !si {
+				t.Fatalf("SER ⊄ SI: %s", describe())
+			}
+			if si && !psi {
+				t.Fatalf("SI ⊄ PSI: %s", describe())
+			}
+			if si && !pc {
+				t.Fatalf("SI ⊄ PC: %s", describe())
+			}
+			if si && !gsi {
+				t.Fatalf("SI ⊄ GSI: %s", describe())
+			}
+		}
+	}
+}
+
+// TestExhaustiveThreeTransactions extends the exhaustive validation to
+// three single-operation transactions over every session arrangement
+// (one, two or three sessions, in every order). This is the scope
+// where PREFIX, TRANSVIS and NOCONFLICT start to interact.
+func TestExhaustiveThreeTransactions(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	ops := enumerateOps([]model.Obj{"x", "y"}, []model.Value{0, 1})
+	pairs := []struct {
+		graph depgraph.Model
+		brute Model
+	}{
+		{depgraph.SER, BruteSER},
+		{depgraph.SI, BruteSI},
+		{depgraph.PSI, BrutePSI},
+		{depgraph.PC, BrutePC},
+		{depgraph.GSI, BruteGSI},
+	}
+	checked := 0
+	for _, o1 := range ops {
+		for _, o2 := range ops {
+			for _, o3 := range ops {
+				three := []model.Op{o1, o2, o3}
+				// Session assignment: txn i goes to session assign[i].
+				for assign := 0; assign < 27; assign++ {
+					sess := [3]int{assign % 3, (assign / 3) % 3, assign / 9}
+					var sessions [3][]model.Transaction
+					for i, op := range three {
+						id := fmt.Sprintf("T%d", i+1)
+						sessions[sess[i]] = append(sessions[sess[i]],
+							model.NewTransaction(id, op))
+					}
+					var hs []model.Session
+					for si, txs := range sessions {
+						if len(txs) > 0 {
+							hs = append(hs, model.Session{ID: fmt.Sprintf("s%d", si), Transactions: txs})
+						}
+					}
+					hi := model.NewHistory(hs...).WithInit(0)
+					checked++
+					for _, p := range pairs {
+						res, err := Certify(hi, p.graph, Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+						if err != nil {
+							t.Fatalf("certify: %v\n%v", err, hi)
+						}
+						brute, err := BruteForce(hi, p.brute, true)
+						if err != nil {
+							t.Fatalf("brute force: %v", err)
+						}
+						if res.Member != brute {
+							t.Fatalf("characterisation of %v violated on\n%v\ngraph=%v brute=%v",
+								p.graph, hi, res.Member, brute)
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("exhaustively validated %d three-transaction histories × 4 models", checked)
+}

@@ -1,0 +1,105 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/workload"
+)
+
+// TestPCFigures pins the expected prefix-consistency classification of
+// the paper's Figure 2 examples: PC is SI without write-conflict
+// detection, so it admits the lost update but still forbids the long
+// fork (PREFIX).
+func TestPCFigures(t *testing.T) {
+	t.Parallel()
+	want := map[string]bool{
+		workload.SessionGuarantees().Name: true,
+		workload.LostUpdate().Name:        true, // allowed without NOCONFLICT
+		workload.WriteSkew().Name:         true,
+		workload.LongFork().Name:          false, // PREFIX still applies
+	}
+	for _, ex := range workload.Examples() {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			t.Parallel()
+			res := certifyNoInit(t, ex.History, depgraph.PC)
+			if res.Member != want[ex.Name] {
+				t.Errorf("PC membership = %v, want %v", res.Member, want[ex.Name])
+			}
+			brute, err := BruteForce(ex.History, BrutePC, brutePin(ex.History))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if brute != want[ex.Name] {
+				t.Errorf("brute-force PC = %v, want %v", brute, want[ex.Name])
+			}
+		})
+	}
+}
+
+// TestPCCharacterisationAgainstBruteForce validates the conjectured
+// GraphPC characterisation (((SO ∪ WR) ; RW?) ∪ WW acyclic) against
+// direct enumeration of PC executions, in both directions, on random
+// small histories.
+func TestPCCharacterisationAgainstBruteForce(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2024))
+	trials := 0
+	for trials < 150 {
+		var h = workload.RandomHistory(rng, workload.RandomConfig{
+			Sessions: 2, TxPerSession: 2, OpsPerTx: 2, Objects: 2, Values: 2,
+		})
+		if trials%2 == 0 {
+			h = workload.RandomPlausibleHistory(rng, workload.RandomConfig{
+				Sessions: 2, TxPerSession: 2, OpsPerTx: 2, Objects: 2,
+			})
+		}
+		hi := h.WithInit(0)
+		if hi.NumTransactions() > 5 {
+			continue
+		}
+		trials++
+		graphPC := certifyNoInit(t, hi, depgraph.PC).Member
+		brutePC, err := BruteForce(hi, BrutePC, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graphPC != brutePC {
+			t.Fatalf("PC characterisation violated: graph=%v brute=%v\n%v", graphPC, brutePC, hi)
+		}
+	}
+}
+
+// TestPCInLattice: HistSER ⊆ HistSI ⊆ HistPC on random histories, and
+// PC is incomparable with PSI (witnessed by the figures above: lost
+// update ∈ PC \ PSI, long fork ∈ PSI \ PC).
+func TestPCInLattice(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 150; trial++ {
+		h := workload.RandomPlausibleHistory(rng, workload.RandomConfig{
+			Sessions: 2, TxPerSession: 2, OpsPerTx: 2, Objects: 2,
+		})
+		si := certify(t, h, depgraph.SI).Member
+		pc := certify(t, h, depgraph.PC).Member
+		if si && !pc {
+			t.Fatalf("HistSI ⊄ HistPC:\n%v", h)
+		}
+	}
+	lu := workload.LostUpdate()
+	if !certifyNoInit(t, lu.History, depgraph.PC).Member {
+		t.Error("lost update should be PC-allowed")
+	}
+	if certifyNoInit(t, lu.History, depgraph.PSI).Member {
+		t.Error("lost update should be PSI-disallowed")
+	}
+	lf := workload.LongFork()
+	if certifyNoInit(t, lf.History, depgraph.PC).Member {
+		t.Error("long fork should be PC-disallowed")
+	}
+	if !certifyNoInit(t, lf.History, depgraph.PSI).Member {
+		t.Error("long fork should be PSI-allowed")
+	}
+}

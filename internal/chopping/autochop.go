@@ -1,0 +1,109 @@
+package chopping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sian/internal/model"
+)
+
+// Autochop searches for a fine-grained correct chopping: given
+// programs whose pieces express the *desired finest* granularity
+// (e.g. one piece per statement), it greedily coarsens them — merging
+// contiguous pieces of one program — until the static chopping graph
+// has no critical cycle at the given level, and returns the resulting
+// programs. Corollary 18 (resp. Theorems 29/31) then guarantees the
+// chopping is correct under the corresponding model.
+//
+// The merge heuristic follows the structure of critical cycles: every
+// critical cycle contains a "conflict, predecessor, conflict" fragment
+// (condition (ii)), and merging the pieces spanned by that predecessor
+// edge removes the fragment. Greedy merging is not guaranteed to be
+// the unique finest correct chopping, but it always terminates — in
+// the worst case every program collapses back into a single
+// transaction, which is trivially a correct chopping.
+//
+// The result shares no slices with the input.
+func Autochop(programs []Program, level Criticality) ([]Program, error) {
+	cur := make([]Program, len(programs))
+	for i, p := range programs {
+		cur[i] = NewProgram(p.Name, p.Pieces...)
+	}
+	for {
+		verdict, err := CheckStatic(cur, level)
+		if err != nil {
+			return nil, err
+		}
+		if verdict.OK {
+			return cur, nil
+		}
+		prog, lo, hi, ok := mergeSpan(verdict)
+		if !ok {
+			// Unreachable for well-formed critical cycles (condition
+			// (ii) guarantees a predecessor edge), but guard against
+			// it rather than loop forever.
+			return nil, fmt.Errorf("chopping: critical cycle without a predecessor edge: %v",
+				verdict.Graph.DescribeCycle(verdict.Witness))
+		}
+		cur[prog] = mergePieces(cur[prog], lo, hi)
+	}
+}
+
+// mergeSpan picks the predecessor edge of the witness cycle and
+// returns the program and the contiguous piece span to merge.
+func mergeSpan(v *Verdict) (prog, lo, hi int, ok bool) {
+	for _, s := range v.Witness {
+		if s.Kind != KindPredecessor {
+			continue
+		}
+		from, to := v.IDs[s.From], v.IDs[s.To]
+		if from.Program != to.Program {
+			continue
+		}
+		lo, hi = to.Piece, from.Piece
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			continue
+		}
+		return from.Program, lo, hi, true
+	}
+	return 0, 0, 0, false
+}
+
+// mergePieces collapses pieces lo..hi (inclusive) of the program into
+// a single piece with the union of the read and write sets.
+func mergePieces(p Program, lo, hi int) Program {
+	var names []string
+	reads := make(map[string]bool)
+	writes := make(map[string]bool)
+	for _, pc := range p.Pieces[lo : hi+1] {
+		if pc.Name != "" {
+			names = append(names, pc.Name)
+		}
+		for _, x := range pc.Reads {
+			reads[string(x)] = true
+		}
+		for _, x := range pc.Writes {
+			writes[string(x)] = true
+		}
+	}
+	merged := NewPiece(strings.Join(names, "+"), setToObjs(reads), setToObjs(writes))
+	pieces := make([]Piece, 0, len(p.Pieces)-(hi-lo))
+	pieces = append(pieces, p.Pieces[:lo]...)
+	pieces = append(pieces, merged)
+	pieces = append(pieces, p.Pieces[hi+1:]...)
+	return NewProgram(p.Name, pieces...)
+}
+
+// setToObjs converts a string set back into a sorted object slice.
+func setToObjs(set map[string]bool) []model.Obj {
+	out := make([]model.Obj, 0, len(set))
+	for x := range set {
+		out = append(out, model.Obj(x))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,120 @@
+package chopping_test
+
+import (
+	"testing"
+
+	. "sian/internal/chopping"
+	"sian/internal/model"
+	"sian/internal/workload"
+)
+
+func pieceCount(p Program) int { return len(p.Pieces) }
+
+// TestAutochopFig6 keeps the transfer fully chopped when the peers are
+// per-account lookups (the Figure 6 situation is already correct).
+func TestAutochopFig6(t *testing.T) {
+	t.Parallel()
+	out, err := Autochop(workload.Fig6Programs(), SICritical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieceCount(out[0]) != 2 {
+		t.Errorf("transfer collapsed to %d pieces; Figure 6 chopping is correct as-is", pieceCount(out[0]))
+	}
+	v, err := CheckStatic(out, SICritical)
+	if err != nil || !v.OK {
+		t.Errorf("autochopped set not correct: %v %v", err, v)
+	}
+}
+
+// TestAutochopFig5 must merge the transfer back into one transaction
+// when an atomic balance-sum lookup is present (Figure 5's chopping is
+// incorrect, and the only correct chopping keeps the transfer whole).
+func TestAutochopFig5(t *testing.T) {
+	t.Parallel()
+	out, err := Autochop(workload.Fig5Programs(), SICritical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieceCount(out[0]) != 1 {
+		t.Errorf("transfer kept %d pieces; it must merge under lookupAll", pieceCount(out[0]))
+	}
+	v, err := CheckStatic(out, SICritical)
+	if err != nil || !v.OK {
+		t.Errorf("autochopped set not correct: %v %v", err, v)
+	}
+	// Merged piece unions the read/write sets.
+	merged := out[0].Pieces[0]
+	if len(merged.Reads) != 2 || len(merged.Writes) != 2 {
+		t.Errorf("merged sets = %v / %v", merged.Reads, merged.Writes)
+	}
+}
+
+// TestAutochopLevels: the Figure 11 programs stay fully chopped at the
+// SI level but must coarsen at the SER level (their chopping is
+// correct under SI only).
+func TestAutochopLevels(t *testing.T) {
+	t.Parallel()
+	si, err := Autochop(workload.Fig11Programs(), SICritical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieceCount(si[0]) != 2 || pieceCount(si[1]) != 2 {
+		t.Errorf("SI level coarsened Figure 11: %d/%d pieces", pieceCount(si[0]), pieceCount(si[1]))
+	}
+	ser, err := Autochop(workload.Fig11Programs(), SERCritical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieceCount(ser[0])+pieceCount(ser[1]) >= 4 {
+		t.Errorf("SER level did not coarsen Figure 11: %d/%d pieces", pieceCount(ser[0]), pieceCount(ser[1]))
+	}
+	v, err := CheckStatic(ser, SERCritical)
+	if err != nil || !v.OK {
+		t.Errorf("SER autochop not correct: %v %v", err, v)
+	}
+}
+
+// TestAutochopStatementLevel chops a three-statement transaction as
+// finely as the peers allow.
+func TestAutochopStatementLevel(t *testing.T) {
+	t.Parallel()
+	objs := func(xs ...string) []model.Obj {
+		out := make([]model.Obj, len(xs))
+		for i, x := range xs {
+			out[i] = model.Obj(x)
+		}
+		return out
+	}
+	// A batch touching three disjoint objects, against single-object
+	// readers: fully choppable.
+	batch := NewProgram("batch",
+		NewPiece("s1", objs("a"), objs("a")),
+		NewPiece("s2", objs("b"), objs("b")),
+		NewPiece("s3", objs("c"), objs("c")),
+	)
+	readers := []Program{
+		NewProgram("ra", NewPiece("ra", objs("a"), nil)),
+		NewProgram("rb", NewPiece("rb", objs("b"), nil)),
+	}
+	out, err := Autochop(append([]Program{batch}, readers...), SICritical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieceCount(out[0]) != 3 {
+		t.Errorf("disjoint batch coarsened to %d pieces", pieceCount(out[0]))
+	}
+	// Against an atomic reader of a and c, the span a..c must merge.
+	readerAC := NewProgram("rac", NewPiece("rac", objs("a", "c"), nil))
+	out2, err := Autochop([]Program{batch, readerAC}, SICritical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieceCount(out2[0]) >= 3 {
+		t.Errorf("batch not coarsened against atomic reader: %d pieces", pieceCount(out2[0]))
+	}
+	v, err := CheckStatic(out2, SICritical)
+	if err != nil || !v.OK {
+		t.Errorf("autochop result not correct: %v %v", err, v)
+	}
+}

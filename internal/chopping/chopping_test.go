@@ -1,0 +1,396 @@
+package chopping_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sian/internal/check"
+	. "sian/internal/chopping"
+	"sian/internal/depgraph"
+	"sian/internal/model"
+	"sian/internal/workload"
+)
+
+func mustStatic(t *testing.T, programs []Program, level Criticality) *Verdict {
+	t.Helper()
+	v, err := CheckStatic(programs, level)
+	if err != nil {
+		t.Fatalf("CheckStatic(%v): %v", level, err)
+	}
+	return v
+}
+
+// TestFig5 reproduces Figure 5: SCG{transfer, lookupAll} has an
+// SI-critical cycle; the chopping is incorrect under SI (and SER).
+func TestFig5(t *testing.T) {
+	t.Parallel()
+	v := mustStatic(t, workload.Fig5Programs(), SICritical)
+	if v.OK {
+		t.Fatal("Figure 5 chopping reported correct under SI")
+	}
+	if v.Witness == nil || !v.Witness.IsCritical(SICritical) {
+		t.Errorf("witness cycle not SI-critical: %v", v.Witness)
+	}
+	if !strings.Contains(v.Describe(), "critical cycle") {
+		t.Errorf("Describe = %q", v.Describe())
+	}
+	if vSER := mustStatic(t, workload.Fig5Programs(), SERCritical); vSER.OK {
+		t.Error("Figure 5 chopping reported correct under SER")
+	}
+	if vPSI := mustStatic(t, workload.Fig5Programs(), PSICritical); vPSI.OK {
+		t.Error("Figure 5 chopping reported correct under PSI")
+	}
+}
+
+// TestFig6 reproduces Figure 6: SCG{transfer, lookup1, lookup2} has no
+// critical cycle; the chopping is correct under SI.
+func TestFig6(t *testing.T) {
+	t.Parallel()
+	v := mustStatic(t, workload.Fig6Programs(), SICritical)
+	if !v.OK {
+		t.Fatalf("Figure 6 chopping reported incorrect: %v", v.Graph.DescribeCycle(v.Witness))
+	}
+	// It is also correct under serializability and PSI.
+	if !mustStatic(t, workload.Fig6Programs(), SERCritical).OK {
+		t.Error("Figure 6 chopping incorrect under SER")
+	}
+	if !mustStatic(t, workload.Fig6Programs(), PSICritical).OK {
+		t.Error("Figure 6 chopping incorrect under PSI")
+	}
+}
+
+// TestFig11 reproduces Appendix B.1: {write1, write2} chops correctly
+// under SI but not under serializability.
+func TestFig11(t *testing.T) {
+	t.Parallel()
+	programs := workload.Fig11Programs()
+	if v := mustStatic(t, programs, SICritical); !v.OK {
+		t.Errorf("Figure 11 chopping incorrect under SI: %v", v.Graph.DescribeCycle(v.Witness))
+	}
+	v := mustStatic(t, programs, SERCritical)
+	if v.OK {
+		t.Fatal("Figure 11 chopping reported correct under SER")
+	}
+	// The witness must be the RW,P,RW,P shape of cycle (9).
+	rw, p := 0, 0
+	for _, k := range v.Witness.Kinds() {
+		switch k {
+		case KindRW:
+			rw++
+		case KindPredecessor:
+			p++
+		}
+	}
+	if rw != 2 || p != 2 || len(v.Witness) != 4 {
+		t.Errorf("witness %v does not match cycle (9)", v.Witness)
+	}
+}
+
+// TestFig12 reproduces Appendix B.2: {write1, write2, read1, read2}
+// chops correctly under PSI but not under SI.
+func TestFig12(t *testing.T) {
+	t.Parallel()
+	programs := workload.Fig12Programs()
+	if v := mustStatic(t, programs, PSICritical); !v.OK {
+		t.Errorf("Figure 12 chopping incorrect under PSI: %v", v.Graph.DescribeCycle(v.Witness))
+	}
+	v := mustStatic(t, programs, SICritical)
+	if v.OK {
+		t.Fatal("Figure 12 chopping reported correct under SI")
+	}
+	if !v.Witness.IsCritical(SICritical) || v.Witness.IsCritical(PSICritical) {
+		t.Errorf("witness %v should be SI- but not PSI-critical", v.Witness)
+	}
+}
+
+// TestChoppingHierarchy: correctness under SER implies correctness
+// under SI implies correctness under PSI (Appendix B), on the paper's
+// program sets.
+func TestChoppingHierarchy(t *testing.T) {
+	t.Parallel()
+	sets := [][]Program{
+		workload.Fig5Programs(),
+		workload.Fig6Programs(),
+		workload.Fig11Programs(),
+		workload.Fig12Programs(),
+	}
+	for i, programs := range sets {
+		ser := mustStatic(t, programs, SERCritical).OK
+		si := mustStatic(t, programs, SICritical).OK
+		psi := mustStatic(t, programs, PSICritical).OK
+		if ser && !si {
+			t.Errorf("set %d: correct under SER but not SI", i)
+		}
+		if si && !psi {
+			t.Errorf("set %d: correct under SI but not PSI", i)
+		}
+	}
+}
+
+func TestCheckStaticValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := CheckStatic(nil, SICritical); err == nil {
+		t.Error("empty program set accepted")
+	}
+	if _, err := CheckStatic([]Program{{Name: "p"}}, SICritical); err == nil {
+		t.Error("pieceless program accepted")
+	}
+}
+
+func TestSCGStructure(t *testing.T) {
+	t.Parallel()
+	g, ids := SCG(workload.Fig6Programs())
+	// transfer has 2 pieces, each lookup 1: four vertices.
+	if g.N() != 4 || len(ids) != 4 {
+		t.Fatalf("SCG has %d vertices", g.N())
+	}
+	// Successor and predecessor within transfer.
+	if !g.HasEdge(0, 1, KindSuccessor) || !g.HasEdge(1, 0, KindPredecessor) {
+		t.Error("transfer session edges missing")
+	}
+	// lookup1 reads acct1 which piece 0 writes: WR 0→2 and RW 2→0.
+	if !g.HasEdge(0, 2, KindWR) {
+		t.Error("missing WR transfer[0] → lookup1")
+	}
+	if !g.HasEdge(2, 0, KindRW) {
+		t.Error("missing RW lookup1 → transfer[0]")
+	}
+	// No edges between the two lookups (disjoint objects, different
+	// programs).
+	for _, k := range []EdgeKind{KindWR, KindWW, KindRW, KindSuccessor, KindPredecessor} {
+		if g.HasEdge(2, 3, k) || g.HasEdge(3, 2, k) {
+			t.Errorf("unexpected %v edge between lookups", k)
+		}
+	}
+	if ids[1] != (PieceID{Program: 0, Piece: 1}) || ids[3] != (PieceID{Program: 2, Piece: 0}) {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestUnchoppedAndReplicate(t *testing.T) {
+	t.Parallel()
+	transfer := workload.TransferChopped()
+	u := transfer.Unchopped()
+	if len(u.Pieces) != 1 {
+		t.Fatalf("Unchopped pieces = %d", len(u.Pieces))
+	}
+	if len(u.Pieces[0].Reads) != 2 || len(u.Pieces[0].Writes) != 2 {
+		t.Errorf("Unchopped sets = %v / %v", u.Pieces[0].Reads, u.Pieces[0].Writes)
+	}
+	reps := Replicate(transfer, 3)
+	if len(reps) != 3 || reps[0].Name == reps[1].Name {
+		t.Errorf("Replicate = %v", reps)
+	}
+	// A single unchopped transaction set is trivially correct.
+	if v := mustStatic(t, []Program{u, workload.LookupAll()}, SICritical); !v.OK {
+		t.Errorf("unchopped transfer incorrect: %v", v.Graph.DescribeCycle(v.Witness))
+	}
+}
+
+// TestDCGFig4 reproduces the dynamic side of Figure 4: DCG(G1) has an
+// SI-critical cycle (G1 not spliceable); DCG(G2) does not, and
+// splice(G2) lands in GraphSI.
+func TestDCGFig4(t *testing.T) {
+	t.Parallel()
+	figs := workload.Fig4Graphs()
+
+	res1, err := CheckDynamic(figs.G1)
+	if err != nil {
+		t.Fatalf("CheckDynamic(G1): %v", err)
+	}
+	if res1.Critical == nil {
+		t.Fatal("DCG(G1) should contain an SI-critical cycle")
+	}
+	if res1.Spliced != nil {
+		t.Error("G1 must not be spliced")
+	}
+
+	res2, err := CheckDynamic(figs.G2)
+	if err != nil {
+		t.Fatalf("CheckDynamic(G2): %v", err)
+	}
+	if res2.Critical != nil {
+		t.Fatalf("DCG(G2) unexpectedly critical: %v", res2.DCG.DescribeCycle(res2.Critical))
+	}
+	if res2.Spliced == nil {
+		t.Fatal("G2 should be spliced")
+	}
+	if err := res2.Spliced.InModel(depgraph.SI); err != nil {
+		t.Errorf("splice(G2) outside GraphSI: %v", err)
+	}
+}
+
+// TestSpliceG1NotSI confirms the paper's claim that splice(H_G1) is
+// not in HistSI: the spliced graph violates GraphSI, and certifying
+// the spliced history also fails.
+func TestSpliceG1NotSI(t *testing.T) {
+	t.Parallel()
+	figs := workload.Fig4Graphs()
+	spliced, err := Splice(figs.G1)
+	if err == nil {
+		// The lifted graph may be well-formed; it must then be outside
+		// GraphSI.
+		if spliced.InModel(depgraph.SI) == nil {
+			t.Error("splice(G1) in GraphSI; Figure 4 contradicted")
+		}
+	}
+	// Independent check through the certifier on the spliced history.
+	sh := figs.G1.History.Splice()
+	res, err := check.Certify(sh, depgraph.SI, check.Options{AddInit: false, PinInit: true, Budget: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Member {
+		t.Error("splice(H_G1) certified SI; Figure 4 contradicted")
+	}
+}
+
+func TestCheckDynamicRejectsNonSIGraph(t *testing.T) {
+	t.Parallel()
+	// Lost update graph is outside GraphSI.
+	lu := workload.LostUpdate()
+	if _, err := CheckDynamic(lu.Graph); err == nil {
+		t.Error("CheckDynamic accepted a non-GraphSI input")
+	}
+}
+
+// TestTheorem16Randomised: for random SI-certifiable histories whose
+// DCG has no critical cycle, splice(G) is a dependency graph in
+// GraphSI, and the spliced history is SI-certifiable.
+func TestTheorem16Randomised(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1234))
+	spliceable, critical := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		h := workload.RandomPlausibleHistory(rng, workload.RandomConfig{
+			Sessions: 3, TxPerSession: 2, OpsPerTx: 2, Objects: 2,
+		})
+		res, err := check.Certify(h, depgraph.SI, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Member {
+			continue
+		}
+		dyn, err := CheckDynamic(res.Graph)
+		if err != nil {
+			t.Fatalf("trial %d: CheckDynamic: %v\n%v", trial, err, res.History)
+		}
+		if dyn.Critical != nil {
+			critical++
+			continue
+		}
+		spliceable++
+		if dyn.Spliced == nil {
+			t.Fatalf("trial %d: no critical cycle but no spliced graph", trial)
+		}
+		// Theorem 16's conclusion, re-checked through the certifier:
+		// the spliced history is in HistSI.
+		sh := res.History.Splice()
+		sres, err := check.Certify(sh, depgraph.SI, check.Options{AddInit: false, PinInit: true, Budget: 2_000_000})
+		if err != nil {
+			t.Fatalf("trial %d: certifying spliced history: %v", trial, err)
+		}
+		if !sres.Member {
+			t.Fatalf("trial %d: Theorem 16 violated: spliced history not SI\noriginal:\n%v\nspliced:\n%v",
+				trial, res.History, sh)
+		}
+	}
+	if spliceable == 0 {
+		t.Error("no spliceable cases exercised")
+	}
+	t.Logf("spliceable=%d critical=%d", spliceable, critical)
+}
+
+// TestDCGConflictEdgesExcludeSameSession: conflicts inside a session
+// must not appear in the DCG.
+func TestDCGConflictEdgesExcludeSameSession(t *testing.T) {
+	t.Parallel()
+	h := model.NewHistory(
+		model.Session{ID: "s", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write("x", 1)),
+			model.NewTransaction("T2", model.Read("x", 1)),
+		}},
+	)
+	g := depgraph.New(h)
+	g.AddWR("x", 0, 1)
+	dcg := DCG(g)
+	if dcg.HasEdge(0, 1, KindWR) {
+		t.Error("same-session WR edge leaked into DCG")
+	}
+	if !dcg.HasEdge(0, 1, KindSuccessor) || !dcg.HasEdge(1, 0, KindPredecessor) {
+		t.Error("session edges missing from DCG")
+	}
+}
+
+// TestDynamicCriteriaAllLevelsRandomised extends the Theorem 16
+// property to the SER and PSI dynamic criteria (the dynamic forms of
+// Theorems 29 and 31): whenever a model's dynamic chopping graph has
+// no level-critical cycle, the spliced history remains in that model.
+func TestDynamicCriteriaAllLevelsRandomised(t *testing.T) {
+	t.Parallel()
+	levels := []struct {
+		level Criticality
+		m     depgraph.Model
+	}{
+		{SERCritical, depgraph.SER},
+		{SICritical, depgraph.SI},
+		{PSICritical, depgraph.PSI},
+	}
+	rng := rand.New(rand.NewSource(4242))
+	spliceable := 0
+	for trial := 0; trial < 100; trial++ {
+		h := workload.RandomPlausibleHistory(rng, workload.RandomConfig{
+			Sessions: 3, TxPerSession: 2, OpsPerTx: 2, Objects: 2,
+		})
+		for _, lv := range levels {
+			res, err := check.Certify(h, lv.m, check.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Member {
+				continue
+			}
+			dyn, err := CheckDynamicLevel(res.Graph, lv.level)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v\n%v", trial, lv.level, err, res.History)
+			}
+			if dyn.Critical != nil {
+				continue
+			}
+			spliceable++
+			sres, err := check.Certify(res.History.Splice(), lv.m,
+				check.Options{AddInit: false, PinInit: true, Budget: 2_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sres.Member {
+				t.Fatalf("trial %d: dynamic %v criterion violated: spliced history not in %v\n%v",
+					trial, lv.level, lv.m, res.History)
+			}
+		}
+	}
+	if spliceable == 0 {
+		t.Error("no spliceable cases exercised")
+	}
+}
+
+// TestCheckDynamicLevelValidation covers the error paths.
+func TestCheckDynamicLevelValidation(t *testing.T) {
+	t.Parallel()
+	ws := workload.WriteSkew()
+	// Write skew is outside GraphSER: the SER-level check must refuse.
+	if _, err := CheckDynamicLevel(ws.Graph, SERCritical); err == nil {
+		t.Error("SER-level check accepted a non-serializable graph")
+	}
+	// It is inside GraphSI and GraphPSI.
+	for _, level := range []Criticality{SICritical, PSICritical} {
+		if _, err := CheckDynamicLevel(ws.Graph, level); err != nil {
+			t.Errorf("%v: %v", level, err)
+		}
+	}
+	if _, err := CheckDynamicLevel(ws.Graph, Criticality(77)); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package chopping
+
+import (
+	"fmt"
+
+	"sian/internal/depgraph"
+)
+
+// DCG builds the dynamic chopping graph of a dependency graph (§5):
+// the vertices are g's transactions; WR/WW/RW edges between
+// transactions of *different* sessions become conflict edges (edges
+// between ≈-related transactions are dropped); session order yields
+// successor edges and its inverse predecessor edges.
+func DCG(g *depgraph.Graph) *Graph {
+	h := g.History
+	n := h.NumTransactions()
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		if id := h.Transaction(i).ID; id != "" {
+			labels[i] = id
+		}
+	}
+	out := NewGraph(n, labels)
+	so := h.SessionOrder()
+	for _, p := range so.Pairs() {
+		out.AddEdge(p[0], p[1], KindSuccessor)
+		out.AddEdge(p[1], p[0], KindPredecessor)
+	}
+	same := h.SameSession()
+	addConflicts := func(pairs [][2]int, k EdgeKind) {
+		for _, p := range pairs {
+			if !same.Has(p[0], p[1]) {
+				out.AddEdge(p[0], p[1], k)
+			}
+		}
+	}
+	addConflicts(g.WR().Pairs(), KindWR)
+	addConflicts(g.WW().Pairs(), KindWW)
+	addConflicts(g.RW().Pairs(), KindRW)
+	return out
+}
+
+// Splice implements the splice(G) construction used to prove Theorem
+// 16: it builds the dependency graph over splice(H_G) whose read and
+// write dependencies are the liftings of G's to spliced transactions,
+//
+//	⌜T⌝ —WR(x)→ ⌜S⌝  iff  ⌜T⌝ ≠ ⌜S⌝ ∧ ∃T' ≈ T, S' ≈ S. T' —WR(x)→ S',
+//
+// and similarly for WW; RW is re-derived per Definition 5. The result
+// is returned together with any well-formedness violation: when DCG(G)
+// has a critical cycle the lifted graph may fail Definition 6 (e.g. a
+// read with two sources), which is precisely what Theorem 16 rules
+// out. Callers should Validate or check the returned error.
+func Splice(g *depgraph.Graph) (*depgraph.Graph, error) {
+	h := g.History
+	sh := h.Splice()
+	out := depgraph.New(sh)
+	for _, x := range h.Objects() {
+		for _, p := range g.WRObj(x).Pairs() {
+			t, s := h.SplicedIndex(p[0]), h.SplicedIndex(p[1])
+			if t != s {
+				out.AddWR(x, t, s)
+			}
+		}
+		for _, p := range g.WWObj(x).Pairs() {
+			t, s := h.SplicedIndex(p[0]), h.SplicedIndex(p[1])
+			if t != s {
+				out.AddWW(x, t, s)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return out, fmt.Errorf("chopping: spliced graph is not a dependency graph: %w", err)
+	}
+	return out, nil
+}
+
+// SpliceResult reports the outcome of the dynamic chopping check of a
+// single dependency graph.
+type SpliceResult struct {
+	// Critical is the critical cycle found in DCG(G), nil if none.
+	Critical Cycle
+	// DCG is the dynamic chopping graph (for diagnostics).
+	DCG *Graph
+	// Spliced is splice(G) when Critical is nil and splicing
+	// succeeded.
+	Spliced *depgraph.Graph
+}
+
+// CheckDynamic applies Theorem 16 to a dependency graph G ∈ GraphSI:
+// if DCG(G) contains no SI-critical cycle, G is spliceable and the
+// spliced dependency graph (which Theorem 16 guarantees is in GraphSI)
+// is returned in the result. When a critical cycle exists the result
+// carries it as a witness; the graph may or may not be spliceable (the
+// criterion is sound, not complete).
+func CheckDynamic(g *depgraph.Graph) (*SpliceResult, error) {
+	return CheckDynamicLevel(g, SICritical)
+}
+
+// CheckDynamicLevel is CheckDynamic for any of the three criticality
+// levels and their models: SERCritical with GraphSER (the dynamic form
+// of Shasha et al.'s Theorem 29), SICritical with GraphSI (Theorem 16)
+// and PSICritical with GraphPSI (the dynamic form of Theorem 31). The
+// input graph must be in the corresponding model; when its DCG has no
+// level-critical cycle, the spliced graph is checked to be in the same
+// model and returned.
+func CheckDynamicLevel(g *depgraph.Graph, level Criticality) (*SpliceResult, error) {
+	m, err := modelForLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.InModel(m); err != nil {
+		return nil, fmt.Errorf("chopping: input graph outside Graph%v: %w", m, err)
+	}
+	dcg := DCG(g)
+	cyc, err := dcg.FindCriticalCycle(level, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &SpliceResult{Critical: cyc, DCG: dcg}
+	if cyc != nil {
+		return res, nil
+	}
+	spliced, err := Splice(g)
+	if err != nil {
+		return nil, fmt.Errorf("chopping: dynamic criterion violated at %v — no critical cycle but %w", level, err)
+	}
+	if err := spliced.InModel(m); err != nil {
+		return nil, fmt.Errorf("chopping: dynamic criterion violated — spliced graph outside Graph%v: %w", m, err)
+	}
+	res.Spliced = spliced
+	return res, nil
+}
+
+// modelForLevel maps a criticality level to the consistency model its
+// dynamic criterion speaks about.
+func modelForLevel(level Criticality) (depgraph.Model, error) {
+	switch level {
+	case SERCritical:
+		return depgraph.SER, nil
+	case SICritical:
+		return depgraph.SI, nil
+	case PSICritical:
+		return depgraph.PSI, nil
+	default:
+		return 0, fmt.Errorf("chopping: unknown criticality level %v", level)
+	}
+}

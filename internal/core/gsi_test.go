@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sian/internal/check"
+	. "sian/internal/core"
+	"sian/internal/depgraph"
+	"sian/internal/model"
+	"sian/internal/workload"
+)
+
+// staleSessionGraph is the counterexample separating GSI from SI: a
+// session whose second transaction reads a value older than its own
+// first transaction's write. Indices: 0 init, 1 T1 (writes x=1),
+// 2 T2 (reads x=0 from init).
+func staleSessionGraph() *depgraph.Graph {
+	h := model.NewHistory(
+		model.Session{ID: model.InitTransactionID, Transactions: []model.Transaction{
+			model.NewTransaction("init", model.Write("x", 0)),
+		}},
+		model.Session{ID: "s", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write("x", 1)),
+			model.NewTransaction("T2", model.Read("x", 0)),
+		}},
+	)
+	g := depgraph.New(h)
+	g.AddWW("x", 0, 1)
+	g.AddWR("x", 0, 2)
+	return g
+}
+
+// TestGSISeparation: the stale-session-read graph is in GraphGSI (the
+// session order carries no composite weight) but outside GraphSI.
+func TestGSISeparation(t *testing.T) {
+	t.Parallel()
+	g := staleSessionGraph()
+	if !g.InGSI() {
+		t.Fatalf("stale session read should be GSI-allowed: %v", g.InModel(depgraph.GSI))
+	}
+	if g.InSI() {
+		t.Fatal("stale session read must violate strong session SI")
+	}
+	x, err := BuildExecutionGSI(g)
+	if err != nil {
+		t.Fatalf("BuildExecutionGSI: %v", err)
+	}
+	if err := VerifyGSI(g, x); err != nil {
+		t.Fatalf("VerifyGSI: %v", err)
+	}
+	// The constructed execution necessarily violates SESSION.
+	if err := x.IsSI(); err == nil {
+		t.Error("GSI execution of a non-SI graph satisfies all SI axioms")
+	}
+}
+
+func TestBuildExecutionGSIRejectsNonGSI(t *testing.T) {
+	t.Parallel()
+	lu := workload.LostUpdate()
+	if _, err := BuildExecutionGSI(lu.Graph); !errors.Is(err, ErrNotGraphGSI) {
+		t.Fatalf("err = %v, want ErrNotGraphGSI", err)
+	}
+}
+
+// TestGSISoundnessRandomised mirrors the SI and PC soundness property
+// tests for GSI.
+func TestGSISoundnessRandomised(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(31))
+	built := 0
+	for trial := 0; trial < 100; trial++ {
+		h := workload.RandomPlausibleHistory(rng, workload.RandomConfig{
+			Sessions: 2, TxPerSession: 2, OpsPerTx: 3, Objects: 2,
+		})
+		res, err := check.Certify(h, depgraph.GSI, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Member {
+			continue
+		}
+		built++
+		x, err := BuildExecutionGSI(res.Graph)
+		if err != nil {
+			t.Fatalf("trial %d: BuildExecutionGSI: %v\n%v", trial, err, res.History)
+		}
+		if err := VerifyGSI(res.Graph, x); err != nil {
+			t.Fatalf("trial %d: VerifyGSI: %v\n%v", trial, err, res.History)
+		}
+	}
+	if built == 0 {
+		t.Error("no GSI-certifiable history generated")
+	}
+}
+
+func TestLeastSolutionGSI(t *testing.T) {
+	t.Parallel()
+	g := staleSessionGraph()
+	sol := LeastSolutionGSI(g, nil)
+	if !sol.CO.IsAcyclic() {
+		t.Error("least GSI CO cyclic on a GraphGSI member")
+	}
+	// WR ∪ WW must be in VIS, and VIS ⊆ CO.
+	base := g.WR().UnionInPlace(g.WW())
+	if !base.SubsetOf(sol.VIS) {
+		t.Error("WR ∪ WW ⊄ VIS")
+	}
+	if !sol.VIS.SubsetOf(sol.CO) {
+		t.Error("VIS ⊄ CO")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sian/internal/depgraph"
+	"sian/internal/execution"
+	"sian/internal/relation"
+)
+
+// This file extends the Theorem 10(i) construction to prefix
+// consistency (PC) — the model the paper's §7 singles out as a natural
+// target for the same proof technique. PC is SI without NOCONFLICT
+// (axioms INT, EXT, SESSION, PREFIX), so write dependencies need not
+// be visible; the Figure 3 system relaxes to
+//
+//	(P1) SO ∪ WR ⊆ VIS       (P2) WW ⊆ CO
+//	(P3) CO ; VIS ⊆ VIS      (P4) VIS ⊆ CO
+//	(P5) CO ; CO ⊆ CO        (P6) VIS ; RW ⊆ CO
+//
+// with the Lemma 15-style least solution (for forced edges R)
+//
+//	CO  = (((SO ∪ WR) ; RW?) ∪ WW ∪ R)⁺
+//	VIS = CO? ; (SO ∪ WR)
+//
+// The correctness of this construction is property-tested against the
+// axiomatic PC definition in internal/check.
+
+// ErrNotGraphPC is returned when the input graph is outside GraphPC:
+// ((SO ∪ WR) ; RW?) ∪ WW has a cycle, so no PC execution exists.
+var ErrNotGraphPC = errors.New("core: graph is not in GraphPC: ((SO ∪ WR) ; RW?) ∪ WW is cyclic")
+
+// LeastSolutionPC computes the least solution of the PC inequality
+// system whose CO contains every pair of R (nil R means R = ∅).
+func LeastSolutionPC(g *depgraph.Graph, r *relation.Rel) Solution {
+	soWR := g.History.SessionOrder().UnionInPlace(g.WR())
+	b := soWR.Compose(g.RW().Maybe()).UnionInPlace(g.WW())
+	if r != nil {
+		b.UnionInPlace(r)
+	}
+	co := b.TransitiveClosure()
+	vis := co.Maybe().Compose(soWR)
+	return Solution{VIS: vis, CO: co}
+}
+
+// CheckSystemPC verifies that (VIS, CO) satisfies the PC inequality
+// system for the graph g.
+func CheckSystemPC(g *depgraph.Graph, s Solution) error {
+	soWR := g.History.SessionOrder().UnionInPlace(g.WR())
+	checks := []struct {
+		name string
+		ok   bool
+	}{
+		{"(P1) SO ∪ WR ⊆ VIS", soWR.SubsetOf(s.VIS)},
+		{"(P2) WW ⊆ CO", g.WW().SubsetOf(s.CO)},
+		{"(P3) CO ; VIS ⊆ VIS", s.CO.Compose(s.VIS).SubsetOf(s.VIS)},
+		{"(P4) VIS ⊆ CO", s.VIS.SubsetOf(s.CO)},
+		{"(P5) CO ; CO ⊆ CO", s.CO.Compose(s.CO).SubsetOf(s.CO)},
+		{"(P6) VIS ; RW ⊆ CO", s.VIS.Compose(g.RW()).SubsetOf(s.CO)},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return fmt.Errorf("inequality %s violated", c.name)
+		}
+	}
+	return nil
+}
+
+// BuildExecutionPC constructs, from a graph in GraphPC, an abstract
+// execution satisfying the PC axioms whose dependency graph is the
+// input — the prefix-consistency analogue of Theorem 10(i).
+func BuildExecutionPC(g *depgraph.Graph) (*execution.Execution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid dependency graph: %w", err)
+	}
+	base := LeastSolutionPC(g, nil)
+	if !base.CO.IsAcyclic() {
+		return nil, fmt.Errorf("%w (witness cycle %v)", ErrNotGraphPC, base.CO.FindCycle())
+	}
+	order, err := base.CO.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("core: linearising CO₀: %w", err)
+	}
+	n := g.History.NumTransactions()
+	co := relation.New(n)
+	for i, a := range order {
+		for _, b := range order[i+1:] {
+			co.Add(a, b)
+		}
+	}
+	soWR := g.History.SessionOrder().UnionInPlace(g.WR())
+	vis := co.Maybe().Compose(soWR)
+	return execution.New(g.History, vis, co), nil
+}
+
+// VerifyPC checks, independently of construction, that x satisfies
+// the PC axioms and that graph(x) = g.
+func VerifyPC(g *depgraph.Graph, x *execution.Execution) error {
+	if err := x.IsPC(); err != nil {
+		return fmt.Errorf("core: constructed execution violates the PC axioms: %w", err)
+	}
+	gx, err := depgraph.FromExecution(x)
+	if err != nil {
+		return fmt.Errorf("core: extracting graph(X): %w", err)
+	}
+	if !gx.Equal(g) {
+		return errors.New("core: graph(X) differs from the input dependency graph")
+	}
+	return nil
+}
+
+// CompletenessPC checks the completeness direction for PC: an
+// execution satisfying the PC axioms extracts to a graph in GraphPC.
+func CompletenessPC(x *execution.Execution) (*depgraph.Graph, error) {
+	if err := x.IsPC(); err != nil {
+		return nil, fmt.Errorf("core: execution violates the PC axioms: %w", err)
+	}
+	g, err := depgraph.FromExecution(x)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.InModel(depgraph.PC); err != nil {
+		return nil, fmt.Errorf("core: PC completeness violated: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sian/internal/check"
+	. "sian/internal/core"
+	"sian/internal/depgraph"
+
+	"sian/internal/relation"
+	"sian/internal/workload"
+)
+
+// lostUpdatePCGraph returns the Figure 2(b) graph, which is in GraphPC
+// (lost updates are allowed without NOCONFLICT) but outside GraphSI.
+func lostUpdatePCGraph() *depgraph.Graph {
+	return lostUpdateGraph()
+}
+
+func TestLeastSolutionPCSolvesSystem(t *testing.T) {
+	t.Parallel()
+	for _, g := range []*depgraph.Graph{writeSkewGraph(), lostUpdatePCGraph()} {
+		sol := LeastSolutionPC(g, nil)
+		if err := CheckSystemPC(g, sol); err != nil {
+			t.Errorf("least PC solution violates the system: %v", err)
+		}
+	}
+}
+
+func TestLeastSolutionPCForcedEdges(t *testing.T) {
+	t.Parallel()
+	g := writeSkewGraph()
+	r := relation.New(3)
+	r.Add(2, 1)
+	sol := LeastSolutionPC(g, r)
+	if err := CheckSystemPC(g, sol); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.CO.Has(2, 1) {
+		t.Error("forced edge missing")
+	}
+}
+
+// TestBuildExecutionPCLostUpdate is the headline PC result: the lost
+// update, rejected by SI, admits a verified PC execution.
+func TestBuildExecutionPCLostUpdate(t *testing.T) {
+	t.Parallel()
+	g := lostUpdatePCGraph()
+	if _, err := BuildExecution(g); !errors.Is(err, ErrNotGraphSI) {
+		t.Fatalf("lost update should be outside GraphSI: %v", err)
+	}
+	x, err := BuildExecutionPC(g)
+	if err != nil {
+		t.Fatalf("BuildExecutionPC: %v", err)
+	}
+	if err := VerifyPC(g, x); err != nil {
+		t.Fatalf("VerifyPC: %v", err)
+	}
+	// The constructed execution must violate NOCONFLICT — otherwise it
+	// would be an SI execution of a non-SI history.
+	if err := x.IsSI(); err == nil {
+		t.Error("lost-update execution unexpectedly satisfies all SI axioms")
+	}
+}
+
+func TestBuildExecutionPCRejectsNonPC(t *testing.T) {
+	t.Parallel()
+	// The long fork is outside GraphPC.
+	lf := workload.LongFork()
+	if _, err := BuildExecutionPC(lf.Graph); !errors.Is(err, ErrNotGraphPC) {
+		t.Fatalf("err = %v, want ErrNotGraphPC", err)
+	}
+}
+
+func TestCompletenessPC(t *testing.T) {
+	t.Parallel()
+	g := lostUpdatePCGraph()
+	x, err := BuildExecutionPC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := CompletenessPC(x)
+	if err != nil {
+		t.Fatalf("CompletenessPC: %v", err)
+	}
+	if !g2.Equal(g) {
+		t.Error("round trip changed the graph")
+	}
+}
+
+// TestPCSoundnessRandomised: every PC witness graph the certifier
+// finds converts into a verified PC execution with identical
+// dependencies — the PC analogue of Theorem 10(i), exercised on random
+// histories.
+func TestPCSoundnessRandomised(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(77))
+	built := 0
+	for trial := 0; trial < 120; trial++ {
+		h := workload.RandomPlausibleHistory(rng, workload.RandomConfig{
+			Sessions: 2, TxPerSession: 2, OpsPerTx: 3, Objects: 2,
+		})
+		res, err := check.Certify(h, depgraph.PC, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Member {
+			continue
+		}
+		built++
+		x, err := BuildExecutionPC(res.Graph)
+		if err != nil {
+			t.Fatalf("trial %d: BuildExecutionPC: %v\n%v", trial, err, res.History)
+		}
+		if err := VerifyPC(res.Graph, x); err != nil {
+			t.Fatalf("trial %d: VerifyPC: %v\n%v", trial, err, res.History)
+		}
+	}
+	if built == 0 {
+		t.Error("no PC-certifiable history generated")
+	}
+}
+
+func TestCheckSystemPCViolations(t *testing.T) {
+	t.Parallel()
+	g := writeSkewGraph()
+	empty := relation.New(3)
+	if err := CheckSystemPC(g, Solution{VIS: empty, CO: empty}); err == nil {
+		t.Error("empty solution accepted by PC system")
+	}
+}

@@ -1,0 +1,93 @@
+package depgraph
+
+import "fmt"
+
+// CycleStep is one edge of a cycle in the union relation
+// SO ∪ WR ∪ WW ∪ RW, tagged with whether it is an anti-dependency
+// (the only distinction Lemma 24 cares about).
+type CycleStep struct {
+	From, To int
+	AntiDep  bool
+}
+
+// SimplifyCycle implements Lemma 24 of the paper: given a cycle in
+// (SO ∪ WR ∪ WW) ; RW? — i.e. a cycle with no two adjacent
+// anti-dependency edges — it extracts a vertex-simple sub-cycle that
+// still has no two adjacent anti-dependency edges, by repeatedly
+// splitting at a repeated vertex and keeping the half whose junction
+// does not create an RW–RW adjacency (the case analysis of Figure 9).
+//
+// The input is the cycle's edges in order, with steps[i].To ==
+// steps[(i+1) % n].From; the last step returns to steps[0].From. An
+// error is returned for malformed cycles or inputs that already have
+// two adjacent anti-dependencies.
+func SimplifyCycle(steps []CycleStep) ([]CycleStep, error) {
+	n := len(steps)
+	if n == 0 {
+		return nil, fmt.Errorf("depgraph: empty cycle")
+	}
+	for i, s := range steps {
+		next := steps[(i+1)%n]
+		if s.To != next.From {
+			return nil, fmt.Errorf("depgraph: discontinuous cycle at step %d", i)
+		}
+		if s.AntiDep && next.AntiDep {
+			return nil, fmt.Errorf("depgraph: cycle has adjacent anti-dependencies at step %d", i)
+		}
+	}
+	for {
+		rep := repeatedVertex(steps)
+		if rep < 0 {
+			return steps, nil
+		}
+		// Rotate so the cycle starts at the repeated vertex T, then
+		// split into γ₁ = first loop through T and γ₂ = the rest
+		// (exactly the dashed boxes of Figure 9).
+		steps = rotateToStart(steps, rep)
+		second := nextOccurrence(steps)
+		gamma1 := append([]CycleStep{}, steps[:second]...)
+		gamma2 := append([]CycleStep{}, steps[second:]...)
+		// γ₁'s junction joins steps[second-1] to steps[0]; γ₂'s joins
+		// the final step to steps[second]. Per the paper: if γ₁'s
+		// junction is not RW–RW, keep γ₁; otherwise γ₂'s junction
+		// cannot be RW–RW (the original had no adjacent pair), keep
+		// γ₂.
+		if !(gamma1[len(gamma1)-1].AntiDep && gamma1[0].AntiDep) {
+			steps = gamma1
+		} else {
+			steps = gamma2
+		}
+	}
+}
+
+// repeatedVertex returns the index of a step whose From vertex occurs
+// as From of another step, or -1 when the cycle is simple.
+func repeatedVertex(steps []CycleStep) int {
+	seen := make(map[int]int, len(steps))
+	for i, s := range steps {
+		if j, ok := seen[s.From]; ok {
+			return j
+		}
+		seen[s.From] = i
+	}
+	return -1
+}
+
+// rotateToStart rotates the cycle so that it begins at step i.
+func rotateToStart(steps []CycleStep, i int) []CycleStep {
+	out := make([]CycleStep, 0, len(steps))
+	out = append(out, steps[i:]...)
+	out = append(out, steps[:i]...)
+	return out
+}
+
+// nextOccurrence returns the index of the second step whose From
+// equals steps[0].From. The caller guarantees one exists.
+func nextOccurrence(steps []CycleStep) int {
+	for i := 1; i < len(steps); i++ {
+		if steps[i].From == steps[0].From {
+			return i
+		}
+	}
+	return len(steps)
+}

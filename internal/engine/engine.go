@@ -1,0 +1,460 @@
+// Package engine implements in-process transactional storage engines
+// for the three consistency models the paper analyses:
+//
+//   - SI: multi-version concurrency control with start-timestamp
+//     snapshots and first-committer-wins write-conflict detection —
+//     the idealised algorithm of §1 of the paper;
+//   - SER: strict two-phase locking over a single-version store
+//     (serializable);
+//   - PSI: one replica per session with local snapshots, global
+//     write-conflict detection and asynchronous causal propagation of
+//     commit logs (parallel snapshot isolation [31]).
+//
+// Every engine records the operations of committed transactions,
+// session by session, and produces a model.History that the certifier
+// in internal/check can judge against the dependency-graph
+// characterisations — closing the loop between the paper's operational
+// and declarative views of the models.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sian/internal/model"
+)
+
+// Kind selects the concurrency-control protocol of a DB.
+type Kind int
+
+// Engine kinds. SSI is serializable snapshot isolation (Cahill et
+// al.): the SI protocol with run-time dangerous-structure detection,
+// guaranteeing serializable histories.
+const (
+	KindInvalid Kind = iota
+	SI
+	SER
+	PSI
+	SSI
+)
+
+// String returns "SI", "SER", "PSI" or "SSI".
+func (k Kind) String() string {
+	switch k {
+	case SI:
+		return "SI"
+	case SER:
+		return "SER"
+	case PSI:
+		return "PSI"
+	case SSI:
+		return "SSI"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Sentinel errors.
+var (
+	// ErrConflict aborts a transaction that lost a write-conflict or
+	// lock-conflict race; Transact retries such transactions
+	// automatically (per §5 of the paper, aborted pieces are
+	// resubmitted until they commit).
+	ErrConflict = errors.New("engine: transaction aborted by conflict")
+	// ErrUninitialized is returned when reading an object that has
+	// never been written; call DB.Initialize first.
+	ErrUninitialized = errors.New("engine: object not initialised")
+	// ErrClosed is returned for operations on a closed DB.
+	ErrClosed = errors.New("engine: database closed")
+	// ErrTooManyRetries is returned by Transact when a transaction
+	// keeps conflicting beyond the retry limit.
+	ErrTooManyRetries = errors.New("engine: too many conflict retries")
+)
+
+// Config tunes a DB. The zero value is usable.
+type Config struct {
+	// MaxRetries bounds Transact's automatic conflict retries;
+	// defaults to 10000.
+	MaxRetries int
+	// ManualPropagation (PSI only) disables the background
+	// propagators; commits then become visible at other replicas only
+	// via DB.Propagate or DB.Flush. Used by tests and examples to
+	// stage anomalies deterministically.
+	ManualPropagation bool
+	// Sites (PSI only) fixes the number of replicas; by default each
+	// new session gets its own replica.
+	Sites int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10000
+	}
+	return c
+}
+
+// protocol is the engine-specific part of a DB.
+type protocol interface {
+	// begin starts a transaction for a session pinned to a site.
+	begin(site int) (txProtocol, error)
+	// ensureSite makes the site index valid (PSI allocates replicas
+	// lazily; others ignore it).
+	ensureSite(site int)
+	// close releases protocol resources (stops goroutines).
+	close() error
+}
+
+// txProtocol is a live transaction inside a protocol. Reads ignore the
+// transaction's own writes — read-your-writes buffering is handled by
+// Tx.
+type txProtocol interface {
+	read(x model.Obj) (model.Value, error)
+	// commit atomically applies the buffered writes; order lists the
+	// written objects deterministically.
+	commit(writes map[model.Obj]model.Value, order []model.Obj) error
+	abort()
+}
+
+// DB is a transactional database handle. Create with New, use Session
+// to obtain per-client sessions, and Close when done.
+type DB struct {
+	kind Kind
+	cfg  Config
+	impl protocol
+
+	mu       sync.Mutex
+	closed   bool
+	sessions []*Session
+	sites    int
+
+	commits   atomic.Int64
+	conflicts atomic.Int64
+}
+
+// Stats reports cumulative commit and conflict-abort counts.
+type Stats struct {
+	Commits   int64
+	Conflicts int64
+}
+
+// Stats returns a snapshot of the database's counters.
+func (db *DB) Stats() Stats {
+	return Stats{Commits: db.commits.Load(), Conflicts: db.conflicts.Load()}
+}
+
+// New creates a database of the given kind.
+func New(kind Kind, cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+	db := &DB{kind: kind, cfg: cfg}
+	switch kind {
+	case SI:
+		db.impl = newSIProtocol()
+	case SER:
+		db.impl = newSERProtocol()
+	case PSI:
+		db.impl = newPSIProtocol(cfg)
+	case SSI:
+		db.impl = newSSIProtocol()
+	default:
+		return nil, fmt.Errorf("engine: unknown kind %v", kind)
+	}
+	return db, nil
+}
+
+// Kind returns the engine's protocol kind.
+func (db *DB) Kind() Kind { return db.kind }
+
+// Initialize commits a single initialising transaction writing the
+// given values, recorded in its own session named
+// model.InitTransactionID. Call it once, before starting sessions.
+func (db *DB) Initialize(vals map[model.Obj]model.Value) error {
+	s := db.Session(model.InitTransactionID)
+	err := s.Transact(func(tx *Tx) error {
+		objs := make([]model.Obj, 0, len(vals))
+		for x := range vals {
+			objs = append(objs, x)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		for _, x := range objs {
+			if err := tx.Write(x, vals[x]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Make the initial values visible at every replica before the
+	// workload starts (no-op for single-site engines).
+	db.Flush()
+	return nil
+}
+
+// Session opens a new client session. Sessions are safe to use from
+// one goroutine each; distinct sessions may run concurrently.
+func (db *DB) Session(id string) *Session {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	site := db.sites
+	if db.cfg.Sites > 0 {
+		site = db.sites % db.cfg.Sites
+	}
+	db.sites++
+	db.impl.ensureSite(site)
+	s := &Session{db: db, id: id, site: site}
+	db.sessions = append(db.sessions, s)
+	return s
+}
+
+// History snapshots the committed transactions of every session, in
+// session-creation order. Call it after the workload has quiesced; it
+// is safe at any time but reflects only commits that completed before
+// the call.
+func (db *DB) History() *model.History {
+	db.mu.Lock()
+	sessions := make([]*Session, len(db.sessions))
+	copy(sessions, db.sessions)
+	db.mu.Unlock()
+	specs := make([]model.Session, 0, len(sessions))
+	for _, s := range sessions {
+		txs := s.committed()
+		if len(txs) == 0 {
+			continue
+		}
+		specs = append(specs, model.Session{ID: s.id, Transactions: txs})
+	}
+	return model.NewHistory(specs...)
+}
+
+// Close shuts the database down, stopping any background propagation.
+// Further transactions fail with ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	return db.impl.close()
+}
+
+func (db *DB) isClosed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.closed
+}
+
+// Compact garbage-collects storage versions that no live transaction
+// can read — versions older than the oldest active snapshot (per
+// replica, for PSI). It returns the number of versions discarded; the
+// single-version SER engine has nothing to compact and returns 0.
+// Safe to call concurrently with running transactions.
+func (db *DB) Compact() int {
+	switch p := db.impl.(type) {
+	case *siProtocol:
+		return p.gc()
+	case *psiProtocol:
+		return p.gc()
+	default:
+		return 0
+	}
+}
+
+// Session is a client session: an ordered sequence of transactions
+// (§2). Use Transact to run each transaction.
+type Session struct {
+	db   *DB
+	id   string
+	site int
+
+	mu  sync.Mutex
+	txs []model.Transaction
+	seq int
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Site returns the replica index the session is pinned to (meaningful
+// for PSI).
+func (s *Session) Site() int { return s.site }
+
+func (s *Session) committed() []model.Transaction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.Transaction, len(s.txs))
+	copy(out, s.txs)
+	return out
+}
+
+// Transact runs fn inside a transaction. Conflicts abort and retry the
+// whole transaction automatically (up to Config.MaxRetries); any other
+// error from fn aborts without retry and is returned. On success the
+// transaction's operations are recorded into the session's history.
+func (s *Session) Transact(fn func(tx *Tx) error) error {
+	return s.TransactNamed("", fn)
+}
+
+// TransactNamed is Transact with a diagnostic transaction label.
+func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		if s.db.isClosed() {
+			return ErrClosed
+		}
+		if attempt > s.db.cfg.MaxRetries {
+			return fmt.Errorf("%w (transaction %q, %d attempts)", ErrTooManyRetries, name, attempt)
+		}
+		if attempt > 0 {
+			// Yield between conflict retries so competing sessions and
+			// the PSI propagator make progress instead of livelocking.
+			runtime.Gosched()
+		}
+		inner, err := s.db.impl.begin(s.site)
+		if err != nil {
+			return err
+		}
+		tx := &Tx{inner: inner, writes: make(map[model.Obj]model.Value)}
+		err = fn(tx)
+		if err != nil {
+			inner.abort()
+			if errors.Is(err, ErrConflict) {
+				s.db.conflicts.Add(1)
+				continue // fn surfaced a conflict from a read; retry
+			}
+			return err
+		}
+		if err := inner.commit(tx.writes, tx.writeOrder); err != nil {
+			if errors.Is(err, ErrConflict) {
+				s.db.conflicts.Add(1)
+				continue
+			}
+			return err
+		}
+		s.db.commits.Add(1)
+		s.record(name, tx.ops)
+		return nil
+	}
+}
+
+func (s *Session) record(name string, ops []model.Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	var id string
+	switch {
+	case s.id == model.InitTransactionID && s.seq == 1 && name == "":
+		// The canonical initialisation transaction keeps its bare name
+		// so that certifiers and tools recognise it (PinInit).
+		id = model.InitTransactionID
+	case name != "":
+		id = fmt.Sprintf("%s/%s", s.id, name)
+	default:
+		id = fmt.Sprintf("%s/%d", s.id, s.seq)
+	}
+	s.txs = append(s.txs, model.NewTransaction(id, ops...))
+}
+
+// Begin starts a manually controlled transaction on the session. Use
+// it when a test or example must stage a specific interleaving (e.g.
+// two overlapping snapshots for a write skew); prefer Transact for
+// normal workloads, which also handles retry. The caller must finish
+// the transaction with exactly one of Commit or Abort.
+func (s *Session) Begin(name string) (*ManualTx, error) {
+	if s.db.isClosed() {
+		return nil, ErrClosed
+	}
+	inner, err := s.db.impl.begin(s.site)
+	if err != nil {
+		return nil, err
+	}
+	return &ManualTx{
+		s:    s,
+		name: name,
+		tx:   &Tx{inner: inner, writes: make(map[model.Obj]model.Value)},
+	}, nil
+}
+
+// ManualTx is an explicitly controlled transaction created by
+// Session.Begin.
+type ManualTx struct {
+	s    *Session
+	name string
+	tx   *Tx
+	done bool
+}
+
+// Read reads x at the transaction's snapshot.
+func (m *ManualTx) Read(x model.Obj) (model.Value, error) { return m.tx.Read(x) }
+
+// Write buffers a write.
+func (m *ManualTx) Write(x model.Obj, v model.Value) error { return m.tx.Write(x, v) }
+
+// Commit attempts to commit. A commit that loses a conflict race
+// returns ErrConflict (wrapped); unlike Transact, ManualTx does not
+// retry. The transaction is finished either way.
+func (m *ManualTx) Commit() error {
+	if m.done {
+		return fmt.Errorf("engine: transaction %q already finished", m.name)
+	}
+	m.done = true
+	if err := m.tx.inner.commit(m.tx.writes, m.tx.writeOrder); err != nil {
+		if errors.Is(err, ErrConflict) {
+			m.s.db.conflicts.Add(1)
+		}
+		return err
+	}
+	m.s.db.commits.Add(1)
+	m.s.record(m.name, m.tx.ops)
+	return nil
+}
+
+// Abort abandons the transaction. Safe to call at most once, and only
+// if Commit was not called.
+func (m *ManualTx) Abort() {
+	if m.done {
+		return
+	}
+	m.done = true
+	m.tx.inner.abort()
+}
+
+// Tx is a live transaction handle passed to Transact callbacks. It
+// buffers writes (read-your-writes) and records the operation log that
+// becomes the transaction's history entry.
+type Tx struct {
+	inner      txProtocol
+	ops        []model.Op
+	writes     map[model.Obj]model.Value
+	writeOrder []model.Obj
+}
+
+// Read returns the value of x as of the transaction's snapshot (or its
+// own buffered write).
+func (t *Tx) Read(x model.Obj) (model.Value, error) {
+	if v, ok := t.writes[x]; ok {
+		t.ops = append(t.ops, model.Read(x, v))
+		return v, nil
+	}
+	v, err := t.inner.read(x)
+	if err != nil {
+		return 0, err
+	}
+	t.ops = append(t.ops, model.Read(x, v))
+	return v, nil
+}
+
+// Write buffers a write of v to x.
+func (t *Tx) Write(x model.Obj, v model.Value) error {
+	if _, seen := t.writes[x]; !seen {
+		t.writeOrder = append(t.writeOrder, x)
+	}
+	t.writes[x] = v
+	t.ops = append(t.ops, model.Write(x, v))
+	return nil
+}

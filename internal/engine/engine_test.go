@@ -1,0 +1,634 @@
+package engine_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sian/internal/check"
+	"sian/internal/depgraph"
+	. "sian/internal/engine"
+	"sian/internal/model"
+)
+
+func newDB(t *testing.T, kind Kind, cfg Config) *DB {
+	t.Helper()
+	db, err := New(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return db
+}
+
+// certifyHistory checks the recorded history against a model using the
+// engine's own init transaction.
+func certifyHistory(t *testing.T, db *DB, m depgraph.Model) bool {
+	t.Helper()
+	db.Flush()
+	h := db.History()
+	res, err := check.Certify(h, m, check.Options{AddInit: false, PinInit: true, Budget: 5_000_000})
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	return res.Member
+}
+
+func TestKindString(t *testing.T) {
+	t.Parallel()
+	if SI.String() != "SI" || SER.String() != "SER" || PSI.String() != "PSI" {
+		t.Error("Kind strings broken")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+	if _, err := New(Kind(9), Config{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{SI, SER, PSI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			db := newDB(t, kind, Config{})
+			if err := db.Initialize(map[model.Obj]model.Value{"x": 1, "y": 2}); err != nil {
+				t.Fatal(err)
+			}
+			s := db.Session("s1")
+			var got model.Value
+			err := s.Transact(func(tx *Tx) error {
+				v, err := tx.Read("x")
+				if err != nil {
+					return err
+				}
+				got = v
+				return tx.Write("y", v+10)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 1 {
+				t.Errorf("read x = %d, want 1", got)
+			}
+			// Same session must see its own commit (strong session).
+			err = s.Transact(func(tx *Tx) error {
+				v, err := tx.Read("y")
+				if err != nil {
+					return err
+				}
+				if v != 11 {
+					t.Errorf("read y = %d, want 11", v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{SI, SER, PSI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			db := newDB(t, kind, Config{})
+			if err := db.Initialize(map[model.Obj]model.Value{"x": 1}); err != nil {
+				t.Fatal(err)
+			}
+			s := db.Session("s")
+			err := s.Transact(func(tx *Tx) error {
+				if err := tx.Write("x", 42); err != nil {
+					return err
+				}
+				v, err := tx.Read("x")
+				if err != nil {
+					return err
+				}
+				if v != 42 {
+					t.Errorf("read own write = %d", v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUninitializedRead(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{SI, SER, PSI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			db := newDB(t, kind, Config{})
+			s := db.Session("s")
+			err := s.Transact(func(tx *Tx) error {
+				_, err := tx.Read("ghost")
+				return err
+			})
+			if !errors.Is(err, ErrUninitialized) {
+				t.Errorf("err = %v, want ErrUninitialized", err)
+			}
+		})
+	}
+}
+
+func TestClosedDB(t *testing.T) {
+	t.Parallel()
+	db, err := New(SI, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("s")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+	if err := s.Transact(func(*Tx) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Transact after Close: %v", err)
+	}
+	if _, err := s.Begin("t"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Begin after Close: %v", err)
+	}
+}
+
+func TestClientErrorAborts(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("s")
+	boom := errors.New("boom")
+	err := s.Transact(func(tx *Tx) error {
+		if err := tx.Write("x", 99); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The aborted write must not be visible.
+	err = s.Transact(func(tx *Tx) error {
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			t.Errorf("aborted write leaked: x = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aborted transaction must not be recorded.
+	h := db.History()
+	for _, tr := range h.Transactions() {
+		if w, ok := tr.FinalWrite("x"); ok && w == 99 {
+			t.Error("aborted transaction recorded in history")
+		}
+	}
+}
+
+// TestSIFirstCommitterWins stages two overlapping transactions writing
+// the same object; exactly one commit must succeed.
+func TestSIFirstCommitterWins(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := db.Session("a"), db.Session("b")
+	t1, err := s1.Begin("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s2.Begin("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first committer aborted: %v", err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer err = %v, want ErrConflict", err)
+	}
+	stats := db.Stats()
+	if stats.Conflicts < 1 {
+		t.Error("conflict not counted")
+	}
+}
+
+// TestSIWriteSkewStaged reproduces Figure 2(d) operationally: two
+// overlapping SI transactions read both accounts and withdraw from
+// different ones; both commit, and the recorded history is SI but not
+// SER.
+func TestSIWriteSkewStaged(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"a1": 60, "a2": 60}); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := db.Session("s1"), db.Session("s2")
+	t1, err := s1.Begin("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s2.Begin("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*ManualTx{t1, t2} {
+		for _, obj := range []model.Obj{"a1", "a2"} {
+			if v, err := m.Read(obj); err != nil || v != 60 {
+				t.Fatalf("read %s = (%d, %v)", obj, v, err)
+			}
+		}
+	}
+	if err := t1.Write("a1", -40); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("a2", -40); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit (disjoint writes must not conflict): %v", err)
+	}
+	if !certifyHistory(t, db, depgraph.SI) {
+		t.Error("staged write-skew history not certified SI")
+	}
+	db.Flush()
+	res, err := check.Certify(db.History(), depgraph.SER, check.Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Member {
+		t.Error("write-skew history certified SER; engine leaked serializability")
+	}
+}
+
+// TestSERPreventsWriteSkew stages the same interleaving on the SER
+// engine: the second transaction must fail (read locks conflict).
+func TestSERPreventsWriteSkew(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SER, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"a1": 60, "a2": 60}); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := db.Session("s1"), db.Session("s2")
+	t1, err := s1.Begin("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s2.Begin("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBoth := func(m *ManualTx) error {
+		if _, err := m.Read("a1"); err != nil {
+			return err
+		}
+		_, err := m.Read("a2")
+		return err
+	}
+	if err := readBoth(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := readBoth(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write("a1", -40); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("a2", -40); err != nil {
+		t.Fatal(err)
+	}
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	if err1 == nil && err2 == nil {
+		t.Fatal("both write-skew transactions committed under SER")
+	}
+}
+
+// TestManualTxLifecycle covers double-commit and abort.
+func TestManualTxLifecycle(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("s")
+	m, err := s.Begin("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+	m.Abort() // after commit: must be a no-op
+	m2, err := s.Begin("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Write("x", 7); err != nil {
+		t.Fatal(err)
+	}
+	m2.Abort()
+	m2.Abort() // double abort is a no-op
+	err = s.Transact(func(tx *Tx) error {
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		if v != 5 {
+			t.Errorf("x = %d, want 5", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSessionsCertified runs concurrent conflicting sessions
+// on each engine and certifies the recorded history against the
+// engine's model.
+func TestConcurrentSessionsCertified(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{SI, SER, PSI} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			db := newDB(t, kind, Config{})
+			if err := db.Initialize(map[model.Obj]model.Value{"k0": 0, "k1": 0}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			var next int64 = 100
+			var mu sync.Mutex
+			unique := func() model.Value {
+				mu.Lock()
+				defer mu.Unlock()
+				next++
+				return model.Value(next)
+			}
+			errs := make([]error, 3)
+			for i := 0; i < 3; i++ {
+				sess := db.Session(string(rune('a' + i)))
+				wg.Add(1)
+				go func(idx int) {
+					defer wg.Done()
+					for n := 0; n < 5; n++ {
+						err := sess.Transact(func(tx *Tx) error {
+							obj := model.Obj("k0")
+							if (idx+n)%2 == 0 {
+								obj = "k1"
+							}
+							if _, err := tx.Read(obj); err != nil {
+								return err
+							}
+							return tx.Write(obj, unique())
+						})
+						if err != nil {
+							errs[idx] = err
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			var m depgraph.Model
+			switch kind {
+			case SI:
+				m = depgraph.SI
+			case SER:
+				m = depgraph.SER
+			case PSI:
+				m = depgraph.PSI
+			}
+			if !certifyHistory(t, db, m) {
+				t.Errorf("history not certified %v", m)
+			}
+		})
+	}
+}
+
+// TestPSINeverLosesUpdates: concurrent read-modify-write increments on
+// one counter must conflict, never silently lose updates (NOCONFLICT).
+func TestPSINeverLosesUpdates(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, PSI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"ctr": 0}); err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 4
+	const perSession = 10
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		sess := db.Session(string(rune('a' + i)))
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for n := 0; n < perSession; n++ {
+				err := sess.Transact(func(tx *Tx) error {
+					v, err := tx.Read("ctr")
+					if err != nil {
+						return err
+					}
+					return tx.Write("ctr", v+1)
+				})
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Flush()
+	s := db.Session("audit")
+	err := s.Transact(func(tx *Tx) error {
+		v, err := tx.Read("ctr")
+		if err != nil {
+			return err
+		}
+		if v != sessions*perSession {
+			t.Errorf("ctr = %d, want %d (lost update under PSI)", v, sessions*perSession)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("s")
+	for i := 0; i < 3; i++ {
+		if err := s.Transact(func(tx *Tx) error { return tx.Write("x", model.Value(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Commits != 4 { // init + 3
+		t.Errorf("Commits = %d, want 4", st.Commits)
+	}
+}
+
+func TestHistoryShape(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("client")
+	if err := s.TransactNamed("first", func(tx *Tx) error { return tx.Write("x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	h := db.History()
+	if h.NumSessions() != 2 {
+		t.Fatalf("sessions = %d", h.NumSessions())
+	}
+	if h.Transaction(0).ID != model.InitTransactionID {
+		t.Errorf("first transaction = %q, want init", h.Transaction(0).ID)
+	}
+	if h.Transaction(1).ID != "client/first" {
+		t.Errorf("named transaction id = %q", h.Transaction(1).ID)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("history invalid: %v", err)
+	}
+	if err := h.CheckInt(); err != nil {
+		t.Errorf("history INT: %v", err)
+	}
+}
+
+// TestPSISharedSites pins several sessions to a bounded replica pool
+// (Config.Sites) and checks the recorded history still certifies PSI.
+func TestPSISharedSites(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, PSI, Config{Sites: 2})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0, "y": 0}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	next := model.Value(100)
+	unique := func() model.Value {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		return next
+	}
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		sess := db.Session(string(rune('a' + i)))
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for n := 0; n < 5; n++ {
+				obj := model.Obj("x")
+				if (idx+n)%2 == 0 {
+					obj = "y"
+				}
+				err := sess.Transact(func(tx *Tx) error {
+					if _, err := tx.Read(obj); err != nil {
+						return err
+					}
+					return tx.Write(obj, unique())
+				})
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !certifyHistory(t, db, depgraph.PSI) {
+		t.Error("shared-site PSI history not certified")
+	}
+}
+
+// TestTooManyRetries exercises the retry-exhaustion path: a SER
+// transaction whose write set stays read-locked by an open manual
+// transaction conflicts on every attempt and must eventually give up.
+func TestTooManyRetries(t *testing.T) {
+	t.Parallel()
+	db := newDB(t, SER, Config{MaxRetries: 3})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	holder, err := db.Session("holder").Begin("hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := holder.Read("x"); err != nil {
+		t.Fatal(err)
+	}
+	writer := db.Session("writer")
+	err = writer.Transact(func(tx *Tx) error { return tx.Write("x", 1) })
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	// Releasing the lock unblocks the writer.
+	holder.Abort()
+	if err := writer.Transact(func(tx *Tx) error { return tx.Write("x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Conflicts < 3 {
+		t.Errorf("conflicts = %d, want ≥ 3", db.Stats().Conflicts)
+	}
+}

@@ -1,0 +1,423 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sian/internal/kvstore"
+	"sian/internal/model"
+)
+
+// psiProtocol implements parallel snapshot isolation in the style of
+// Walter [31]: every session is pinned to a replica (site); a
+// transaction reads a causally-consistent snapshot of its replica,
+// commits at its origin after a global write-conflict check (ensuring
+// NOCONFLICT: a writer must have observed the previous write to every
+// object it writes), and its effects propagate to other replicas
+// asynchronously in causal order. Two transactions committed at
+// different sites without mutual visibility may be observed in
+// different orders by different sites — the long-fork anomaly of
+// Figure 2(c), allowed by PSI and forbidden by SI.
+type psiProtocol struct {
+	cfg Config
+
+	mu sync.Mutex
+	// logs[o] is the suffix of origin o's commit log that some replica
+	// has not yet applied; bases[o] is the absolute sequence number of
+	// its first entry. Fully-applied prefixes are truncated
+	// periodically so long runs do not accumulate the whole history.
+	logs  [][]psiCommit
+	bases []int
+	// sincetruncate counts commits since the last log truncation.
+	sincetruncate int
+	// gv[x] counts globally committed writes to x; version Meta fields
+	// hold the stamp current when the version was installed.
+	gv       map[model.Obj]uint64
+	replicas []*replica
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// psiCommit is one committed transaction in an origin log.
+type psiCommit struct {
+	origin int
+	seq    int   // 1-based position within the origin's log
+	dep    []int // causal dependency: required applied count per origin
+	order  []model.Obj
+	writes map[model.Obj]model.Value
+	stamps map[model.Obj]uint64 // gv stamp assigned to each write
+}
+
+// replica is one site's local multi-version state.
+type replica struct {
+	mu       sync.Mutex
+	store    *kvstore.Store
+	applied  []int // per-origin applied log prefix lengths
+	applySeq uint64
+	// active counts live local transactions per snapshot sequence,
+	// for garbage collection.
+	active map[uint64]int
+}
+
+// releaseLocked drops a snapshot registration. Callers hold r.mu.
+func (r *replica) releaseLocked(snap uint64) {
+	if n := r.active[snap]; n > 1 {
+		r.active[snap] = n - 1
+	} else {
+		delete(r.active, snap)
+	}
+}
+
+// gc truncates this replica's version chains below its oldest live
+// snapshot and returns the number of versions discarded.
+func (r *replica) gc() int {
+	r.mu.Lock()
+	watermark := r.applySeq
+	for snap := range r.active {
+		if snap < watermark {
+			watermark = snap
+		}
+	}
+	r.mu.Unlock()
+	return r.store.GC(watermark)
+}
+
+func newPSIProtocol(cfg Config) *psiProtocol {
+	p := &psiProtocol{
+		cfg:  cfg,
+		gv:   make(map[model.Obj]uint64),
+		stop: make(chan struct{}),
+	}
+	if !cfg.ManualPropagation {
+		p.wg.Add(1)
+		go p.propagateLoop()
+	}
+	return p
+}
+
+func (p *psiProtocol) ensureSite(site int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.replicas) <= site {
+		fresh := &replica{store: kvstore.New(), active: make(map[uint64]int)}
+		p.replicas = append(p.replicas, fresh)
+		p.logs = append(p.logs, nil)
+		p.bases = append(p.bases, 0)
+		// Grow every replica's applied vector to the new origin count.
+		for _, r := range p.replicas {
+			r.mu.Lock()
+			for len(r.applied) < len(p.replicas) {
+				r.applied = append(r.applied, 0)
+			}
+			r.mu.Unlock()
+		}
+		// Bootstrap the new replica by state transfer from an existing
+		// one (any donor works: log truncation only drops entries that
+		// every replica, donor included, has applied), then catch up
+		// from the retained logs. In manual-propagation mode only the
+		// state transfer happens; the logs stay un-applied until the
+		// client propagates explicitly.
+		if len(p.replicas) > 1 {
+			donor := p.replicas[0]
+			donor.mu.Lock()
+			fresh.mu.Lock()
+			fresh.store = donor.store.Clone()
+			fresh.applySeq = donor.applySeq
+			copy(fresh.applied, donor.applied)
+			fresh.mu.Unlock()
+			donor.mu.Unlock()
+		}
+		if !p.cfg.ManualPropagation {
+			for fresh.applyReady(p.logs, p.bases) {
+			}
+		}
+	}
+}
+
+func (p *psiProtocol) close() error {
+	close(p.stop)
+	p.wg.Wait()
+	return nil
+}
+
+// propagateLoop drives background propagation until close.
+func (p *psiProtocol) propagateLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.propagateOnce()
+		}
+	}
+}
+
+// propagateOnce applies, at every replica, every origin-log entry
+// whose causal dependencies are satisfied. Returns whether any entry
+// was applied.
+func (p *psiProtocol) propagateOnce() bool {
+	p.mu.Lock()
+	logs := make([][]psiCommit, len(p.logs))
+	copy(logs, p.logs)
+	bases := make([]int, len(p.bases))
+	copy(bases, p.bases)
+	replicas := make([]*replica, len(p.replicas))
+	copy(replicas, p.replicas)
+	p.mu.Unlock()
+
+	progress := false
+	for _, r := range replicas {
+		for {
+			if !r.applyReady(logs, bases) {
+				break
+			}
+			progress = true
+		}
+	}
+	return progress
+}
+
+// truncateLocked drops log prefixes every replica has applied. Callers
+// hold p.mu.
+func (p *psiProtocol) truncateLocked() {
+	for o := range p.logs {
+		min := -1
+		for _, r := range p.replicas {
+			r.mu.Lock()
+			a := 0
+			if o < len(r.applied) {
+				a = r.applied[o]
+			}
+			r.mu.Unlock()
+			if min < 0 || a < min {
+				min = a
+			}
+		}
+		drop := min - p.bases[o]
+		if drop <= 0 {
+			continue
+		}
+		kept := make([]psiCommit, len(p.logs[o])-drop)
+		copy(kept, p.logs[o][drop:])
+		p.logs[o] = kept
+		p.bases[o] = min
+	}
+}
+
+// applyReady applies one causally-ready log entry at the replica, if
+// any. bases[o] is the absolute sequence of logs[o][0].
+func (r *replica) applyReady(logs [][]psiCommit, bases []int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for o := range logs {
+		if o >= len(r.applied) {
+			continue
+		}
+		idx := r.applied[o] - bases[o]
+		if idx < 0 || idx >= len(logs[o]) {
+			continue
+		}
+		c := logs[o][idx]
+		if !r.depSatisfiedLocked(c.dep) {
+			continue
+		}
+		r.applyLocked(c)
+		return true
+	}
+	return false
+}
+
+// depSatisfiedLocked reports whether every causal dependency of the
+// commit has been applied here. Callers hold r.mu.
+func (r *replica) depSatisfiedLocked(dep []int) bool {
+	for o, need := range dep {
+		if o >= len(r.applied) {
+			if need > 0 {
+				return false
+			}
+			continue
+		}
+		if r.applied[o] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLocked installs the commit's writes into the replica's version
+// chains. Callers hold r.mu and guarantee the commit is the next entry
+// of its origin with satisfied dependencies.
+func (r *replica) applyLocked(c psiCommit) {
+	r.applySeq++
+	for _, x := range c.order {
+		// Install can only fail on non-monotonic timestamps, which the
+		// per-replica applySeq precludes.
+		if err := r.store.Install(x, kvstore.Version{
+			Val:  c.writes[x],
+			TS:   r.applySeq,
+			Meta: c.stamps[x],
+		}); err != nil {
+			panic(fmt.Sprintf("engine: psi replica install: %v", err))
+		}
+	}
+	for len(r.applied) <= c.origin {
+		r.applied = append(r.applied, 0)
+	}
+	r.applied[c.origin] = c.seq
+}
+
+// Flush propagates until every replica has applied every log entry.
+// Meaningful in both manual and automatic modes.
+func (p *psiProtocol) Flush() {
+	for p.propagateOnce() {
+	}
+}
+
+// gc compacts every replica's version chains and returns the total
+// number of versions discarded.
+func (p *psiProtocol) gc() int {
+	p.mu.Lock()
+	replicas := make([]*replica, len(p.replicas))
+	copy(replicas, p.replicas)
+	p.mu.Unlock()
+	total := 0
+	for _, r := range replicas {
+		total += r.gc()
+	}
+	return total
+}
+
+func (p *psiProtocol) begin(site int) (txProtocol, error) {
+	p.mu.Lock()
+	if site >= len(p.replicas) {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("engine: psi: unknown site %d", site)
+	}
+	r := p.replicas[site]
+	var logs [][]psiCommit
+	var bases []int
+	if !p.cfg.ManualPropagation {
+		logs = make([][]psiCommit, len(p.logs))
+		copy(logs, p.logs)
+		bases = make([]int, len(p.bases))
+		copy(bases, p.bases)
+	}
+	p.mu.Unlock()
+	if logs != nil {
+		// Refresh the local replica with everything causally ready
+		// before snapshotting, so conflict-aborted transactions make
+		// progress on retry instead of spinning on a stale snapshot.
+		for r.applyReady(logs, bases) {
+		}
+	}
+	r.mu.Lock()
+	snap := r.applySeq
+	r.active[snap]++
+	r.mu.Unlock()
+	return &psiTx{p: p, r: r, site: site, snap: snap}, nil
+}
+
+type psiTx struct {
+	p    *psiProtocol
+	r    *replica
+	site int
+	snap uint64
+	done bool
+}
+
+// finish releases the snapshot registration exactly once.
+func (t *psiTx) finish() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.r.mu.Lock()
+	t.r.releaseLocked(t.snap)
+	t.r.mu.Unlock()
+}
+
+func (t *psiTx) read(x model.Obj) (model.Value, error) {
+	v, ok := t.r.store.ReadAt(x, t.snap)
+	if !ok {
+		return 0, ErrUninitialized
+	}
+	return v.Val, nil
+}
+
+func (t *psiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
+	defer t.finish()
+	if len(writes) == 0 {
+		return nil
+	}
+	p := t.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Write-conflict check: for every written object, the snapshot
+	// must contain the globally latest committed write (stamp match);
+	// otherwise some concurrent writer was not visible to us and
+	// NOCONFLICT would be violated.
+	for _, x := range order {
+		var seen uint64
+		if v, ok := t.r.store.ReadAt(x, t.snap); ok {
+			seen = v.Meta
+		}
+		if p.gv[x] != seen {
+			return ErrConflict
+		}
+	}
+	c := psiCommit{
+		origin: t.site,
+		order:  append([]model.Obj(nil), order...),
+		writes: make(map[model.Obj]model.Value, len(writes)),
+		stamps: make(map[model.Obj]uint64, len(writes)),
+	}
+	for _, x := range order {
+		p.gv[x]++
+		c.writes[x] = writes[x]
+		c.stamps[x] = p.gv[x]
+	}
+	// Causal dependency: everything applied at the origin when the
+	// commit happens.
+	t.r.mu.Lock()
+	c.dep = append([]int(nil), t.r.applied...)
+	c.seq = p.bases[t.site] + len(p.logs[t.site]) + 1
+	p.logs[t.site] = append(p.logs[t.site], c)
+	// Apply at the origin immediately (a site always sees its own
+	// commits — this also yields the SESSION guarantee, since sessions
+	// are pinned to sites).
+	t.r.applyLocked(c)
+	t.r.mu.Unlock()
+	p.sincetruncate++
+	if p.sincetruncate >= 256 {
+		p.sincetruncate = 0
+		p.truncateLocked()
+	}
+	return nil
+}
+
+func (t *psiTx) abort() { t.finish() }
+
+// Flush exposes PSI log propagation on the DB: it blocks until every
+// replica has applied every committed transaction. For non-PSI engines
+// it is a no-op.
+func (db *DB) Flush() {
+	if p, ok := db.impl.(*psiProtocol); ok {
+		p.Flush()
+	}
+}
+
+// PropagateOnce applies at most one round of causally-ready log
+// entries at every replica; useful with Config.ManualPropagation to
+// stage anomalies step by step. It reports whether anything was
+// applied. For non-PSI engines it returns false.
+func (db *DB) PropagateOnce() bool {
+	if p, ok := db.impl.(*psiProtocol); ok {
+		return p.propagateOnce()
+	}
+	return false
+}

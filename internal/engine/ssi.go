@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"sync"
+
+	"sian/internal/kvstore"
+	"sian/internal/model"
+)
+
+// ssiProtocol implements Serializable Snapshot Isolation (Cahill,
+// Röhm, Fekete, SIGMOD 2008): the SI protocol augmented with run-time
+// detection of the dangerous structure of Fekete et al. — two
+// consecutive anti-dependency edges T1 —rw→ T2 —rw→ T3 between
+// concurrent transactions. This is precisely the structure the paper's
+// Theorem 19 shows to be the signature of SI executions that are not
+// serializable; SSI is thus the run-time counterpart of the §6.1
+// static robustness analysis, and every history this engine records
+// certifies serializable.
+//
+// Detection uses the classical conservative marking: each transaction
+// carries an inConflict flag (some concurrent transaction has an
+// anti-dependency INTO it) and an outConflict flag (it has an
+// anti-dependency OUT to a concurrent transaction). A transaction that
+// would commit with both flags — a potential pivot — aborts, and a
+// marking that would turn an already-committed transaction into a
+// pivot aborts the marker instead. False positives are possible;
+// serializability violations are not.
+type ssiProtocol struct {
+	store *kvstore.Store
+
+	mu       sync.Mutex
+	commitTS uint64
+	// byCommit maps a version-creating commit timestamp to its
+	// transaction record, for read-time anti-dependency marking.
+	byCommit map[uint64]*ssiTxRecord
+	// sireads maps each object to the transactions that read it; the
+	// records persist after commit so that later writers can discover
+	// anti-dependencies from committed readers.
+	sireads map[model.Obj][]*ssiTxRecord
+	// active counts live transactions per snapshot, for pruning:
+	// a finished record becomes irrelevant once no transaction with an
+	// old enough snapshot can still be concurrent with it.
+	active map[uint64]int
+	// sinceprune counts commits since the last record pruning.
+	sinceprune int
+}
+
+// minActiveSnapLocked returns the oldest snapshot of any live
+// transaction (or the current commit counter when idle). Callers hold
+// the mutex.
+func (p *ssiProtocol) minActiveSnapLocked() uint64 {
+	min := p.commitTS
+	for snap := range p.active {
+		if snap < min {
+			min = snap
+		}
+	}
+	return min
+}
+
+// pruneLocked discards finished transaction records that can no longer
+// be concurrent with any live or future transaction: committed writers
+// with commitTS ≤ minSnap, committed read-only records with
+// endTS < minSnap, and aborted records. Without pruning the SIREAD
+// tables grow with the total transaction count and every commit scan
+// becomes linear in history size. Callers hold the mutex.
+func (p *ssiProtocol) pruneLocked() {
+	minSnap := p.minActiveSnapLocked()
+	dead := func(r *ssiTxRecord) bool {
+		if !r.ended {
+			return false
+		}
+		if r.aborted {
+			return true
+		}
+		if r.commitTS > 0 {
+			return r.commitTS <= minSnap
+		}
+		return r.endTS < minSnap
+	}
+	for x, readers := range p.sireads {
+		kept := readers[:0]
+		for _, r := range readers {
+			if !dead(r) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			delete(p.sireads, x)
+		} else {
+			p.sireads[x] = kept
+		}
+	}
+	// Read-time marking only consults commits newer than some live
+	// snapshot, so records at or below the minimum are unreachable.
+	for ts, r := range p.byCommit {
+		if ts <= minSnap && r.ended {
+			delete(p.byCommit, ts)
+		}
+	}
+}
+
+// ssiTxRecord carries the conflict flags of a (possibly committed)
+// transaction. All fields are guarded by the protocol mutex.
+type ssiTxRecord struct {
+	snap     uint64
+	commitTS uint64 // 0 while active or read-only
+	// endTS is the commit counter when the transaction finished; 0
+	// while active. Needed so that committed *read-only* transactions
+	// remain visible as concurrent readers — dropping them is exactly
+	// what admits the read-only anomaly of Fekete, O'Neil & O'Neil.
+	endTS   uint64
+	ended   bool
+	aborted bool
+	in, out bool
+}
+
+func newSSIProtocol() *ssiProtocol {
+	return &ssiProtocol{
+		store:    kvstore.New(),
+		byCommit: make(map[uint64]*ssiTxRecord),
+		sireads:  make(map[model.Obj][]*ssiTxRecord),
+		active:   make(map[uint64]int),
+	}
+}
+
+func (p *ssiProtocol) ensureSite(int) {}
+
+func (p *ssiProtocol) close() error { return nil }
+
+func (p *ssiProtocol) begin(int) (txProtocol, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.active[p.commitTS]++
+	return &ssiTx{p: p, rec: &ssiTxRecord{snap: p.commitTS}}, nil
+}
+
+// releaseLocked drops the active-snapshot registration of a finishing
+// transaction. Callers hold the mutex and call it at most once per
+// transaction.
+func (p *ssiProtocol) releaseLocked(snap uint64) {
+	if n := p.active[snap]; n > 1 {
+		p.active[snap] = n - 1
+	} else {
+		delete(p.active, snap)
+	}
+}
+
+type ssiTx struct {
+	p   *ssiProtocol
+	rec *ssiTxRecord
+}
+
+// read returns the snapshot version of x, records the SIREAD, and
+// marks the anti-dependencies from this transaction to every
+// concurrent writer that has committed a newer version of x.
+func (t *ssiTx) read(x model.Obj) (model.Value, error) {
+	p := t.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.store.ReadAt(x, t.rec.snap)
+	if !ok {
+		return 0, ErrUninitialized
+	}
+	// Record the SIREAD once.
+	already := false
+	for _, r := range p.sireads[x] {
+		if r == t.rec {
+			already = true
+			break
+		}
+	}
+	if !already {
+		p.sireads[x] = append(p.sireads[x], t.rec)
+	}
+	// Anti-dependencies t —rw→ W for every committed newer version.
+	latest := p.store.LatestTS(x)
+	for ts := t.rec.snap + 1; ts <= latest; ts++ {
+		w, ok := p.byCommit[ts]
+		if !ok || w == t.rec {
+			continue
+		}
+		// Only timestamps that created a version of x count.
+		if ver, ok := p.store.ReadAt(x, ts); !ok || ver.TS != ts {
+			continue
+		}
+		if w.out {
+			// Marking w.in would complete a committed pivot: abort the
+			// reader instead.
+			return 0, ErrConflict
+		}
+		w.in = true
+		t.rec.out = true
+	}
+	if t.rec.in && t.rec.out {
+		return 0, ErrConflict // this transaction became a pivot
+	}
+	return v.Val, nil
+}
+
+// commit runs first-committer-wins write-conflict detection, then the
+// dangerous-structure checks, then installs the writes and the
+// anti-dependency marks from concurrent readers.
+func (t *ssiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
+	p := t.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	defer func() {
+		t.rec.ended = true
+		if t.rec.endTS == 0 {
+			t.rec.endTS = p.commitTS
+		}
+		p.releaseLocked(t.rec.snap)
+		p.sinceprune++
+		if p.sinceprune >= 256 {
+			p.sinceprune = 0
+			p.pruneLocked()
+		}
+	}()
+	if len(writes) == 0 {
+		// Read-only transactions commit freely under SSI, but their
+		// SIREADs stay relevant to later writers.
+		return nil
+	}
+	// First-committer-wins (plain SI).
+	for _, x := range order {
+		if p.store.LatestTS(x) > t.rec.snap {
+			return ErrConflict
+		}
+	}
+	// Collect the concurrent readers of our write set: each yields an
+	// anti-dependency R —rw→ t.
+	var readers []*ssiTxRecord
+	willHaveIn := t.rec.in
+	for _, x := range order {
+		for _, r := range p.sireads[x] {
+			if r == t.rec || !r.concurrentWith(t.rec) {
+				continue
+			}
+			if r.commitTS != 0 && r.in {
+				// r is committed and would become a pivot: abort the
+				// marker (us).
+				return ErrConflict
+			}
+			readers = append(readers, r)
+			willHaveIn = true
+		}
+	}
+	if willHaveIn && t.rec.out {
+		return ErrConflict // we would commit as a pivot
+	}
+	// Point of no return: apply marks and install.
+	for _, r := range readers {
+		r.out = true
+	}
+	t.rec.in = willHaveIn
+	p.commitTS++
+	t.rec.commitTS = p.commitTS
+	t.rec.endTS = p.commitTS
+	p.byCommit[p.commitTS] = t.rec
+	for _, x := range order {
+		if err := p.store.Install(x, kvstore.Version{Val: writes[x], TS: p.commitTS}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *ssiTx) abort() {
+	p := t.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t.rec.ended {
+		return
+	}
+	t.rec.ended = true
+	t.rec.aborted = true
+	t.rec.endTS = p.commitTS
+	p.releaseLocked(t.rec.snap)
+}
+
+// concurrentWith reports whether r's lifetime overlapped o's: r was
+// active at some point at or after o's snapshot. Aborted transactions
+// carry no edges. The read-only boundary case (r finished at the same
+// commit counter o started at) is treated as concurrent, which is
+// conservative: SSI may abort more, never less. Callers hold the
+// protocol mutex.
+func (r *ssiTxRecord) concurrentWith(o *ssiTxRecord) bool {
+	switch {
+	case r.aborted:
+		return false
+	case !r.ended:
+		return true
+	case r.commitTS > 0:
+		return r.commitTS > o.snap
+	default: // committed read-only
+		return r.endTS >= o.snap
+	}
+}

@@ -1,0 +1,462 @@
+package execution
+
+import (
+	"strings"
+	"testing"
+
+	"sian/internal/model"
+	"sian/internal/relation"
+)
+
+// orderRel builds a strict total order relation from a permutation.
+func orderRel(n int, order []int) *relation.Rel {
+	r := relation.New(n)
+	for i, a := range order {
+		for _, b := range order[i+1:] {
+			r.Add(a, b)
+		}
+	}
+	return r
+}
+
+// writeSkewHistory is Figure 2(d) with an explicit init transaction:
+// 0 init, 1 T1, 2 T2.
+func writeSkewHistory() *model.History {
+	return model.NewHistory(
+		model.Session{ID: "init", Transactions: []model.Transaction{
+			model.NewTransaction("init", model.Write("a1", 60), model.Write("a2", 60)),
+		}},
+		model.Session{ID: "s1", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Read("a1", 60), model.Read("a2", 60), model.Write("a1", -40)),
+		}},
+		model.Session{ID: "s2", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read("a1", 60), model.Read("a2", 60), model.Write("a2", -40)),
+		}},
+	)
+}
+
+// writeSkewExecution builds the canonical SI execution of write skew:
+// CO = init < T1 < T2, VIS = {init→T1, init→T2} (the two withdrawals
+// do not see each other).
+func writeSkewExecution() *Execution {
+	h := writeSkewHistory()
+	vis := relation.New(3)
+	vis.Add(0, 1)
+	vis.Add(0, 2)
+	co := orderRel(3, []int{0, 1, 2})
+	return New(h, vis, co)
+}
+
+func TestValidate(t *testing.T) {
+	t.Parallel()
+	x := writeSkewExecution()
+	if err := x.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := x.ValidateTotal(); err != nil {
+		t.Fatalf("ValidateTotal: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	t.Parallel()
+	h := writeSkewHistory()
+	co := orderRel(3, []int{0, 1, 2})
+	tests := []struct {
+		name string
+		vis  *relation.Rel
+		co   *relation.Rel
+		want string
+	}{
+		{
+			name: "VIS not in CO",
+			vis: func() *relation.Rel {
+				v := relation.New(3)
+				v.Add(2, 1) // contradicts CO
+				return v
+			}(),
+			co:   co,
+			want: "VIS ⊄ CO",
+		},
+		{
+			name: "reflexive VIS",
+			vis: func() *relation.Rel {
+				v := relation.New(3)
+				v.Add(1, 1)
+				return v
+			}(),
+			co:   co,
+			want: "strict partial order",
+		},
+		{
+			name: "non-transitive CO",
+			vis:  relation.New(3),
+			co: func() *relation.Rel {
+				c := relation.New(3)
+				c.Add(0, 1)
+				c.Add(1, 2)
+				return c
+			}(),
+			want: "not a strict partial order",
+		},
+		{
+			name: "carrier mismatch",
+			vis:  relation.New(2),
+			co:   relation.New(2),
+			want: "carrier",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			x := New(h, tc.vis, tc.co)
+			err := x.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid execution")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateTotalRequiresTotality(t *testing.T) {
+	t.Parallel()
+	h := writeSkewHistory()
+	co := relation.New(3)
+	co.Add(0, 1)
+	co.Add(0, 2)
+	x := New(h, relation.New(3), co)
+	if err := x.Validate(); err != nil {
+		t.Fatalf("partial CO should pass Validate: %v", err)
+	}
+	if err := x.ValidateTotal(); err == nil {
+		t.Fatal("ValidateTotal accepted a partial CO")
+	}
+}
+
+func TestWriteSkewIsSINotSER(t *testing.T) {
+	t.Parallel()
+	x := writeSkewExecution()
+	if err := x.IsSI(); err != nil {
+		t.Errorf("write skew should satisfy the SI axioms: %v", err)
+	}
+	if err := x.IsPSI(); err != nil {
+		t.Errorf("write skew should satisfy the PSI axioms: %v", err)
+	}
+	if err := x.IsSER(); err == nil {
+		t.Error("write skew must not satisfy TOTALVIS")
+	}
+}
+
+func TestAxiomSession(t *testing.T) {
+	t.Parallel()
+	// T1 and T2 in one session; VIS missing the SO edge.
+	h := model.NewHistory(model.Session{ID: "s", Transactions: []model.Transaction{
+		model.NewTransaction("T1", model.Write("x", 1)),
+		model.NewTransaction("T2", model.Read("x", 1)),
+	}})
+	co := orderRel(2, []int{0, 1})
+	bad := New(h, relation.New(2), co)
+	if err := bad.Check(Session); err == nil {
+		t.Error("SESSION violation not caught")
+	}
+	vis := relation.New(2)
+	vis.Add(0, 1)
+	good := New(h, vis, co)
+	if err := good.Check(Session); err != nil {
+		t.Errorf("SESSION: %v", err)
+	}
+}
+
+func TestAxiomPrefix(t *testing.T) {
+	t.Parallel()
+	// Three transactions: init(x,y), T1 writes x, T2 reads x.
+	h := model.NewHistory(
+		model.Session{ID: "a", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("x", 0), model.Write("y", 0)),
+		}},
+		model.Session{ID: "b", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write("x", 1)),
+		}},
+		model.Session{ID: "c", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read("x", 1)),
+		}},
+	)
+	co := orderRel(3, []int{0, 1, 2})
+	// VIS sees T1 but not its CO-predecessor T0: PREFIX violated.
+	vis := relation.New(3)
+	vis.Add(1, 2)
+	x := New(h, vis, co)
+	if err := x.Check(Prefix); err == nil {
+		t.Error("PREFIX violation not caught")
+	}
+	vis.Add(0, 2)
+	vis.Add(0, 1)
+	if err := x.Check(Prefix); err != nil {
+		t.Errorf("PREFIX: %v", err)
+	}
+}
+
+func TestAxiomNoConflict(t *testing.T) {
+	t.Parallel()
+	// Lost update: T1 and T2 both write acct, unrelated by VIS.
+	h := model.NewHistory(
+		model.Session{ID: "init", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("acct", 0)),
+		}},
+		model.Session{ID: "a", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Read("acct", 0), model.Write("acct", 50)),
+		}},
+		model.Session{ID: "b", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read("acct", 0), model.Write("acct", 25)),
+		}},
+	)
+	vis := relation.New(3)
+	vis.Add(0, 1)
+	vis.Add(0, 2)
+	co := orderRel(3, []int{0, 1, 2})
+	x := New(h, vis, co)
+	if err := x.Check(NoConflict); err == nil {
+		t.Error("NOCONFLICT violation not caught")
+	}
+	// Making T1 visible to T2 satisfies NOCONFLICT but breaks EXT
+	// (T2 reads 0, but T1's write 50 is now the latest visible).
+	vis.Add(1, 2)
+	if err := x.Check(NoConflict); err != nil {
+		t.Errorf("NOCONFLICT: %v", err)
+	}
+	if err := x.Check(Ext); err == nil {
+		t.Error("EXT violation not caught after widening VIS")
+	}
+}
+
+func TestAxiomExt(t *testing.T) {
+	t.Parallel()
+	h := model.NewHistory(
+		model.Session{ID: "a", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("x", 1)),
+		}},
+		model.Session{ID: "b", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write("x", 2)),
+		}},
+		model.Session{ID: "c", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read("x", 1)),
+		}},
+	)
+	co := orderRel(3, []int{0, 1, 2})
+	// T2 sees both writers; the CO-max is T1 which wrote 2, but T2
+	// read 1: EXT violated.
+	vis := relation.New(3)
+	vis.Add(0, 2)
+	vis.Add(1, 2)
+	vis.Add(0, 1)
+	x := New(h, vis, co)
+	if err := x.Check(Ext); err == nil {
+		t.Error("EXT violation not caught")
+	}
+	// Narrowing T2's snapshot to T0 fixes the read.
+	vis2 := relation.New(3)
+	vis2.Add(0, 2)
+	vis2.Add(0, 1)
+	x2 := New(h, vis2, co)
+	if err := x2.Check(Ext); err != nil {
+		t.Errorf("EXT: %v", err)
+	}
+}
+
+func TestAxiomExtNoWriter(t *testing.T) {
+	t.Parallel()
+	h := model.NewHistory(model.Session{ID: "a", Transactions: []model.Transaction{
+		model.NewTransaction("T0", model.Read("ghost", 0)),
+	}})
+	x := New(h, relation.New(1), relation.New(1))
+	err := x.Check(Ext)
+	if err == nil || !strings.Contains(err.Error(), "no writer") {
+		t.Errorf("EXT without init transaction: %v", err)
+	}
+}
+
+func TestAxiomExtReadOwnObjectLater(t *testing.T) {
+	t.Parallel()
+	// T1 reads x then writes it: the read is still external.
+	h := model.NewHistory(
+		model.Session{ID: "a", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("x", 7)),
+		}},
+		model.Session{ID: "b", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Read("x", 7), model.Write("x", 8)),
+		}},
+	)
+	vis := relation.New(2)
+	vis.Add(0, 1)
+	co := orderRel(2, []int{0, 1})
+	x := New(h, vis, co)
+	if err := x.Check(Ext); err != nil {
+		t.Errorf("EXT: %v", err)
+	}
+}
+
+func TestAxiomTransVisAndTotalVis(t *testing.T) {
+	t.Parallel()
+	h := model.NewHistory(
+		model.Session{ID: "a", Transactions: []model.Transaction{model.NewTransaction("T0", model.Write("x", 1))}},
+		model.Session{ID: "b", Transactions: []model.Transaction{model.NewTransaction("T1", model.Write("y", 1))}},
+		model.Session{ID: "c", Transactions: []model.Transaction{model.NewTransaction("T2", model.Write("z", 1))}},
+	)
+	co := orderRel(3, []int{0, 1, 2})
+	vis := relation.New(3)
+	vis.Add(0, 1)
+	vis.Add(1, 2)
+	x := New(h, vis, co)
+	if err := x.Check(TransVis); err == nil {
+		t.Error("TRANSVIS violation not caught (missing 0→2)")
+	}
+	vis.Add(0, 2)
+	if err := x.Check(TransVis); err != nil {
+		t.Errorf("TRANSVIS: %v", err)
+	}
+	partial := relation.New(3)
+	partial.Add(0, 1)
+	if err := New(h, partial, co).Check(TotalVis); err == nil {
+		t.Error("TOTALVIS should fail while VIS ≠ CO")
+	}
+	full := New(h, co.Clone(), co)
+	if err := full.Check(TotalVis); err != nil {
+		t.Errorf("TOTALVIS: %v", err)
+	}
+}
+
+func TestCheckAllReportsAxiomName(t *testing.T) {
+	t.Parallel()
+	x := writeSkewExecution()
+	err := x.CheckAll(SERAxioms()...)
+	if err == nil {
+		t.Fatal("expected TOTALVIS failure")
+	}
+	if !strings.Contains(err.Error(), "TOTALVIS") {
+		t.Errorf("error %q should name the axiom", err)
+	}
+}
+
+func TestAxiomStrings(t *testing.T) {
+	t.Parallel()
+	names := map[Axiom]string{
+		Int: "INT", Ext: "EXT", Session: "SESSION", Prefix: "PREFIX",
+		NoConflict: "NOCONFLICT", TotalVis: "TOTALVIS", TransVis: "TRANSVIS",
+	}
+	for a, want := range names {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", a, got, want)
+		}
+	}
+	if err := writeSkewExecution().Check(Axiom(42)); err == nil {
+		t.Error("unknown axiom accepted")
+	}
+}
+
+func TestSerializableExecution(t *testing.T) {
+	t.Parallel()
+	// init; T1 increments x; T2 reads the result. Serial order works.
+	h := model.NewHistory(
+		model.Session{ID: "init", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("x", 0)),
+		}},
+		model.Session{ID: "a", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Read("x", 0), model.Write("x", 1)),
+		}},
+		model.Session{ID: "b", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read("x", 1)),
+		}},
+	)
+	co := orderRel(3, []int{0, 1, 2})
+	x := New(h, co.Clone(), co)
+	if err := x.IsSER(); err != nil {
+		t.Errorf("IsSER: %v", err)
+	}
+	if err := x.IsSI(); err != nil {
+		t.Errorf("serializable execution should also satisfy SI: %v", err)
+	}
+	if err := x.IsPSI(); err != nil {
+		t.Errorf("serializable execution should also satisfy PSI: %v", err)
+	}
+}
+
+func TestIsPreSIAllowsPartialCO(t *testing.T) {
+	t.Parallel()
+	// Two independent writers of different objects, no reads: a
+	// pre-execution with empty VIS/CO satisfies the SI axioms.
+	h := model.NewHistory(
+		model.Session{ID: "a", Transactions: []model.Transaction{model.NewTransaction("T0", model.Write("x", 1))}},
+		model.Session{ID: "b", Transactions: []model.Transaction{model.NewTransaction("T1", model.Write("y", 1))}},
+	)
+	x := New(h, relation.New(2), relation.New(2))
+	if err := x.IsPreSI(); err != nil {
+		t.Errorf("IsPreSI: %v", err)
+	}
+	if err := x.IsSI(); err == nil {
+		t.Error("IsSI must require a total CO")
+	}
+}
+
+// TestPCAndGSIAxiomSets: a lost-update-shaped execution satisfies the
+// PC axioms (no NOCONFLICT) but not SI; a session-order-violating one
+// satisfies GSI but not SI.
+func TestPCAndGSIAxiomSets(t *testing.T) {
+	t.Parallel()
+	// Lost update: init < T1 < T2 in CO, VIS only init→{T1,T2}.
+	h := model.NewHistory(
+		model.Session{ID: "init", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("acct", 0)),
+		}},
+		model.Session{ID: "a", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Read("acct", 0), model.Write("acct", 50)),
+		}},
+		model.Session{ID: "b", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read("acct", 0), model.Write("acct", 25)),
+		}},
+	)
+	vis := relation.New(3)
+	vis.Add(0, 1)
+	vis.Add(0, 2)
+	co := orderRel(3, []int{0, 1, 2})
+	x := New(h, vis, co)
+	if err := x.IsPC(); err != nil {
+		t.Errorf("IsPC: %v", err)
+	}
+	if err := x.IsSI(); err == nil {
+		t.Error("lost update satisfies the SI axioms")
+	}
+	if err := x.IsGSI(); err == nil {
+		t.Error("lost update satisfies the GSI axioms (NOCONFLICT must fail)")
+	}
+
+	// Stale session read: T1 writes x, T2 (same session) reads from
+	// init. CO: init < T1 < T2, VIS: init→T1, init→T2 only.
+	h2 := model.NewHistory(
+		model.Session{ID: "init", Transactions: []model.Transaction{
+			model.NewTransaction("T0", model.Write("x", 0)),
+		}},
+		model.Session{ID: "s", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write("x", 1)),
+			model.NewTransaction("T2", model.Read("x", 0)),
+		}},
+	)
+	vis2 := relation.New(3)
+	vis2.Add(0, 1)
+	vis2.Add(0, 2)
+	x2 := New(h2, vis2, orderRel(3, []int{0, 1, 2}))
+	if err := x2.IsGSI(); err != nil {
+		t.Errorf("IsGSI: %v", err)
+	}
+	if err := x2.IsPC(); err == nil {
+		t.Error("stale session read satisfies the PC axioms (SESSION must fail)")
+	}
+	if err := x2.IsSI(); err == nil {
+		t.Error("stale session read satisfies the SI axioms")
+	}
+	// Axiom set accessors are non-empty and include the differences.
+	if len(PCAxioms()) != 4 || len(GSIAxioms()) != 4 {
+		t.Error("extension axiom sets wrong size")
+	}
+}

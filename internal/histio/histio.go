@@ -1,0 +1,236 @@
+// Package histio serialises the analyser's inputs — histories,
+// chopping programs and robustness application specs — to and from
+// JSON, for use by the command-line tools in cmd/.
+package histio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sian/internal/chopping"
+	"sian/internal/model"
+	"sian/internal/robustness"
+)
+
+// opJSON is the wire form of one operation.
+type opJSON struct {
+	Kind string      `json:"kind"` // "read" or "write"
+	Obj  string      `json:"obj"`
+	Val  model.Value `json:"val"`
+}
+
+// txJSON is the wire form of one transaction.
+type txJSON struct {
+	ID  string   `json:"id,omitempty"`
+	Ops []opJSON `json:"ops"`
+}
+
+// sessionJSON is the wire form of one session.
+type sessionJSON struct {
+	ID           string   `json:"id,omitempty"`
+	Transactions []txJSON `json:"transactions"`
+}
+
+// historyJSON is the wire form of a history.
+type historyJSON struct {
+	Sessions []sessionJSON `json:"sessions"`
+}
+
+// EncodeHistory writes a history as JSON.
+func EncodeHistory(w io.Writer, h *model.History) error {
+	doc := historyJSON{}
+	for _, s := range h.Sessions() {
+		sj := sessionJSON{ID: s.ID}
+		for _, t := range s.Transactions {
+			tj := txJSON{ID: t.ID}
+			for _, op := range t.Ops {
+				tj.Ops = append(tj.Ops, opJSON{Kind: op.Kind.String(), Obj: string(op.Obj), Val: op.Val})
+			}
+			sj.Transactions = append(sj.Transactions, tj)
+		}
+		doc.Sessions = append(doc.Sessions, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeHistory reads a history from JSON.
+func DecodeHistory(r io.Reader) (*model.History, error) {
+	var doc historyJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("histio: decoding history: %w", err)
+	}
+	sessions := make([]model.Session, 0, len(doc.Sessions))
+	for si, sj := range doc.Sessions {
+		s := model.Session{ID: sj.ID}
+		for ti, tj := range sj.Transactions {
+			ops := make([]model.Op, 0, len(tj.Ops))
+			for oi, oj := range tj.Ops {
+				var kind model.OpKind
+				switch oj.Kind {
+				case "read":
+					kind = model.OpRead
+				case "write":
+					kind = model.OpWrite
+				default:
+					return nil, fmt.Errorf("histio: session %d tx %d op %d: unknown kind %q", si, ti, oi, oj.Kind)
+				}
+				if oj.Obj == "" {
+					return nil, fmt.Errorf("histio: session %d tx %d op %d: empty object", si, ti, oi)
+				}
+				ops = append(ops, model.Op{Kind: kind, Obj: model.Obj(oj.Obj), Val: oj.Val})
+			}
+			s.Transactions = append(s.Transactions, model.NewTransaction(tj.ID, ops...))
+		}
+		sessions = append(sessions, s)
+	}
+	h := model.NewHistory(sessions...)
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("histio: %w", err)
+	}
+	return h, nil
+}
+
+// pieceJSON is the wire form of a chopping piece.
+type pieceJSON struct {
+	Name   string   `json:"name,omitempty"`
+	Reads  []string `json:"reads,omitempty"`
+	Writes []string `json:"writes,omitempty"`
+}
+
+// programJSON is the wire form of a chopping program.
+type programJSON struct {
+	Name   string      `json:"name,omitempty"`
+	Pieces []pieceJSON `json:"pieces"`
+}
+
+// programsJSON is the wire form of a program set.
+type programsJSON struct {
+	Programs []programJSON `json:"programs"`
+}
+
+// EncodePrograms writes a program set as JSON.
+func EncodePrograms(w io.Writer, programs []chopping.Program) error {
+	doc := programsJSON{}
+	for _, p := range programs {
+		pj := programJSON{Name: p.Name}
+		for _, pc := range p.Pieces {
+			pj.Pieces = append(pj.Pieces, pieceJSON{
+				Name:   pc.Name,
+				Reads:  objsToStrings(pc.Reads),
+				Writes: objsToStrings(pc.Writes),
+			})
+		}
+		doc.Programs = append(doc.Programs, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodePrograms reads a program set from JSON.
+func DecodePrograms(r io.Reader) ([]chopping.Program, error) {
+	var doc programsJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("histio: decoding programs: %w", err)
+	}
+	if len(doc.Programs) == 0 {
+		return nil, fmt.Errorf("histio: no programs in input")
+	}
+	programs := make([]chopping.Program, 0, len(doc.Programs))
+	for pi, pj := range doc.Programs {
+		if len(pj.Pieces) == 0 {
+			return nil, fmt.Errorf("histio: program %d (%s) has no pieces", pi, pj.Name)
+		}
+		pieces := make([]chopping.Piece, 0, len(pj.Pieces))
+		for _, pcj := range pj.Pieces {
+			pieces = append(pieces, chopping.NewPiece(pcj.Name, stringsToObjs(pcj.Reads), stringsToObjs(pcj.Writes)))
+		}
+		programs = append(programs, chopping.NewProgram(pj.Name, pieces...))
+	}
+	return programs, nil
+}
+
+// txSpecJSON is the wire form of a robustness transaction spec.
+type txSpecJSON struct {
+	Name   string   `json:"name,omitempty"`
+	Reads  []string `json:"reads,omitempty"`
+	Writes []string `json:"writes,omitempty"`
+}
+
+// appSessionJSON is the wire form of one application session.
+type appSessionJSON struct {
+	Name string       `json:"name,omitempty"`
+	Txs  []txSpecJSON `json:"txs"`
+}
+
+// appJSON is the wire form of an application.
+type appJSON struct {
+	Sessions []appSessionJSON `json:"sessions"`
+}
+
+// EncodeApp writes an application spec as JSON.
+func EncodeApp(w io.Writer, app robustness.App) error {
+	doc := appJSON{}
+	for _, s := range app.Sessions {
+		sj := appSessionJSON{Name: s.Name}
+		for _, t := range s.Txs {
+			sj.Txs = append(sj.Txs, txSpecJSON{
+				Name:   t.Name,
+				Reads:  objsToStrings(t.Reads),
+				Writes: objsToStrings(t.Writes),
+			})
+		}
+		doc.Sessions = append(doc.Sessions, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeApp reads an application spec from JSON.
+func DecodeApp(r io.Reader) (robustness.App, error) {
+	var doc appJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return robustness.App{}, fmt.Errorf("histio: decoding app: %w", err)
+	}
+	if len(doc.Sessions) == 0 {
+		return robustness.App{}, fmt.Errorf("histio: no sessions in input")
+	}
+	var sessions []robustness.SessionSpec
+	for si, sj := range doc.Sessions {
+		if len(sj.Txs) == 0 {
+			return robustness.App{}, fmt.Errorf("histio: session %d (%s) has no transactions", si, sj.Name)
+		}
+		s := robustness.SessionSpec{Name: sj.Name}
+		for _, tj := range sj.Txs {
+			s.Txs = append(s.Txs, robustness.NewTxSpec(tj.Name, stringsToObjs(tj.Reads), stringsToObjs(tj.Writes)))
+		}
+		sessions = append(sessions, s)
+	}
+	return robustness.NewApp(sessions...), nil
+}
+
+func objsToStrings(xs []model.Obj) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = string(x)
+	}
+	return out
+}
+
+func stringsToObjs(xs []string) []model.Obj {
+	out := make([]model.Obj, len(xs))
+	for i, x := range xs {
+		out[i] = model.Obj(x)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package histio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sian/internal/model"
+	"sian/internal/workload"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	t.Parallel()
+	orig := workload.WriteSkew().History
+	var buf bytes.Buffer
+	if err := EncodeHistory(&buf, orig); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := DecodeHistory(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.NumTransactions() != orig.NumTransactions() || back.NumSessions() != orig.NumSessions() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			back.NumTransactions(), back.NumSessions(), orig.NumTransactions(), orig.NumSessions())
+	}
+	for i := 0; i < orig.NumTransactions(); i++ {
+		a, b := orig.Transaction(i), back.Transaction(i)
+		if a.ID != b.ID || len(a.Ops) != len(b.Ops) {
+			t.Fatalf("transaction %d changed: %v vs %v", i, a, b)
+		}
+		for j := range a.Ops {
+			if a.Ops[j] != b.Ops[j] {
+				t.Fatalf("op %d/%d changed: %v vs %v", i, j, a.Ops[j], b.Ops[j])
+			}
+		}
+	}
+}
+
+func TestDecodeHistoryErrors(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"sessions":[],"extra":1}`},
+		{"bad kind", `{"sessions":[{"transactions":[{"ops":[{"kind":"scan","obj":"x","val":0}]}]}]}`},
+		{"empty object", `{"sessions":[{"transactions":[{"ops":[{"kind":"read","obj":"","val":0}]}]}]}`},
+		{"empty transaction", `{"sessions":[{"transactions":[{"ops":[]}]}]}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeHistory(strings.NewReader(tc.in)); err == nil {
+				t.Error("decode accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestProgramsRoundTrip(t *testing.T) {
+	t.Parallel()
+	orig := workload.Fig5Programs()
+	var buf bytes.Buffer
+	if err := EncodePrograms(&buf, orig); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := DecodePrograms(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("program count %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Name != orig[i].Name || len(back[i].Pieces) != len(orig[i].Pieces) {
+			t.Fatalf("program %d changed", i)
+		}
+		for j := range orig[i].Pieces {
+			a, b := orig[i].Pieces[j], back[i].Pieces[j]
+			if a.Name != b.Name || len(a.Reads) != len(b.Reads) || len(a.Writes) != len(b.Writes) {
+				t.Fatalf("piece %d/%d changed: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestDecodeProgramsErrors(t *testing.T) {
+	t.Parallel()
+	for _, in := range []string{`{`, `{"programs":[]}`, `{"programs":[{"name":"p","pieces":[]}]}`} {
+		if _, err := DecodePrograms(strings.NewReader(in)); err == nil {
+			t.Errorf("decode accepted %q", in)
+		}
+	}
+}
+
+func TestAppRoundTrip(t *testing.T) {
+	t.Parallel()
+	orig := workload.WriteSkewApp()
+	var buf bytes.Buffer
+	if err := EncodeApp(&buf, orig); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := DecodeApp(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back.Sessions) != len(orig.Sessions) {
+		t.Fatalf("session count changed")
+	}
+	for i := range orig.Sessions {
+		if len(back.Sessions[i].Txs) != len(orig.Sessions[i].Txs) {
+			t.Fatalf("session %d changed", i)
+		}
+		for j := range orig.Sessions[i].Txs {
+			a, b := orig.Sessions[i].Txs[j], back.Sessions[i].Txs[j]
+			if a.Name != b.Name || len(a.Reads) != len(b.Reads) || len(a.Writes) != len(b.Writes) {
+				t.Fatalf("tx %d/%d changed: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestDecodeAppErrors(t *testing.T) {
+	t.Parallel()
+	for _, in := range []string{`{`, `{"sessions":[]}`, `{"sessions":[{"name":"s","txs":[]}]}`} {
+		if _, err := DecodeApp(strings.NewReader(in)); err == nil {
+			t.Errorf("decode accepted %q", in)
+		}
+	}
+}
+
+func TestEncodeHistoryValues(t *testing.T) {
+	t.Parallel()
+	h := model.NewHistory(model.Session{ID: "s", Transactions: []model.Transaction{
+		model.NewTransaction("t", model.Write("x", -7)),
+	}})
+	var buf bytes.Buffer
+	if err := EncodeHistory(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind": "write"`, `"obj": "x"`, `"val": -7`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

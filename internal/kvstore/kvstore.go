@@ -1,0 +1,156 @@
+// Package kvstore provides the multi-version key-value storage
+// substrate used by the transactional engines in internal/engine.
+//
+// A Store keeps, per object, a chain of versions ordered by a caller-
+// supplied logical timestamp. Snapshot reads (ReadAt) return the
+// latest version at or below a timestamp — exactly the primitive the
+// SI concurrency-control algorithm of §1 of the paper needs ("a
+// transaction reads values of shared objects from a snapshot taken at
+// its start"), and the one each parallel-SI replica needs for its
+// local snapshots. Garbage collection truncates chains below a
+// caller-chosen watermark.
+//
+// The store is safe for concurrent use.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sian/internal/model"
+)
+
+// Version is one committed version of an object.
+type Version struct {
+	// Val is the value written.
+	Val model.Value
+	// TS is the logical commit timestamp; chains are strictly
+	// increasing in TS.
+	TS uint64
+	// Writer optionally identifies the committing transaction for
+	// diagnostics and conflict attribution.
+	Writer string
+	// Meta carries engine-specific metadata (e.g. the global
+	// write-sequence stamp the PSI engine uses for conflict checks).
+	Meta uint64
+}
+
+// Store is a multi-version key-value store. The zero value is ready to
+// use.
+type Store struct {
+	mu     sync.RWMutex
+	chains map[model.Obj][]Version
+}
+
+// New returns an empty store. Equivalent to new(Store); provided for
+// symmetry with the rest of the module.
+func New() *Store { return &Store{} }
+
+// Install appends a version to the object's chain. The version's
+// timestamp must strictly exceed the current latest; otherwise an
+// error is returned and the store is unchanged.
+func (s *Store) Install(x model.Obj, v Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.chains == nil {
+		s.chains = make(map[model.Obj][]Version)
+	}
+	chain := s.chains[x]
+	if len(chain) > 0 && chain[len(chain)-1].TS >= v.TS {
+		return fmt.Errorf("kvstore: non-monotonic install on %q: ts %d ≤ latest %d",
+			x, v.TS, chain[len(chain)-1].TS)
+	}
+	s.chains[x] = append(chain, v)
+	return nil
+}
+
+// ReadAt returns the latest version of x with TS ≤ ts, if any.
+func (s *Store) ReadAt(x model.Obj, ts uint64) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[x]
+	// Chains are sorted by TS; binary-search the first version > ts.
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > ts })
+	if i == 0 {
+		return Version{}, false
+	}
+	return chain[i-1], true
+}
+
+// Latest returns the most recent version of x, if any.
+func (s *Store) Latest(x model.Obj) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[x]
+	if len(chain) == 0 {
+		return Version{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// LatestTS returns the timestamp of the most recent version of x, or
+// zero when x has never been written.
+func (s *Store) LatestTS(x model.Obj) uint64 {
+	v, ok := s.Latest(x)
+	if !ok {
+		return 0
+	}
+	return v.TS
+}
+
+// Objects returns the sorted list of objects with at least one
+// version.
+func (s *Store) Objects() []model.Obj {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Obj, 0, len(s.chains))
+	for x := range s.chains {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VersionCount returns the number of stored versions of x.
+func (s *Store) VersionCount(x model.Obj) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains[x])
+}
+
+// Clone returns a deep copy of the store (used for replica state
+// transfer).
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := &Store{chains: make(map[model.Obj][]Version, len(s.chains))}
+	for x, chain := range s.chains {
+		cp := make([]Version, len(chain))
+		copy(cp, chain)
+		out.chains[x] = cp
+	}
+	return out
+}
+
+// GC drops all versions of every object that are older than the
+// latest version with TS ≤ watermark (which is kept, since snapshot
+// reads at or above the watermark may still need it). It returns the
+// number of versions discarded.
+func (s *Store) GC(watermark uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for x, chain := range s.chains {
+		i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > watermark })
+		// chain[i-1] is the version a read at the watermark returns;
+		// everything before it is unreachable for ts ≥ watermark.
+		if i > 1 {
+			keep := make([]Version, len(chain)-(i-1))
+			copy(keep, chain[i-1:])
+			s.chains[x] = keep
+			dropped += i - 1
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,182 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sian/internal/model"
+)
+
+func TestInstallAndReadAt(t *testing.T) {
+	t.Parallel()
+	s := New()
+	for i, v := range []model.Value{10, 20, 30} {
+		if err := s.Install("x", Version{Val: v, TS: uint64(i + 1)}); err != nil {
+			t.Fatalf("Install: %v", err)
+		}
+	}
+	tests := []struct {
+		ts   uint64
+		want model.Value
+		ok   bool
+	}{
+		{0, 0, false},
+		{1, 10, true},
+		{2, 20, true},
+		{3, 30, true},
+		{99, 30, true},
+	}
+	for _, tc := range tests {
+		got, ok := s.ReadAt("x", tc.ts)
+		if ok != tc.ok || (ok && got.Val != tc.want) {
+			t.Errorf("ReadAt(x, %d) = (%v, %v), want (%d, %v)", tc.ts, got.Val, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := s.ReadAt("missing", 5); ok {
+		t.Error("ReadAt on missing object succeeded")
+	}
+}
+
+func TestInstallMonotonic(t *testing.T) {
+	t.Parallel()
+	s := New()
+	if err := s.Install("x", Version{Val: 1, TS: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install("x", Version{Val: 2, TS: 5}); err == nil {
+		t.Error("equal timestamp accepted")
+	}
+	if err := s.Install("x", Version{Val: 2, TS: 4}); err == nil {
+		t.Error("smaller timestamp accepted")
+	}
+	// Other objects are independent.
+	if err := s.Install("y", Version{Val: 9, TS: 1}); err != nil {
+		t.Errorf("independent object rejected: %v", err)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	t.Parallel()
+	s := New()
+	if _, ok := s.Latest("x"); ok {
+		t.Error("Latest on empty store")
+	}
+	if ts := s.LatestTS("x"); ts != 0 {
+		t.Errorf("LatestTS = %d, want 0", ts)
+	}
+	mustInstall(t, s, "x", Version{Val: 1, TS: 3, Writer: "w1"})
+	mustInstall(t, s, "x", Version{Val: 2, TS: 7, Writer: "w2"})
+	v, ok := s.Latest("x")
+	if !ok || v.Val != 2 || v.TS != 7 || v.Writer != "w2" {
+		t.Errorf("Latest = %+v", v)
+	}
+	if s.LatestTS("x") != 7 {
+		t.Error("LatestTS wrong")
+	}
+}
+
+func mustInstall(t *testing.T, s *Store, x model.Obj, v Version) {
+	t.Helper()
+	if err := s.Install(x, v); err != nil {
+		t.Fatalf("Install(%s, %+v): %v", x, v, err)
+	}
+}
+
+func TestObjectsAndVersionCount(t *testing.T) {
+	t.Parallel()
+	s := New()
+	mustInstall(t, s, "b", Version{Val: 1, TS: 1})
+	mustInstall(t, s, "a", Version{Val: 1, TS: 1})
+	mustInstall(t, s, "a", Version{Val: 2, TS: 2})
+	objs := s.Objects()
+	if len(objs) != 2 || objs[0] != "a" || objs[1] != "b" {
+		t.Errorf("Objects = %v", objs)
+	}
+	if s.VersionCount("a") != 2 || s.VersionCount("b") != 1 || s.VersionCount("zz") != 0 {
+		t.Error("VersionCount wrong")
+	}
+}
+
+func TestGC(t *testing.T) {
+	t.Parallel()
+	s := New()
+	for i := 1; i <= 5; i++ {
+		mustInstall(t, s, "x", Version{Val: model.Value(i), TS: uint64(i)})
+	}
+	dropped := s.GC(3)
+	if dropped != 2 {
+		t.Errorf("GC dropped %d, want 2", dropped)
+	}
+	// A read at the watermark still sees version 3.
+	v, ok := s.ReadAt("x", 3)
+	if !ok || v.Val != 3 {
+		t.Errorf("ReadAt(3) after GC = (%v, %v)", v.Val, ok)
+	}
+	// Reads below the watermark now miss.
+	if _, ok := s.ReadAt("x", 2); ok {
+		t.Error("pre-watermark version survived GC")
+	}
+	if s.VersionCount("x") != 3 {
+		t.Errorf("VersionCount = %d", s.VersionCount("x"))
+	}
+	// GC at or below the oldest kept version is a no-op.
+	if d := s.GC(1); d != 0 {
+		t.Errorf("second GC dropped %d", d)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	t.Parallel()
+	var s Store
+	if err := s.Install("x", Version{Val: 1, TS: 1}); err != nil {
+		t.Fatalf("zero-value store unusable: %v", err)
+	}
+	if v, ok := s.ReadAt("x", 1); !ok || v.Val != 1 {
+		t.Error("read after install on zero value failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	s := New()
+	const writers = 8
+	const versions = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obj := model.Obj(fmt.Sprintf("k%d", w))
+			for i := 1; i <= versions; i++ {
+				if err := s.Install(obj, Version{Val: model.Value(i), TS: uint64(i)}); err != nil {
+					t.Errorf("Install: %v", err)
+					return
+				}
+				if v, ok := s.ReadAt(obj, uint64(i)); !ok || v.Val != model.Value(i) {
+					t.Errorf("ReadAt(%s,%d) = (%v,%v)", obj, i, v.Val, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers of all objects.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Objects()
+				s.ReadAt("k0", uint64(i))
+				s.LatestTS("k1")
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		obj := model.Obj(fmt.Sprintf("k%d", w))
+		if s.VersionCount(obj) != versions {
+			t.Errorf("%s has %d versions", obj, s.VersionCount(obj))
+		}
+	}
+}

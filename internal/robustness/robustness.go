@@ -1,0 +1,436 @@
+// Package robustness implements the robustness analyses of §6 of the
+// paper.
+//
+// Dynamic side: classify a concrete dependency graph against the three
+// model characterisations — Theorem 19 decides membership in
+// GraphSI \ GraphSER (executions SI admits but serializability does
+// not) and Theorem 22 membership in GraphPSI \ GraphSI.
+//
+// Static side: build a static dependency graph over transaction
+// specifications (read/write sets) that over-approximates the
+// dependencies of any execution, then check the absence of the
+// dangerous cycle shapes:
+//
+//   - robustness against SI (towards serializability, §6.1): no cycle
+//     with two adjacent anti-dependency edges;
+//   - robustness against parallel SI (towards SI, §6.2): no cycle with
+//     at least two anti-dependency edges none of which are adjacent.
+//
+// Two standard refinements sharpen the naive statement of §6 without
+// losing soundness:
+//
+//  1. Only *vulnerable* anti-dependencies matter: an RW edge between
+//     transactions with intersecting write sets always carries a
+//     parallel WW edge in any concrete graph (in GraphSI/GraphPSI the
+//     WW must agree with the RW direction, else WW ; RW is a forbidden
+//     composite self-loop), so such an RW edge can be rewritten to the
+//     WW edge in any dangerous cycle; a dangerous cycle in a concrete
+//     graph therefore always yields one whose anti-dependencies are
+//     all between write-disjoint pairs. This is the classical
+//     vulnerability condition of Fekete et al. [18], and it is what
+//     makes the materialised-conflict fix for write skew pass the
+//     analysis.
+//  2. Only *simple* cycles matter: distinct transactions of a concrete
+//     execution map to distinct programs (§5's one-to-one session
+//     correspondence), so a simple dangerous cycle in a concrete graph
+//     lifts to a simple cycle in the static graph.
+package robustness
+
+import (
+	"fmt"
+	"sort"
+
+	"sian/internal/depgraph"
+	"sian/internal/model"
+	"sian/internal/relation"
+)
+
+// TxSpec is the static specification of one transaction: the sets of
+// objects it may read and write.
+type TxSpec struct {
+	Name   string
+	Reads  []model.Obj
+	Writes []model.Obj
+}
+
+// NewTxSpec builds a specification, copying both sets.
+func NewTxSpec(name string, reads, writes []model.Obj) TxSpec {
+	r := make([]model.Obj, len(reads))
+	copy(r, reads)
+	w := make([]model.Obj, len(writes))
+	copy(w, writes)
+	return TxSpec{Name: name, Reads: r, Writes: w}
+}
+
+// SessionSpec is an ordered list of transaction specifications issued
+// by one client session.
+type SessionSpec struct {
+	Name string
+	Txs  []TxSpec
+}
+
+// App is the static description of an application: the sessions it may
+// run concurrently. To model a transaction that may run concurrently
+// with itself, list it in two sessions.
+type App struct {
+	Sessions []SessionSpec
+}
+
+// NewApp builds an application from session specifications.
+func NewApp(sessions ...SessionSpec) App {
+	cp := make([]SessionSpec, len(sessions))
+	copy(cp, sessions)
+	return App{Sessions: cp}
+}
+
+// SingleTxApp is a convenience constructor for the common case of the
+// paper's §6 examples: every transaction in its own session.
+func SingleTxApp(txs ...TxSpec) App {
+	sessions := make([]SessionSpec, 0, len(txs))
+	for _, t := range txs {
+		sessions = append(sessions, SessionSpec{Name: t.Name, Txs: []TxSpec{t}})
+	}
+	return App{Sessions: sessions}
+}
+
+// StaticGraph is a static dependency graph: vertices are the
+// application's transactions (session-major order) and the relations
+// over-approximate the session order and dependencies of any
+// execution.
+type StaticGraph struct {
+	Labels []string
+	SO     *relation.Rel
+	WR     *relation.Rel
+	WW     *relation.Rel
+	RW     *relation.Rel
+}
+
+// BuildStatic constructs the static dependency graph of an
+// application: for transactions of different sessions,
+// W₁ ∩ R₂ ≠ ∅ yields a WR edge, W₁ ∩ W₂ ≠ ∅ a WW edge (both
+// directions arise symmetrically from the two ordered pairs) and
+// R₁ ∩ W₂ ≠ ∅ an RW edge; transactions of the same session are
+// ordered by SO.
+func BuildStatic(app App) *StaticGraph {
+	var specs []TxSpec
+	var session []int
+	for si, s := range app.Sessions {
+		for _, t := range s.Txs {
+			specs = append(specs, t)
+			session = append(session, si)
+		}
+	}
+	n := len(specs)
+	g := &StaticGraph{
+		Labels: make([]string, n),
+		SO:     relation.New(n),
+		WR:     relation.New(n),
+		WW:     relation.New(n),
+		RW:     relation.New(n),
+	}
+	for i, t := range specs {
+		if t.Name != "" {
+			g.Labels[i] = t.Name
+		} else {
+			g.Labels[i] = fmt.Sprintf("tx%d", i)
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if session[a] == session[b] {
+				if a < b {
+					g.SO.Add(a, b)
+				}
+				continue
+			}
+			if intersects(specs[a].Writes, specs[b].Reads) {
+				g.WR.Add(a, b)
+			}
+			if intersects(specs[a].Writes, specs[b].Writes) {
+				g.WW.Add(a, b)
+			}
+			if intersects(specs[a].Reads, specs[b].Writes) {
+				g.RW.Add(a, b)
+			}
+		}
+	}
+	return g
+}
+
+func intersects(a, b []model.Obj) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	set := make(map[model.Obj]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		if set[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeKind labels an edge of a static dependency graph for witness
+// reporting.
+type EdgeKind int
+
+// Static dependency edge kinds. VulnerableRW marks anti-dependencies
+// between transactions with disjoint write sets — the only ones that
+// can participate in dangerous structures (see the package comment).
+const (
+	EdgeInvalid EdgeKind = iota
+	EdgeSO
+	EdgeWR
+	EdgeWW
+	EdgeVulnerableRW
+)
+
+// String returns "SO", "WR", "WW" or "RW*".
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeSO:
+		return "SO"
+	case EdgeWR:
+		return "WR"
+	case EdgeWW:
+		return "WW"
+	case EdgeVulnerableRW:
+		return "RW*"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// WitnessStep is one edge of a dangerous cycle.
+type WitnessStep struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// Witness is a dangerous simple cycle in a static dependency graph,
+// with vertex labels for display.
+type Witness struct {
+	Steps  []WitnessStep
+	Labels []string
+}
+
+// String renders the witness cycle, e.g.
+// "withdraw1 -RW*-> withdraw2 -RW*-> withdraw1".
+func (w *Witness) String() string {
+	if w == nil || len(w.Steps) == 0 {
+		return "<none>"
+	}
+	out := w.Labels[w.Steps[0].From]
+	for _, s := range w.Steps {
+		out += fmt.Sprintf(" -%s-> %s", s.Kind, w.Labels[s.To])
+	}
+	return out
+}
+
+// vulnerableRW returns the anti-dependency edges between transactions
+// whose write sets are disjoint (so the pair can be concurrent and
+// escape write-conflict detection).
+func (g *StaticGraph) vulnerableRW(app App) *relation.Rel {
+	var specs []TxSpec
+	for _, s := range app.Sessions {
+		specs = append(specs, s.Txs...)
+	}
+	out := relation.New(g.RW.N())
+	for _, p := range g.RW.Pairs() {
+		if !intersects(specs[p[0]].Writes, specs[p[1]].Writes) {
+			out.Add(p[0], p[1])
+		}
+	}
+	return out
+}
+
+// edgeKindsAt returns the kinds present on (u, v), with anti-
+// dependencies restricted to the vulnerable ones.
+func staticEdges(g *StaticGraph, vuln *relation.Rel, u, v int) []EdgeKind {
+	var out []EdgeKind
+	if g.SO.Has(u, v) {
+		out = append(out, EdgeSO)
+	}
+	if g.WR.Has(u, v) {
+		out = append(out, EdgeWR)
+	}
+	if g.WW.Has(u, v) {
+		out = append(out, EdgeWW)
+	}
+	if vuln.Has(u, v) {
+		out = append(out, EdgeVulnerableRW)
+	}
+	return out
+}
+
+// findDangerous enumerates vertex-simple cycles over the dependency
+// and vulnerable-anti-dependency edges, returning the first whose kind
+// sequence satisfies pred. Canonical form (smallest vertex first)
+// avoids duplicate rotations.
+func findDangerous(g *StaticGraph, vuln *relation.Rel, pred func([]EdgeKind) bool) *Witness {
+	n := g.RW.N()
+	onStack := make([]bool, n)
+	var steps []WitnessStep
+	var kindsBuf []EdgeKind
+	var dfs func(start, v int) *Witness
+	dfs = func(start, v int) *Witness {
+		for next := 0; next < n; next++ {
+			kinds := staticEdges(g, vuln, v, next)
+			if len(kinds) == 0 {
+				continue
+			}
+			switch {
+			case next == start && len(steps) >= 1:
+				for _, k := range kinds {
+					kindsBuf = kindsBuf[:0]
+					for _, s := range steps {
+						kindsBuf = append(kindsBuf, s.Kind)
+					}
+					kindsBuf = append(kindsBuf, k)
+					if pred(kindsBuf) {
+						full := append(append([]WitnessStep{}, steps...), WitnessStep{From: v, To: next, Kind: k})
+						return &Witness{Steps: full, Labels: g.Labels}
+					}
+				}
+			case next > start && !onStack[next]:
+				for _, k := range kinds {
+					onStack[next] = true
+					steps = append(steps, WitnessStep{From: v, To: next, Kind: k})
+					if w := dfs(start, next); w != nil {
+						return w
+					}
+					steps = steps[:len(steps)-1]
+					onStack[next] = false
+				}
+			}
+		}
+		return nil
+	}
+	for start := 0; start < n; start++ {
+		onStack[start] = true
+		if w := dfs(start, start); w != nil {
+			return w
+		}
+		onStack[start] = false
+	}
+	return nil
+}
+
+// CheckSIRobust implements the static analysis of §6.1: the
+// application is robust against SI (it produces no histories in
+// HistSI \ HistSER; running it under SI gives only serializable
+// behaviour) if the static dependency graph has no simple cycle with
+// two adjacent vulnerable anti-dependency edges. It returns
+// (nil, true) when robust and a witness cycle otherwise.
+func CheckSIRobust(app App) (*Witness, bool) {
+	g := BuildStatic(app)
+	vuln := g.vulnerableRW(app)
+	w := findDangerous(g, vuln, func(kinds []EdgeKind) bool {
+		n := len(kinds)
+		if n < 2 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if kinds[i] == EdgeVulnerableRW && kinds[(i+1)%n] == EdgeVulnerableRW {
+				return true
+			}
+		}
+		return false
+	})
+	return w, w == nil
+}
+
+// CheckPSIRobust implements the static analysis of §6.2: the
+// application is robust against parallel SI towards SI (it produces no
+// histories in HistPSI \ HistSI) if the static dependency graph has no
+// simple cycle with at least two vulnerable anti-dependency edges of
+// which no two are adjacent.
+func CheckPSIRobust(app App) (*Witness, bool) {
+	g := BuildStatic(app)
+	vuln := g.vulnerableRW(app)
+	w := findDangerous(g, vuln, func(kinds []EdgeKind) bool {
+		n := len(kinds)
+		count := 0
+		for _, k := range kinds {
+			if k == EdgeVulnerableRW {
+				count++
+			}
+		}
+		if count < 2 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if kinds[i] == EdgeVulnerableRW && kinds[(i+1)%n] == EdgeVulnerableRW {
+				return false
+			}
+		}
+		return true
+	})
+	return w, w == nil
+}
+
+// Classification places a concrete dependency graph in the model
+// lattice HistSER ⊆ HistSI ⊆ HistPSI.
+type Classification struct {
+	SER bool
+	SI  bool
+	PSI bool
+}
+
+// String renders e.g. "SER+SI+PSI" or "PSI only" or "none".
+func (c Classification) String() string {
+	var parts []string
+	if c.SER {
+		parts = append(parts, "SER")
+	}
+	if c.SI {
+		parts = append(parts, "SI")
+	}
+	if c.PSI {
+		parts = append(parts, "PSI")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("%v", parts)
+}
+
+// Classify runs the three dependency-graph characterisations on a
+// concrete graph. By Theorem 19, SI && !SER identifies executions
+// witnessing non-robustness against SI; by Theorem 22, PSI && !SI
+// identifies executions witnessing non-robustness against parallel SI
+// towards SI.
+func Classify(g *depgraph.Graph) Classification {
+	return Classification{
+		SER: g.InSER(),
+		SI:  g.InSI(),
+		PSI: g.InPSI(),
+	}
+}
+
+// Theorem19 decides G ∈ GraphSI \ GraphSER for a concrete graph and
+// returns a witness cycle of the SER composite when it holds.
+func Theorem19(g *depgraph.Graph) (inDifference bool, witness []int) {
+	c := Classify(g)
+	if c.SI && !c.SER {
+		return true, g.Witness(depgraph.SER)
+	}
+	return false, nil
+}
+
+// Theorem22 decides G ∈ GraphPSI \ GraphSI for a concrete graph and
+// returns a witness cycle of the SI composite when it holds.
+func Theorem22(g *depgraph.Graph) (inDifference bool, witness []int) {
+	c := Classify(g)
+	if c.PSI && !c.SI {
+		return true, g.Witness(depgraph.SI)
+	}
+	return false, nil
+}

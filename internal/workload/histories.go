@@ -1,0 +1,224 @@
+// Package workload provides the paper's worked examples as executable
+// artefacts — the anomaly histories and dependency graphs of Figure 2,
+// the banking example of Figures 4–6, the chopping examples of Figures
+// 11 and 12 — together with random-history generators for property
+// testing and runnable workloads for the engines in internal/engine.
+package workload
+
+import (
+	"sian/internal/depgraph"
+	"sian/internal/model"
+)
+
+// Example is a named history with its paper-given dependency graph and
+// the expected classification against the three models.
+type Example struct {
+	Name    string
+	History *model.History
+	// Graph is the dependency graph shown in the paper's figure
+	// (including the initialisation transaction at index 0 where one
+	// exists).
+	Graph *depgraph.Graph
+	// Expected membership of the history in HistSER / HistSI /
+	// HistPSI / HistPC / HistGSI (PC = prefix consistency, SI without
+	// NOCONFLICT; GSI = generalised SI, SI without SESSION).
+	InSER, InSI, InPSI, InPC, InGSI bool
+}
+
+// Object names used throughout the examples.
+const (
+	objX     model.Obj = "x"
+	objY     model.Obj = "y"
+	objAcct  model.Obj = "acct"
+	objAcct1 model.Obj = "acct1"
+	objAcct2 model.Obj = "acct2"
+)
+
+// SessionGuarantees is Figure 2(a): two transactions of one session;
+// the second reads the first's write (SESSION forces the visibility
+// edge). Allowed by every model.
+func SessionGuarantees() *Example {
+	h := model.NewHistory(
+		model.Session{ID: "s1", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write(objX, 1)),
+			model.NewTransaction("T2", model.Read(objX, 1)),
+		}},
+	)
+	g := depgraph.New(h)
+	g.AddWR(objX, 0, 1)
+	return &Example{
+		Name:    "session-guarantees (Fig 2a)",
+		History: h,
+		Graph:   g,
+		InSER:   true, InSI: true, InPSI: true, InPC: true, InGSI: true,
+	}
+}
+
+// LostUpdate is Figure 2(b): two concurrent deposits both read the
+// initial balance 0 and write 50 and 25 respectively, losing one
+// deposit. Disallowed by SER, SI and PSI (NOCONFLICT). The graph's
+// WW order puts T1 before T2; the symmetric choice is isomorphic.
+func LostUpdate() *Example {
+	h := model.NewHistory(
+		model.Session{ID: model.InitTransactionID, Transactions: []model.Transaction{
+			model.NewTransaction("init", model.Write(objAcct, 0)),
+		}},
+		model.Session{ID: "s1", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Read(objAcct, 0), model.Write(objAcct, 50)),
+		}},
+		model.Session{ID: "s2", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Read(objAcct, 0), model.Write(objAcct, 25)),
+		}},
+	)
+	g := depgraph.New(h)
+	g.AddWR(objAcct, 0, 1) // init → T1
+	g.AddWR(objAcct, 0, 2) // init → T2
+	g.AddWW(objAcct, 0, 1)
+	g.AddWW(objAcct, 0, 2)
+	g.AddWW(objAcct, 1, 2) // T1 → T2 (the other order is symmetric)
+	return &Example{
+		Name:    "lost update (Fig 2b)",
+		History: h,
+		Graph:   g,
+		InSER:   false, InSI: false, InPSI: false, InPC: true, InGSI: false,
+	}
+}
+
+// LongFork is Figure 2(c): T1 and T2 write x and y concurrently; T3
+// observes only T1's write, T4 only T2's. Allowed by PSI, disallowed
+// by SI (PREFIX) and SER.
+func LongFork() *Example {
+	h := model.NewHistory(
+		model.Session{ID: model.InitTransactionID, Transactions: []model.Transaction{
+			model.NewTransaction("init", model.Write(objX, 0), model.Write(objY, 0)),
+		}},
+		model.Session{ID: "s1", Transactions: []model.Transaction{
+			model.NewTransaction("T1", model.Write(objX, 1)),
+		}},
+		model.Session{ID: "s2", Transactions: []model.Transaction{
+			model.NewTransaction("T2", model.Write(objY, 1)),
+		}},
+		model.Session{ID: "s3", Transactions: []model.Transaction{
+			model.NewTransaction("T3", model.Read(objX, 1), model.Read(objY, 0)),
+		}},
+		model.Session{ID: "s4", Transactions: []model.Transaction{
+			model.NewTransaction("T4", model.Read(objY, 1), model.Read(objX, 0)),
+		}},
+	)
+	g := depgraph.New(h)
+	g.AddWW(objX, 0, 1) // init → T1
+	g.AddWW(objY, 0, 2) // init → T2
+	g.AddWR(objX, 1, 3) // T1 → T3
+	g.AddWR(objY, 0, 3) // init → T3
+	g.AddWR(objY, 2, 4) // T2 → T4
+	g.AddWR(objX, 0, 4) // init → T4
+	return &Example{
+		Name:    "long fork (Fig 2c)",
+		History: h,
+		Graph:   g,
+		InSER:   false, InSI: false, InPSI: true, InPC: false, InGSI: false,
+	}
+}
+
+// WriteSkew is Figure 2(d): both transactions check the combined
+// balance (60 + 60 ≥ 100) and withdraw 100 from different accounts,
+// driving the total negative. Allowed by SI (and PSI), disallowed by
+// serializability.
+func WriteSkew() *Example {
+	h := model.NewHistory(
+		model.Session{ID: model.InitTransactionID, Transactions: []model.Transaction{
+			model.NewTransaction("init", model.Write(objAcct1, 60), model.Write(objAcct2, 60)),
+		}},
+		model.Session{ID: "s1", Transactions: []model.Transaction{
+			model.NewTransaction("T1",
+				model.Read(objAcct1, 60), model.Read(objAcct2, 60),
+				model.Write(objAcct1, -40)),
+		}},
+		model.Session{ID: "s2", Transactions: []model.Transaction{
+			model.NewTransaction("T2",
+				model.Read(objAcct1, 60), model.Read(objAcct2, 60),
+				model.Write(objAcct2, -40)),
+		}},
+	)
+	g := depgraph.New(h)
+	g.AddWW(objAcct1, 0, 1) // init → T1
+	g.AddWW(objAcct2, 0, 2) // init → T2
+	g.AddWR(objAcct1, 0, 1)
+	g.AddWR(objAcct2, 0, 1)
+	g.AddWR(objAcct1, 0, 2)
+	g.AddWR(objAcct2, 0, 2)
+	return &Example{
+		Name:    "write skew (Fig 2d)",
+		History: h,
+		Graph:   g,
+		InSER:   false, InSI: true, InPSI: true, InPC: true, InGSI: true,
+	}
+}
+
+// Examples returns all Figure 2 examples.
+func Examples() []*Example {
+	return []*Example{SessionGuarantees(), LostUpdate(), LongFork(), WriteSkew()}
+}
+
+// Fig4 bundles the two dependency graphs of the Figure 4 banking
+// example: G1, where a balance query observes half of a chopped
+// transfer (not spliceable; its dynamic chopping graph has an
+// SI-critical cycle), and G2, where per-account queries observe
+// consistent cuts (spliceable).
+type Fig4 struct {
+	G1, G2 *depgraph.Graph
+}
+
+// Fig4Graphs constructs concrete instances of the Figure 4 graphs.
+//
+// Both share the transfer session chopped in two: T moves acct1
+// 100 → 0 and T′ moves acct2 100 → 200. In G1 a lookupAll session
+// reads acct1 = 0 (after T) but acct2 = 100 (before T′). In G2,
+// lookup1 reads acct1 = 0 and a separate lookup2 session reads
+// acct2 = 100.
+func Fig4Graphs() *Fig4 {
+	transfer := model.Session{ID: "transfer", Transactions: []model.Transaction{
+		model.NewTransaction("T", model.Read(objAcct1, 100), model.Write(objAcct1, 0)),
+		model.NewTransaction("T'", model.Read(objAcct2, 100), model.Write(objAcct2, 200)),
+	}}
+	init := model.Session{ID: model.InitTransactionID, Transactions: []model.Transaction{
+		model.NewTransaction("init", model.Write(objAcct1, 100), model.Write(objAcct2, 100)),
+	}}
+
+	h1 := model.NewHistory(
+		init,
+		transfer,
+		model.Session{ID: "lookupAll", Transactions: []model.Transaction{
+			model.NewTransaction("S", model.Read(objAcct1, 0), model.Read(objAcct2, 100)),
+		}},
+	)
+	// Indices: 0 init, 1 T, 2 T', 3 S.
+	g1 := depgraph.New(h1)
+	g1.AddWW(objAcct1, 0, 1)
+	g1.AddWW(objAcct2, 0, 2)
+	g1.AddWR(objAcct1, 0, 1) // T reads the initial acct1
+	g1.AddWR(objAcct2, 0, 2) // T' reads the initial acct2
+	g1.AddWR(objAcct1, 1, 3) // S sees T's write…
+	g1.AddWR(objAcct2, 0, 3) // …but not T''s (anti-dependency S → T')
+
+	h2 := model.NewHistory(
+		init,
+		transfer,
+		model.Session{ID: "lookup1", Transactions: []model.Transaction{
+			model.NewTransaction("S1", model.Read(objAcct1, 0)),
+		}},
+		model.Session{ID: "lookup2", Transactions: []model.Transaction{
+			model.NewTransaction("S2", model.Read(objAcct2, 100)),
+		}},
+	)
+	// Indices: 0 init, 1 T, 2 T', 3 S1, 4 S2.
+	g2 := depgraph.New(h2)
+	g2.AddWW(objAcct1, 0, 1)
+	g2.AddWW(objAcct2, 0, 2)
+	g2.AddWR(objAcct1, 0, 1)
+	g2.AddWR(objAcct2, 0, 2)
+	g2.AddWR(objAcct1, 1, 3)
+	g2.AddWR(objAcct2, 0, 4)
+
+	return &Fig4{G1: g1, G2: g2}
+}

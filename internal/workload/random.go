@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sian/internal/model"
+)
+
+// RandomConfig parameterises RandomHistory.
+type RandomConfig struct {
+	// Sessions is the number of sessions.
+	Sessions int
+	// TxPerSession bounds transactions per session (uniform 1..max).
+	TxPerSession int
+	// OpsPerTx bounds operations per transaction (uniform 1..max).
+	OpsPerTx int
+	// Objects is the size of the object pool ("k0", "k1", …).
+	Objects int
+	// Values is the size of the value domain for writes and for read
+	// expectations (0..Values-1). Small domains create value
+	// coincidences that force the certifier to branch on WR sources;
+	// they also make most histories non-members, exercising rejection
+	// paths.
+	Values int
+	// ReadFraction is the per-mille probability (0–1000) that an
+	// operation is a read; the default 500 gives an even mix.
+	ReadFraction int
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 2
+	}
+	if c.TxPerSession <= 0 {
+		c.TxPerSession = 2
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 2
+	}
+	if c.Objects <= 0 {
+		c.Objects = 2
+	}
+	if c.Values <= 0 {
+		c.Values = 3
+	}
+	if c.ReadFraction <= 0 {
+		c.ReadFraction = 500
+	}
+	return c
+}
+
+// RandomHistory generates an arbitrary history: operations, objects
+// and values drawn independently at random. Such histories are often
+// outside every model; use RandomPlausibleHistory to bias towards
+// members. Histories do not include an initialisation transaction
+// (values may be read that nobody wrote); certification with
+// Options.AddInit handles the initial reads of value 0.
+func RandomHistory(rng *rand.Rand, cfg RandomConfig) *model.History {
+	cfg = cfg.withDefaults()
+	sessions := make([]model.Session, 0, cfg.Sessions)
+	for s := 0; s < cfg.Sessions; s++ {
+		ntx := 1 + rng.Intn(cfg.TxPerSession)
+		txs := make([]model.Transaction, 0, ntx)
+		for t := 0; t < ntx; t++ {
+			nops := 1 + rng.Intn(cfg.OpsPerTx)
+			ops := make([]model.Op, 0, nops)
+			for o := 0; o < nops; o++ {
+				x := model.Obj(fmt.Sprintf("k%d", rng.Intn(cfg.Objects)))
+				v := model.Value(rng.Intn(cfg.Values))
+				if rng.Intn(1000) < cfg.ReadFraction {
+					ops = append(ops, model.Read(x, v))
+				} else {
+					ops = append(ops, model.Write(x, v))
+				}
+			}
+			txs = append(txs, model.NewTransaction(fmt.Sprintf("s%d/t%d", s, t), ops...))
+		}
+		sessions = append(sessions, model.Session{ID: fmt.Sprintf("s%d", s), Transactions: txs})
+	}
+	return model.NewHistory(sessions...)
+}
+
+// RandomPlausibleHistory generates a history by simulating a weakly
+// consistent execution: every transaction reads the value of a
+// randomly chosen earlier write to the object (or 0), respecting INT
+// within the transaction. The result is frequently (not always) a
+// member of at least PSI, giving property tests a healthy mix of
+// members and non-members.
+func RandomPlausibleHistory(rng *rand.Rand, cfg RandomConfig) *model.History {
+	cfg = cfg.withDefaults()
+	written := make(map[model.Obj][]model.Value)
+	sessions := make([]model.Session, 0, cfg.Sessions)
+	nextVal := model.Value(1)
+	for s := 0; s < cfg.Sessions; s++ {
+		ntx := 1 + rng.Intn(cfg.TxPerSession)
+		txs := make([]model.Transaction, 0, ntx)
+		for t := 0; t < ntx; t++ {
+			nops := 1 + rng.Intn(cfg.OpsPerTx)
+			ops := make([]model.Op, 0, nops)
+			local := make(map[model.Obj]model.Value)
+			for o := 0; o < nops; o++ {
+				x := model.Obj(fmt.Sprintf("k%d", rng.Intn(cfg.Objects)))
+				if rng.Intn(1000) < cfg.ReadFraction {
+					v, seen := local[x]
+					if !seen {
+						if ws := written[x]; len(ws) > 0 && rng.Intn(4) > 0 {
+							v = ws[rng.Intn(len(ws))]
+						} else {
+							v = 0
+						}
+					}
+					ops = append(ops, model.Read(x, v))
+					local[x] = v
+				} else {
+					v := nextVal
+					nextVal++
+					ops = append(ops, model.Write(x, v))
+					local[x] = v
+					written[x] = append(written[x], v)
+				}
+			}
+			txs = append(txs, model.NewTransaction(fmt.Sprintf("s%d/t%d", s, t), ops...))
+		}
+		sessions = append(sessions, model.Session{ID: fmt.Sprintf("s%d", s), Transactions: txs})
+	}
+	return model.NewHistory(sessions...)
+}

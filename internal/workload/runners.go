@@ -1,0 +1,437 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// RegistersConfig parameterises RunRegisters.
+type RegistersConfig struct {
+	Sessions     int
+	TxPerSession int
+	OpsPerTx     int
+	Objects      int
+	// ReadFraction is the per-mille probability of a read (default
+	// 500).
+	ReadFraction int
+	// Seed makes op sequences reproducible per session.
+	Seed int64
+}
+
+func (c RegistersConfig) withDefaults() RegistersConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.TxPerSession <= 0 {
+		c.TxPerSession = 10
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 3
+	}
+	if c.Objects <= 0 {
+		c.Objects = 4
+	}
+	if c.ReadFraction <= 0 {
+		c.ReadFraction = 500
+	}
+	return c
+}
+
+// RunRegisters drives a value-traceable register workload against the
+// database: concurrent sessions perform random reads and writes, with
+// every written value globally unique so that the recorded history's
+// read dependencies are recoverable. The database must be fresh; the
+// runner initialises every object to 0. Returns the recorded history.
+func RunRegisters(db *engine.DB, cfg RegistersConfig) (*model.History, error) {
+	cfg = cfg.withDefaults()
+	init := make(map[model.Obj]model.Value, cfg.Objects)
+	for i := 0; i < cfg.Objects; i++ {
+		init[model.Obj(fmt.Sprintf("k%d", i))] = 0
+	}
+	if err := db.Initialize(init); err != nil {
+		return nil, fmt.Errorf("workload: initialising registers: %w", err)
+	}
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	for s := 0; s < cfg.Sessions; s++ {
+		sess := db.Session(fmt.Sprintf("reg%d", s))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for t := 0; t < cfg.TxPerSession; t++ {
+				err := sess.Transact(func(tx *engine.Tx) error {
+					for o := 0; o < cfg.OpsPerTx; o++ {
+						x := model.Obj(fmt.Sprintf("k%d", rng.Intn(cfg.Objects)))
+						if rng.Intn(1000) < cfg.ReadFraction {
+							if _, err := tx.Read(x); err != nil {
+								return err
+							}
+						} else {
+							if err := tx.Write(x, model.Value(counter.Add(1))); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	db.Flush()
+	return db.History(), nil
+}
+
+// WriteSkewOutcome reports a write-skew experiment.
+type WriteSkewOutcome struct {
+	// Rounds is the number of rounds run.
+	Rounds int
+	// Anomalies counts rounds where both withdrawals committed,
+	// driving the combined balance negative — impossible under
+	// serializability, possible under SI and PSI.
+	Anomalies int
+}
+
+// RunWriteSkew runs the Figure 2(d) scenario for the given number of
+// rounds. Each round uses a fresh pair of accounts initialised to 60
+// each; two concurrent sessions read both balances and, if the
+// combined balance is at least 100, withdraw 100 from their own
+// account. An anomaly is a round whose final combined balance is
+// negative.
+func RunWriteSkew(db *engine.DB, rounds int) (*WriteSkewOutcome, error) {
+	out := &WriteSkewOutcome{Rounds: rounds}
+	s1 := db.Session("withdraw1")
+	s2 := db.Session("withdraw2")
+	for r := 0; r < rounds; r++ {
+		a1 := model.Obj(fmt.Sprintf("acct1_%d", r))
+		a2 := model.Obj(fmt.Sprintf("acct2_%d", r))
+		if err := db.Initialize(map[model.Obj]model.Value{a1: 60, a2: 60}); err != nil {
+			return nil, err
+		}
+		withdraw := func(sess *engine.Session, own model.Obj) error {
+			return sess.TransactNamed(fmt.Sprintf("withdraw%d", r), func(tx *engine.Tx) error {
+				v1, err := tx.Read(a1)
+				if err != nil {
+					return err
+				}
+				v2, err := tx.Read(a2)
+				if err != nil {
+					return err
+				}
+				if v1+v2 >= 100 {
+					ownVal := v1
+					if own == a2 {
+						ownVal = v2
+					}
+					return tx.Write(own, ownVal-100)
+				}
+				return nil
+			})
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); errs[0] = withdraw(s1, a1) }()
+		go func() { defer wg.Done(); errs[1] = withdraw(s2, a2) }()
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+		db.Flush()
+		total, err := readPair(db, a1, a2)
+		if err != nil {
+			return nil, err
+		}
+		if total < 0 {
+			out.Anomalies++
+		}
+	}
+	return out, nil
+}
+
+// readPair reads two objects in one fresh transaction and returns
+// their sum.
+func readPair(db *engine.DB, a1, a2 model.Obj) (model.Value, error) {
+	s := db.Session("audit")
+	var total model.Value
+	err := s.Transact(func(tx *engine.Tx) error {
+		v1, err := tx.Read(a1)
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read(a2)
+		if err != nil {
+			return err
+		}
+		total = v1 + v2
+		return nil
+	})
+	return total, err
+}
+
+// TransferConfig parameterises the chopping-speedup experiment (§1,
+// §5 motivation): concurrent sessions each move value along a chain of
+// accounts. Unchopped, a session updates all Hops accounts in one
+// transaction; chopped, it issues one transaction per hop.
+type TransferConfig struct {
+	Sessions  int
+	Transfers int // transfers per session
+	Accounts  int // size of the shared account pool
+	Hops      int // accounts touched per transfer
+	Chopped   bool
+	Seed      int64
+	// Think simulates per-hop application work between the read and
+	// the write. Long-running transactions are the motivation for
+	// chopping (§1, §5): with a non-zero think time, a monolithic
+	// transfer holds an SI conflict window of Hops × Think, while each
+	// chopped piece holds only Think.
+	Think time.Duration
+}
+
+func (c TransferConfig) withDefaults() TransferConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Transfers <= 0 {
+		c.Transfers = 20
+	}
+	if c.Accounts <= 0 {
+		c.Accounts = 8
+	}
+	if c.Hops <= 0 {
+		c.Hops = 4
+	}
+	return c
+}
+
+// TransferOutcome reports the chopping experiment.
+type TransferOutcome struct {
+	Commits   int64
+	Conflicts int64
+}
+
+// RunTransfers executes the transfer workload and returns commit and
+// conflict counts (the conflict rate is the quantity chopping is meant
+// to reduce under SI, by shrinking the conflict window of each piece).
+func RunTransfers(db *engine.DB, cfg TransferConfig) (*TransferOutcome, error) {
+	cfg = cfg.withDefaults()
+	init := make(map[model.Obj]model.Value, cfg.Accounts)
+	for i := 0; i < cfg.Accounts; i++ {
+		init[acctName(i)] = 1000
+	}
+	if err := db.Initialize(init); err != nil {
+		return nil, err
+	}
+	before := db.Stats()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	for s := 0; s < cfg.Sessions; s++ {
+		sess := db.Session(fmt.Sprintf("transfer%d", s))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*7919))
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for t := 0; t < cfg.Transfers; t++ {
+				accounts := pickDistinct(rng, cfg.Accounts, cfg.Hops)
+				var err error
+				if cfg.Chopped {
+					err = choppedTransfer(sess, accounts, cfg.Think)
+				} else {
+					err = monolithicTransfer(sess, accounts, cfg.Think)
+				}
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	after := db.Stats()
+	return &TransferOutcome{
+		Commits:   after.Commits - before.Commits,
+		Conflicts: after.Conflicts - before.Conflicts,
+	}, nil
+}
+
+func acctName(i int) model.Obj { return model.Obj(fmt.Sprintf("acct%d", i)) }
+
+// pickDistinct draws k distinct indices from [0, n).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// monolithicTransfer updates every account in a single transaction,
+// thinking between the read and the write of each hop.
+func monolithicTransfer(sess *engine.Session, accounts []int, think time.Duration) error {
+	return sess.Transact(func(tx *engine.Tx) error {
+		for _, a := range accounts {
+			v, err := tx.Read(acctName(a))
+			if err != nil {
+				return err
+			}
+			sleep(think)
+			if err := tx.Write(acctName(a), v+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// choppedTransfer performs the same per-account updates as a session
+// of single-account transactions — the chopping of
+// monolithicTransfer.
+func choppedTransfer(sess *engine.Session, accounts []int, think time.Duration) error {
+	for _, a := range accounts {
+		err := sess.Transact(func(tx *engine.Tx) error {
+			v, err := tx.Read(acctName(a))
+			if err != nil {
+				return err
+			}
+			sleep(think)
+			return tx.Write(acctName(a), v+1)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// StageBankingChopped realises Figure 4 operationally on a database:
+// the transfer is chopped into two transactions (debit acct1, credit
+// acct2), and balance queries run *between* the two pieces. With
+// atomicLookup a single lookupAll transaction reads both accounts —
+// observing the half-completed transfer, so that splicing the recorded
+// history leaves HistSI (the incorrect chopping of Figure 5); with
+// per-account lookups the spliced history stays in HistSI (the correct
+// chopping of Figure 6). The returned history is the recorded one;
+// call History.Splice to obtain the spliced counterpart.
+func StageBankingChopped(db *engine.DB, atomicLookup bool) (*model.History, error) {
+	if err := db.Initialize(map[model.Obj]model.Value{objAcct1: 100, objAcct2: 100}); err != nil {
+		return nil, err
+	}
+	transfer := db.Session("transfer")
+	// Piece 1: acct1 -= 100.
+	err := transfer.TransactNamed("piece1", func(tx *engine.Tx) error {
+		v, err := tx.Read(objAcct1)
+		if err != nil {
+			return err
+		}
+		return tx.Write(objAcct1, v-100)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Queries between the pieces.
+	readObj := func(sess *engine.Session, objs ...model.Obj) error {
+		return sess.Transact(func(tx *engine.Tx) error {
+			for _, x := range objs {
+				if _, err := tx.Read(x); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if atomicLookup {
+		if err := readObj(db.Session("lookupAll"), objAcct1, objAcct2); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := readObj(db.Session("lookup1"), objAcct1); err != nil {
+			return nil, err
+		}
+		if err := readObj(db.Session("lookup2"), objAcct2); err != nil {
+			return nil, err
+		}
+	}
+	// Piece 2: acct2 += 100.
+	err = transfer.TransactNamed("piece2", func(tx *engine.Tx) error {
+		v, err := tx.Read(objAcct2)
+		if err != nil {
+			return err
+		}
+		return tx.Write(objAcct2, v+100)
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Flush()
+	return db.History(), nil
+}
+
+// StageLongFork drives a PSI database (in manual-propagation mode)
+// through the Figure 2(c) long fork deterministically and returns the
+// recorded history: T1 writes x at site A, T2 writes y at site B; T3
+// at site A observes x=1, y=0; T4 at site B observes y=1, x=0. The
+// caller owns db and should create it with
+// Config{ManualPropagation: true}.
+func StageLongFork(db *engine.DB) (*model.History, error) {
+	if db.Kind() != engine.PSI {
+		return nil, fmt.Errorf("workload: long fork staging requires a PSI database, got %v", db.Kind())
+	}
+	if err := db.Initialize(map[model.Obj]model.Value{objX: 0, objY: 0}); err != nil {
+		return nil, err
+	}
+	siteA := db.Session("siteA")
+	siteB := db.Session("siteB")
+	write := func(s *engine.Session, obj model.Obj) error {
+		return s.Transact(func(tx *engine.Tx) error { return tx.Write(obj, 1) })
+	}
+	readBoth := func(s *engine.Session, first, second model.Obj) error {
+		return s.Transact(func(tx *engine.Tx) error {
+			if _, err := tx.Read(first); err != nil {
+				return err
+			}
+			_, err := tx.Read(second)
+			return err
+		})
+	}
+	// Concurrent writes at two sites, not yet propagated.
+	if err := write(siteA, objX); err != nil {
+		return nil, err
+	}
+	if err := write(siteB, objY); err != nil {
+		return nil, err
+	}
+	// Each site reads with only its own write applied: the fork.
+	if err := readBoth(siteA, objX, objY); err != nil {
+		return nil, err
+	}
+	if err := readBoth(siteB, objY, objX); err != nil {
+		return nil, err
+	}
+	db.Flush()
+	return db.History(), nil
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"sian/internal/model"
+	"sian/internal/robustness"
+)
+
+// SmallBank is the classical benchmark used in the SI-robustness
+// literature (Alomari, Cahill, Fekete, Röhm: "The Cost of
+// Serializability on Platforms That Use Snapshot Isolation", ICDE
+// 2008) and a natural stress test for the §6.1 analysis. Each customer
+// has a checking and a savings account; the application has five
+// transaction programs:
+//
+//   - Balance(N): read both accounts (read-only);
+//   - DepositChecking(N): read and write checking;
+//   - TransactSavings(N): read and write savings;
+//   - Amalgamate(N1, N2): move all funds of N1 into N2's checking —
+//     reads and writes both of N1's accounts and N2's checking;
+//   - WriteCheck(N): read both accounts, write checking.
+//
+// The application is not robust against SI: WriteCheck decides on the
+// combined balance but only conflicts on checking, so it can race a
+// TransactSavings — observed by a Balance — in a write-skew shape.
+
+// smallBankObjs returns the checking and savings objects of a
+// customer.
+func smallBankObjs(customer int) (checking, savings model.Obj) {
+	return model.Obj(fmt.Sprintf("checking%d", customer)),
+		model.Obj(fmt.Sprintf("savings%d", customer))
+}
+
+// SmallBankApp builds the SmallBank application spec over the given
+// number of customers, with one concurrent instance of every program
+// per customer (Amalgamate moves customer i's funds to customer
+// (i+1) mod n). When fixed is true the standard materialised-conflict
+// fix is applied: TransactSavings and WriteCheck both update a
+// per-customer conflict object, so SI's write-conflict detection
+// orders the racing pair.
+func SmallBankApp(customers int, fixed bool) robustness.App {
+	if customers < 1 {
+		customers = 1
+	}
+	var txs []robustness.TxSpec
+	for n := 0; n < customers; n++ {
+		c, s := smallBankObjs(n)
+		conflict := model.Obj(fmt.Sprintf("conflict%d", n))
+		both := []model.Obj{c, s}
+
+		balance := robustness.NewTxSpec(fmt.Sprintf("Balance(%d)", n), both, nil)
+		deposit := robustness.NewTxSpec(fmt.Sprintf("DepositChecking(%d)", n),
+			[]model.Obj{c}, []model.Obj{c})
+
+		tsReads, tsWrites := []model.Obj{s}, []model.Obj{s}
+		wcReads, wcWrites := both, []model.Obj{c}
+		if fixed {
+			tsWrites = append(tsWrites, conflict)
+			wcWrites = append(wcWrites, conflict)
+		}
+		transact := robustness.NewTxSpec(fmt.Sprintf("TransactSavings(%d)", n), tsReads, tsWrites)
+		writeCheck := robustness.NewTxSpec(fmt.Sprintf("WriteCheck(%d)", n), wcReads, wcWrites)
+
+		c2, _ := smallBankObjs((n + 1) % customers)
+		amalgamate := robustness.NewTxSpec(fmt.Sprintf("Amalgamate(%d,%d)", n, (n+1)%customers),
+			both, []model.Obj{c, s, c2})
+
+		txs = append(txs, balance, deposit, transact, writeCheck, amalgamate)
+	}
+	return robustness.SingleTxApp(txs...)
+}

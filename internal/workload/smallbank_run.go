@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// SmallBankConfig parameterises RunSmallBank.
+type SmallBankConfig struct {
+	Customers    int
+	Sessions     int
+	TxPerSession int
+	Seed         int64
+	// InitialChecking / InitialSavings are the opening balances.
+	InitialChecking model.Value
+	InitialSavings  model.Value
+}
+
+func (c SmallBankConfig) withDefaults() SmallBankConfig {
+	if c.Customers <= 0 {
+		c.Customers = 2
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.TxPerSession <= 0 {
+		c.TxPerSession = 20
+	}
+	if c.InitialChecking == 0 {
+		c.InitialChecking = 100
+	}
+	if c.InitialSavings == 0 {
+		c.InitialSavings = 100
+	}
+	return c
+}
+
+// SmallBankOutcome reports a SmallBank run.
+type SmallBankOutcome struct {
+	// Overdrafts counts customers whose final combined balance is
+	// negative. The application logic never authorises an uncovered
+	// withdrawal, so under serializability (and SSI) this is always 0;
+	// under SI a WriteCheck racing a TransactSavings withdrawal can
+	// overdraw — the SmallBank write skew the §6.1 analysis flags
+	// statically.
+	Overdrafts int
+	// Operations counts committed application transactions.
+	Operations int
+}
+
+// RunSmallBank drives the SmallBank application (Alomari et al.)
+// operationally: concurrent sessions issue random Balance,
+// DepositChecking, TransactSavings, WriteCheck and Amalgamate
+// transactions with real money semantics, and a final audit checks the
+// never-overdrawn invariant per customer.
+func RunSmallBank(db *engine.DB, cfg SmallBankConfig) (*SmallBankOutcome, error) {
+	cfg = cfg.withDefaults()
+	init := make(map[model.Obj]model.Value, 2*cfg.Customers)
+	for n := 0; n < cfg.Customers; n++ {
+		c, s := smallBankObjs(n)
+		init[c] = cfg.InitialChecking
+		init[s] = cfg.InitialSavings
+	}
+	if err := db.Initialize(init); err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		sess := db.Session(fmt.Sprintf("teller%d", i))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*6151))
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for t := 0; t < cfg.TxPerSession; t++ {
+				customer := rng.Intn(cfg.Customers)
+				var err error
+				switch rng.Intn(5) {
+				case 0:
+					err = sbBalance(sess, customer)
+				case 1:
+					err = sbDepositChecking(sess, customer, model.Value(1+rng.Intn(20)))
+				case 2:
+					err = sbTransactSavings(sess, customer, -model.Value(1+rng.Intn(80)))
+				case 3:
+					err = sbWriteCheck(sess, customer, model.Value(1+rng.Intn(120)))
+				case 4:
+					err = sbAmalgamate(sess, customer, (customer+1)%cfg.Customers)
+				}
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	db.Flush()
+	out := &SmallBankOutcome{Operations: cfg.Sessions * cfg.TxPerSession}
+	audit := db.Session("audit")
+	for n := 0; n < cfg.Customers; n++ {
+		c, s := smallBankObjs(n)
+		var total model.Value
+		err := audit.Transact(func(tx *engine.Tx) error {
+			cv, err := tx.Read(c)
+			if err != nil {
+				return err
+			}
+			sv, err := tx.Read(s)
+			if err != nil {
+				return err
+			}
+			total = cv + sv
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if total < 0 {
+			out.Overdrafts++
+		}
+	}
+	return out, nil
+}
+
+// sbBalance reads both accounts.
+func sbBalance(sess *engine.Session, n int) error {
+	c, s := smallBankObjs(n)
+	return sess.TransactNamed("Balance", func(tx *engine.Tx) error {
+		if _, err := tx.Read(c); err != nil {
+			return err
+		}
+		_, err := tx.Read(s)
+		return err
+	})
+}
+
+// sbDepositChecking adds amount to checking.
+func sbDepositChecking(sess *engine.Session, n int, amount model.Value) error {
+	c, _ := smallBankObjs(n)
+	return sess.TransactNamed("DepositChecking", func(tx *engine.Tx) error {
+		v, err := tx.Read(c)
+		if err != nil {
+			return err
+		}
+		return tx.Write(c, v+amount)
+	})
+}
+
+// sbTransactSavings applies amount (possibly negative) to savings.
+// Withdrawals are authorised against the *combined* balance — the
+// precondition that makes "total never negative" a serial invariant,
+// and exactly what creates the disjoint-write race with WriteCheck
+// under SI.
+func sbTransactSavings(sess *engine.Session, n int, amount model.Value) error {
+	c, s := smallBankObjs(n)
+	return sess.TransactNamed("TransactSavings", func(tx *engine.Tx) error {
+		cv, err := tx.Read(c)
+		if err != nil {
+			return err
+		}
+		sv, err := tx.Read(s)
+		if err != nil {
+			return err
+		}
+		if cv+sv+amount < 0 {
+			return nil // insufficient funds: no-op
+		}
+		return tx.Write(s, sv+amount)
+	})
+}
+
+// sbWriteCheck cashes a check against the combined balance: only
+// authorised when covered, deducted from checking.
+func sbWriteCheck(sess *engine.Session, n int, amount model.Value) error {
+	c, s := smallBankObjs(n)
+	return sess.TransactNamed("WriteCheck", func(tx *engine.Tx) error {
+		cv, err := tx.Read(c)
+		if err != nil {
+			return err
+		}
+		sv, err := tx.Read(s)
+		if err != nil {
+			return err
+		}
+		if cv+sv < amount {
+			return nil // not covered: reject the check
+		}
+		return tx.Write(c, cv-amount)
+	})
+}
+
+// sbAmalgamate moves all of customer a's funds into customer b's
+// checking.
+func sbAmalgamate(sess *engine.Session, a, b int) error {
+	ca, sa := smallBankObjs(a)
+	cb, _ := smallBankObjs(b)
+	if a == b {
+		return nil
+	}
+	return sess.TransactNamed("Amalgamate", func(tx *engine.Tx) error {
+		cav, err := tx.Read(ca)
+		if err != nil {
+			return err
+		}
+		sav, err := tx.Read(sa)
+		if err != nil {
+			return err
+		}
+		cbv, err := tx.Read(cb)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(ca, 0); err != nil {
+			return err
+		}
+		if err := tx.Write(sa, 0); err != nil {
+			return err
+		}
+		return tx.Write(cb, cbv+cav+sav)
+	})
+}
+
+// StageSmallBankOverdraft stages the SmallBank write skew
+// deterministically: a WriteCheck and a TransactSavings withdrawal on
+// the same customer run on overlapping snapshots. Under SI both
+// commit, overdrawing the customer; under SER and SSI one aborts. It
+// returns whether both committed and the final combined balance.
+func StageSmallBankOverdraft(db *engine.DB) (bothCommitted bool, finalTotal model.Value, err error) {
+	c, s := smallBankObjs(0)
+	if err := db.Initialize(map[model.Obj]model.Value{c: 10, s: 30}); err != nil {
+		return false, 0, err
+	}
+	wc, err := db.Session("writecheck").Begin("WriteCheck")
+	if err != nil {
+		return false, 0, err
+	}
+	ts, err := db.Session("transactsavings").Begin("TransactSavings")
+	if err != nil {
+		return false, 0, err
+	}
+	// WriteCheck: cash 35 against combined 40.
+	cv, err := wc.Read(c)
+	if err != nil {
+		return false, 0, err
+	}
+	sv, err := wc.Read(s)
+	if err != nil {
+		return false, 0, err
+	}
+	if cv+sv < 35 {
+		return false, 0, fmt.Errorf("workload: staging broken: combined %d", cv+sv)
+	}
+	if err := wc.Write(c, cv-35); err != nil {
+		return false, 0, err
+	}
+	// TransactSavings: withdraw 30, authorised against the combined
+	// snapshot balance 40.
+	tcv, err := ts.Read(c)
+	if err != nil {
+		return false, 0, err
+	}
+	tsv, err := ts.Read(s)
+	if err != nil {
+		return false, 0, err
+	}
+	if tcv+tsv < 30 {
+		return false, 0, fmt.Errorf("workload: staging broken: combined %d", tcv+tsv)
+	}
+	if err := ts.Write(s, tsv-30); err != nil {
+		return false, 0, err
+	}
+	err1 := wc.Commit()
+	err2 := ts.Commit()
+	db.Flush()
+	var total model.Value
+	audit := db.Session("audit")
+	aerr := audit.Transact(func(tx *engine.Tx) error {
+		cv, err := tx.Read(c)
+		if err != nil {
+			return err
+		}
+		sv, err := tx.Read(s)
+		if err != nil {
+			return err
+		}
+		total = cv + sv
+		return nil
+	})
+	if aerr != nil {
+		return false, 0, aerr
+	}
+	return err1 == nil && err2 == nil, total, nil
+}
