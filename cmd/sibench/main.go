@@ -8,15 +8,27 @@
 //	sibench -engine si|ser|psi|ssi -workload registers|writeskew|transfers|longfork|banking|smallbank
 //	        [-sessions N] [-txs N] [-ops N] [-objects N] [-rounds N]
 //	        [-accounts N] [-hops N] [-chopped] [-seed N] [-certify]
+//	        [-trace] [-metrics file|-] [-bench-json file] [-pprof addr]
 //
-// Exit status 0 on success, 1 when -certify fails, 2 on usage or
+// -metrics dumps the metrics registry (engine counters,
+// commit-latency and snapshot-age histograms, phase durations) on
+// exit in Prometheus text format ('-' for stdout, *.json for JSON).
+// -trace prints per-phase timing lines on stderr. -bench-json writes
+// a machine-readable benchmark summary (throughput, p50/p99 commit
+// latency) to the named file. -pprof serves net/http/pprof on the
+// given address (for example localhost:6060) for the duration of the
+// run. Exit status 0 on success, 1 when -certify fails, 2 on usage or
 // processing errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only with -pprof
 	"os"
 	"time"
 
@@ -24,11 +36,12 @@ import (
 	"sian/internal/depgraph"
 	"sian/internal/engine"
 	"sian/internal/model"
+	"sian/internal/obs"
 	"sian/internal/workload"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sibench:", err)
 		os.Exit(2)
@@ -36,7 +49,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, stdout io.Writer) (int, error) {
+func run(args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sibench", flag.ContinueOnError)
 	engineFlag := fs.String("engine", "si", "engine: si, ser, psi or ssi")
 	workloadFlag := fs.String("workload", "registers", "workload: registers, writeskew, transfers, longfork, banking or smallbank")
@@ -52,6 +65,10 @@ func run(args []string, stdout io.Writer) (int, error) {
 	seed := fs.Int64("seed", 1, "workload seed")
 	atomicLookup := fs.Bool("atomic-lookup", false, "banking: query both accounts in one transaction (the incorrect Figure 5 chopping)")
 	certify := fs.Bool("certify", false, "certify the recorded history against the engine's model")
+	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
+	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	benchJSON := fs.String("bench-json", "", "write a machine-readable benchmark summary (JSON) to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -60,7 +77,23 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	cfg := engine.Config{}
+	reg := obs.NewRegistry()
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(reg)
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return 2, fmt.Errorf("pprof: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, nil) // shut down by the deferred Close
+		}()
+	}
+	cfg := engine.Config{Metrics: reg}
 	if *workloadFlag == "longfork" {
 		cfg.ManualPropagation = true
 	}
@@ -70,6 +103,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	defer db.Close()
 
+	doneWorkload := tr.Phase("workload")
 	start := time.Now()
 	var h *model.History
 	switch *workloadFlag {
@@ -130,24 +164,102 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 2, err
 	}
 	elapsed := time.Since(start)
+	doneWorkload()
 
 	stats := db.Stats()
-	fmt.Fprintf(stdout, "engine=%s workload=%s commits=%d conflicts=%d elapsed=%v\n",
-		kind, *workloadFlag, stats.Commits, stats.Conflicts, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "engine=%s workload=%s commits=%d conflicts=%d aborts=%d retries=%d elapsed=%v\n",
+		kind, *workloadFlag, stats.Commits, stats.Conflicts, stats.Aborts, stats.Retries,
+		elapsed.Round(time.Microsecond))
 	fmt.Fprintf(stdout, "history: %d sessions, %d transactions\n", h.NumSessions(), h.NumTransactions())
 
+	exit := 0
 	if *certify {
-		res, err := check.Certify(h, m, check.Options{AddInit: false, PinInit: true, Budget: 10_000_000})
+		res, err := check.Certify(h, m, check.Options{
+			AddInit: false, PinInit: true, Budget: 10_000_000,
+			Tracer: tr, Metrics: reg,
+		})
 		if err != nil {
 			return 2, fmt.Errorf("certify: %w", err)
 		}
-		if !res.Member {
+		switch {
+		case res.Member:
+			fmt.Fprintf(stdout, "history certified %v (%d candidate graphs examined)\n", m, res.Examined)
+		default:
 			fmt.Fprintf(stdout, "CERTIFICATION FAILED: history not allowed by %v\n", m)
-			return 1, nil
+			if res.Explain != nil {
+				fmt.Fprintf(stdout, "  explain: %s\n", res.Explain)
+			}
+			exit = 1
 		}
-		fmt.Fprintf(stdout, "history certified %v (%d candidate graphs examined)\n", m, res.Examined)
 	}
-	return 0, nil
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *engineFlag, *workloadFlag, *sessions, kind, elapsed, stats, reg); err != nil {
+			return 2, err
+		}
+	}
+	tr.Report(stderr)
+	if *metricsOut != "" {
+		if err := reg.Dump(*metricsOut, stdout); err != nil {
+			return 2, err
+		}
+	}
+	return exit, nil
+}
+
+// benchReport is the machine-readable benchmark summary emitted by
+// -bench-json, one JSON object per run. Latency quantiles come from
+// the engine's log-scale commit-latency histogram.
+type benchReport struct {
+	Schema             string  `json:"schema"`
+	Engine             string  `json:"engine"`
+	Workload           string  `json:"workload"`
+	Sessions           int     `json:"sessions"`
+	ElapsedNS          int64   `json:"elapsed_ns"`
+	Commits            int64   `json:"commits"`
+	Conflicts          int64   `json:"conflicts"`
+	Aborts             int64   `json:"aborts"`
+	Retries            int64   `json:"retries"`
+	TxsPerSec          float64 `json:"txs_per_sec"`
+	P50CommitLatencyNS float64 `json:"p50_commit_latency_ns"`
+	P99CommitLatencyNS float64 `json:"p99_commit_latency_ns"`
+	P50SnapshotAgeNS   float64 `json:"p50_snapshot_age_ns"`
+	P99SnapshotAgeNS   float64 `json:"p99_snapshot_age_ns"`
+}
+
+func writeBenchJSON(path, engineName, workloadName string, sessions int, kind engine.Kind, elapsed time.Duration, stats engine.Stats, reg *obs.Registry) error {
+	lbl := obs.L("engine", kind.String())
+	commitLat := reg.Histogram("engine_commit_latency_ns", lbl)
+	snapAge := reg.Histogram("engine_snapshot_age_ns", lbl)
+	rep := benchReport{
+		Schema:             "sibench/v1",
+		Engine:             engineName,
+		Workload:           workloadName,
+		Sessions:           sessions,
+		ElapsedNS:          elapsed.Nanoseconds(),
+		Commits:            stats.Commits,
+		Conflicts:          stats.Conflicts,
+		Aborts:             stats.Aborts,
+		Retries:            stats.Retries,
+		P50CommitLatencyNS: commitLat.Quantile(0.50),
+		P99CommitLatencyNS: commitLat.Quantile(0.99),
+		P50SnapshotAgeNS:   snapAge.Quantile(0.50),
+		P99SnapshotAgeNS:   snapAge.Quantile(0.99),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.TxsPerSec = float64(stats.Commits) / secs
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func selectEngine(s string) (engine.Kind, depgraph.Model, error) {

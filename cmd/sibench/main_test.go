@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestRunRegistersCertified(t *testing.T) {
 				"-engine", eng, "-workload", "registers",
 				"-sessions", "2", "-txs", "5", "-ops", "2", "-objects", "3",
 				"-certify",
-			}, &out)
+			}, &out, io.Discard)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -34,7 +35,7 @@ func TestRunRegistersCertified(t *testing.T) {
 func TestRunWriteSkewWorkload(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-engine", "ser", "-workload", "writeskew", "-rounds", "5"}, &out)
+	code, err := run([]string{"-engine", "ser", "-workload", "writeskew", "-rounds", "5"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRunTransfersWorkload(t *testing.T) {
 		code, err := run([]string{
 			"-engine", "si", "-workload", "transfers",
 			"-sessions", "2", "-transfers", "3", "-accounts", "4", "-hops", "2", chopped,
-		}, &out)
+		}, &out, io.Discard)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestRunTransfersWorkload(t *testing.T) {
 func TestRunLongForkWorkload(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-engine", "psi", "-workload", "longfork", "-certify"}, &out)
+	code, err := run([]string{"-engine", "psi", "-workload", "longfork", "-certify"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,13 +82,13 @@ func TestRunLongForkWorkload(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	if _, err := run([]string{"-engine", "bogus"}, &out); err == nil {
+	if _, err := run([]string{"-engine", "bogus"}, &out, io.Discard); err == nil {
 		t.Error("bogus engine accepted")
 	}
-	if _, err := run([]string{"-workload", "bogus"}, &out); err == nil {
+	if _, err := run([]string{"-workload", "bogus"}, &out, io.Discard); err == nil {
 		t.Error("bogus workload accepted")
 	}
-	if _, err := run([]string{"-engine", "si", "-workload", "longfork"}, &out); err == nil {
+	if _, err := run([]string{"-engine", "si", "-workload", "longfork"}, &out, io.Discard); err == nil {
 		t.Error("longfork on SI engine accepted")
 	}
 }
@@ -95,7 +96,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunBankingWorkload(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-engine", "si", "-workload", "banking", "-atomic-lookup", "-certify"}, &out)
+	code, err := run([]string{"-engine", "si", "-workload", "banking", "-atomic-lookup", "-certify"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRunBankingWorkload(t *testing.T) {
 		t.Errorf("Figure 5 staging output:\n%s", out.String())
 	}
 	out.Reset()
-	if _, err := run([]string{"-engine", "si", "-workload", "banking", "-certify"}, &out); err != nil {
+	if _, err := run([]string{"-engine", "si", "-workload", "banking", "-certify"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "spliced history allowed by SI: true") {
@@ -120,7 +121,7 @@ func TestRunSSIEngine(t *testing.T) {
 	code, err := run([]string{
 		"-engine", "ssi", "-workload", "registers",
 		"-sessions", "2", "-txs", "4", "-ops", "2", "-objects", "3", "-certify",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestRunSmallBankWorkload(t *testing.T) {
 	code, err := run([]string{
 		"-engine", "ssi", "-workload", "smallbank",
 		"-sessions", "2", "-txs", "10", "-accounts", "4",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

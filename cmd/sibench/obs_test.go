@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunMetricsDump is the acceptance path: sibench -engine si
+// -workload smallbank -metrics - must print the Prometheus registry
+// including the commit-latency histogram buckets.
+func TestRunMetricsDump(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{
+		"-engine", "si", "-workload", "smallbank",
+		"-sessions", "2", "-txs", "5", "-accounts", "4",
+		"-metrics", "-",
+	}, &out, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"# TYPE engine_commits_total counter",
+		"# TYPE engine_commit_latency_ns histogram",
+		`engine_commit_latency_ns_bucket{engine="SI",le="+Inf"}`,
+		`engine_commit_latency_ns_sum{engine="SI"}`,
+		`engine_snapshot_age_ns_count{engine="SI"}`,
+		`engine_sessions{engine="SI"}`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunTrace checks -trace prints phase timing lines on stderr.
+func TestRunTrace(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code, err := run([]string{
+		"-engine", "si", "-workload", "registers",
+		"-sessions", "2", "-txs", "5", "-certify", "-trace",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	es := errOut.String()
+	for _, want := range []string{"trace: phase=", "workload", "extension-search"} {
+		if !strings.Contains(es, want) {
+			t.Errorf("stderr missing %q:\n%s", want, es)
+		}
+	}
+}
+
+// TestRunBenchJSON checks -bench-json writes a parseable summary with
+// throughput and latency quantiles.
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	code, err := run([]string{
+		"-engine", "si", "-workload", "smallbank",
+		"-sessions", "2", "-txs", "5", "-accounts", "4",
+		"-bench-json", path,
+	}, &out, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bench JSON does not parse: %v\n%s", err, raw)
+	}
+	if rep.Schema != "sibench/v1" {
+		t.Errorf("schema = %q, want sibench/v1", rep.Schema)
+	}
+	if rep.Engine != "si" || rep.Workload != "smallbank" {
+		t.Errorf("identity = %s/%s, want si/smallbank", rep.Engine, rep.Workload)
+	}
+	if rep.Commits <= 0 {
+		t.Errorf("commits = %d, want > 0", rep.Commits)
+	}
+	if rep.TxsPerSec <= 0 {
+		t.Errorf("txs_per_sec = %v, want > 0", rep.TxsPerSec)
+	}
+	if rep.P50CommitLatencyNS <= 0 || rep.P99CommitLatencyNS < rep.P50CommitLatencyNS {
+		t.Errorf("latency quantiles implausible: p50=%v p99=%v", rep.P50CommitLatencyNS, rep.P99CommitLatencyNS)
+	}
+}
+
+// TestRunMetricsJSONFile checks a *.json -metrics path selects the
+// JSON exporter.
+func TestRunMetricsJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	code, err := run([]string{
+		"-engine", "ser", "-workload", "registers",
+		"-sessions", "2", "-txs", "5",
+		"-metrics", path,
+	}, &out, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []map[string]any
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(metrics) == 0 {
+		t.Error("metrics JSON is empty")
+	}
+}

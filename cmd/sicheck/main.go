@@ -8,12 +8,15 @@
 //
 //	sicheck [-model all|ser|si|psi|pc|gsi] [-init] [-init-value N]
 //	        [-budget N] [-witness] [-classify] [-dot out.dot]
-//	        [history.json]
+//	        [-trace] [-metrics file|-] [history.json]
 //
 // The history is read from the file argument or standard input; see
-// internal/histio for the JSON schema. Exit status 0 means the history
-// is allowed by every requested model, 1 that some model rejects it,
-// 2 a usage or processing error.
+// internal/histio for the JSON schema. -trace prints per-phase timing
+// lines on stderr; -metrics dumps the metrics registry (search
+// counters and phase-duration histograms) on exit, in Prometheus text
+// format ('-' for stdout, a path ending in .json for JSON). Exit
+// status 0 means the history is allowed by every requested model, 1
+// that some model rejects it, 2 a usage or processing error.
 package main
 
 import (
@@ -21,17 +24,17 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"sian/internal/check"
 	"sian/internal/depgraph"
 	"sian/internal/dot"
 	"sian/internal/histio"
 	"sian/internal/model"
+	"sian/internal/obs"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sicheck:", err)
 		os.Exit(2)
@@ -41,7 +44,7 @@ func main() {
 
 // run executes the tool; it returns the process exit code and a usage
 // or processing error (which maps to exit code 2).
-func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sicheck", flag.ContinueOnError)
 	modelFlag := fs.String("model", "all", "model to check: all, ser, si, psi, pc or gsi")
 	addInit := fs.Bool("init", true, "add an initialisation transaction writing init-value to every object")
@@ -50,6 +53,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	witness := fs.Bool("witness", false, "print the witness dependency graph for members")
 	dotOut := fs.String("dot", "", "write the first witness dependency graph as Graphviz DOT to this file ('-' for stdout)")
 	classify := fs.Bool("classify", false, "name the anomaly class of the history across the model lattice")
+	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
+	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -78,11 +83,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		return 2, err
 	}
 
+	reg := obs.NewRegistry()
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(reg)
+	}
+	finish := func(code int, err error) (int, error) {
+		tr.Report(stderr)
+		if *metricsOut != "" {
+			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
+				return 2, derr
+			}
+		}
+		return code, err
+	}
+
 	opts := check.Options{
 		AddInit:   *addInit,
 		PinInit:   true,
 		InitValue: model.Value(*initValue),
 		Budget:    *budget,
+		Tracer:    tr,
+		Metrics:   reg,
 	}
 	if !*addInit {
 		// Pin only when the history visibly carries its own init
@@ -93,13 +115,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	if *classify {
 		rep, err := check.Classify(h, opts)
 		if err != nil {
-			return 2, err
+			return finish(2, err)
 		}
 		fmt.Fprintf(stdout, "classification: %v\n", rep.Anomaly)
 		if rep.Anomaly == check.Serializable {
-			return 0, nil
+			return finish(0, nil)
 		}
-		return 1, nil
+		return finish(1, nil)
 	}
 
 	exit := 0
@@ -107,7 +129,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	for _, m := range models {
 		res, err := check.Certify(h, m, opts)
 		if err != nil {
-			return 2, fmt.Errorf("%v: %w", m, err)
+			return finish(2, fmt.Errorf("%v: %w", m, err))
 		}
 		verdict := "ALLOWED"
 		if !res.Member {
@@ -118,19 +140,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		if res.Member && *witness {
 			printGraph(stdout, res.Graph)
 		}
-		if !res.Member && res.Rejection != nil {
-			if cyc := res.Rejection.Witness(m); cyc != nil {
-				fmt.Fprintf(stdout, "  forbidden cycle: %s\n", describeCycle(res.Rejection, cyc))
-			}
+		if !res.Member && res.Explain != nil {
+			printExplain(stdout, res.Explain)
 		}
 		if res.Member && *dotOut != "" && !dotDone {
 			dotDone = true
 			if err := writeDot(*dotOut, stdout, res.Graph); err != nil {
-				return 2, err
+				return finish(2, err)
 			}
 		}
 	}
-	return exit, nil
+	return finish(exit, nil)
+}
+
+// printExplain renders the explainable verdict: the violated axiom
+// and, when available, the witnessing forbidden cycle with labelled
+// edges.
+func printExplain(w io.Writer, e *check.Explanation) {
+	fmt.Fprintf(w, "  explain: axiom %s\n", e.Axiom)
+	if len(e.Cycle) > 0 && e.Graph != nil {
+		fmt.Fprintf(w, "  forbidden cycle: %s\n", e.Graph.FormatCycle(e.Cycle))
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(w, "  detail: %s\n", e.Detail)
+	}
+	if !e.Definitive {
+		fmt.Fprintln(w, "  (non-definitive: the search branched; the cycle explains one rejected candidate)")
+	}
 }
 
 // writeDot emits the witness graph as DOT to the named file, or to
@@ -167,20 +203,6 @@ func selectModels(s string) ([]depgraph.Model, error) {
 	default:
 		return nil, fmt.Errorf("unknown model %q (want all, ser, si, psi, pc or gsi)", s)
 	}
-}
-
-// describeCycle renders a composite-relation cycle using transaction
-// labels.
-func describeCycle(g *depgraph.Graph, cyc []int) string {
-	parts := make([]string, 0, len(cyc))
-	for _, i := range cyc {
-		id := g.History.Transaction(i).ID
-		if id == "" {
-			id = fmt.Sprintf("#%d", i)
-		}
-		parts = append(parts, id)
-	}
-	return strings.Join(parts, " -> ")
 }
 
 func printGraph(w io.Writer, g *depgraph.Graph) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func TestRunWriteSkew(t *testing.T) {
 	t.Parallel()
 	path := historyFile(t, "ws", workload.WriteSkew())
 	var out bytes.Buffer
-	code, err := run([]string{"-init=false", path}, strings.NewReader(""), &out)
+	code, err := run([]string{"-init=false", path}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRunSingleModelWithWitness(t *testing.T) {
 	t.Parallel()
 	path := historyFile(t, "ws", workload.WriteSkew())
 	var out bytes.Buffer
-	code, err := run([]string{"-init=false", "-model", "si", "-witness", path}, strings.NewReader(""), &out)
+	code, err := run([]string{"-init=false", "-model", "si", "-witness", path}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestRunStdin(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := run([]string{"-model", "ser"}, &buf, &out)
+	code, err := run([]string{"-model", "ser"}, &buf, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,16 +85,16 @@ func TestRunStdin(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	if _, err := run([]string{"-model", "bogus"}, strings.NewReader("{}"), &out); err == nil {
+	if _, err := run([]string{"-model", "bogus"}, strings.NewReader("{}"), &out, io.Discard); err == nil {
 		t.Error("bogus model accepted")
 	}
-	if _, err := run([]string{"nope.json"}, strings.NewReader(""), &out); err == nil {
+	if _, err := run([]string{"nope.json"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("extra args accepted")
 	}
-	if _, err := run(nil, strings.NewReader("not json"), &out); err == nil {
+	if _, err := run(nil, strings.NewReader("not json"), &out, io.Discard); err == nil {
 		t.Error("invalid json accepted")
 	}
 }
@@ -103,7 +104,7 @@ func TestRunDotOutput(t *testing.T) {
 	path := historyFile(t, "ws", workload.WriteSkew())
 	dotPath := filepath.Join(t.TempDir(), "out.dot")
 	var out bytes.Buffer
-	code, err := run([]string{"-init=false", "-model", "si", "-dot", dotPath, path}, strings.NewReader(""), &out)
+	code, err := run([]string{"-init=false", "-model", "si", "-dot", dotPath, path}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestRunDotOutput(t *testing.T) {
 	}
 	// '-' writes to stdout.
 	out.Reset()
-	if _, err := run([]string{"-init=false", "-model", "si", "-dot", "-", path}, strings.NewReader(""), &out); err != nil {
+	if _, err := run([]string{"-init=false", "-model", "si", "-dot", "-", path}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "digraph dependencies") {
@@ -131,7 +132,7 @@ func TestRunDotOutput(t *testing.T) {
 func TestRunFixtures(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-init=false", "../../testdata/longfork_history.json"}, strings.NewReader(""), &out)
+	code, err := run([]string{"-init=false", "../../testdata/longfork_history.json"}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestRunClassify(t *testing.T) {
 	t.Parallel()
 	path := historyFile(t, "ws", workload.WriteSkew())
 	var out bytes.Buffer
-	code, err := run([]string{"-init=false", "-classify", path}, strings.NewReader(""), &out)
+	code, err := run([]string{"-init=false", "-classify", path}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestRunClassify(t *testing.T) {
 	// A serializable history exits 0.
 	path2 := historyFile(t, "ok", workload.SessionGuarantees())
 	out.Reset()
-	code, err = run([]string{"-init=false", "-classify", path2}, strings.NewReader(""), &out)
+	code, err = run([]string{"-init=false", "-classify", path2}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,10 +24,11 @@ import (
 	"sian/internal/chopping"
 	"sian/internal/dot"
 	"sian/internal/histio"
+	"sian/internal/obs"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sichop:", err)
 		os.Exit(2)
@@ -35,13 +36,30 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sichop", flag.ContinueOnError)
 	level := fs.String("level", "all", "criticality level: all, ser, si or psi")
 	dotOut := fs.String("dot", "", "write the static chopping graph (with the first critical cycle highlighted) as Graphviz DOT to this file ('-' for stdout)")
 	autochop := fs.Bool("autochop", false, "when a chopping is incorrect, print a coarsened correct chopping")
+	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
+	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+
+	reg := obs.NewRegistry()
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(reg)
+	}
+	finish := func(code int, err error) (int, error) {
+		tr.Report(stderr)
+		if *metricsOut != "" {
+			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
+				return 2, derr
+			}
+		}
+		return code, err
 	}
 
 	var in io.Reader = stdin
@@ -58,40 +76,50 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		return 2, fmt.Errorf("at most one programs file expected, got %d args", fs.NArg())
 	}
 
+	doneDecode := tr.Phase("decode")
 	programs, err := histio.DecodePrograms(in)
+	doneDecode()
 	if err != nil {
-		return 2, err
+		return finish(2, err)
 	}
 
 	levels, err := selectLevels(*level)
 	if err != nil {
-		return 2, err
+		return finish(2, err)
 	}
 
+	cCorrect := reg.Counter("sichop_correct_total")
+	cCritical := reg.Counter("sichop_critical_cycles_total")
 	exit := 0
 	dotDone := false
 	for _, l := range levels {
+		doneLevel := tr.Phase("check-" + l.String())
 		verdict, err := chopping.CheckStatic(programs, l)
+		doneLevel()
 		if err != nil {
-			return 2, fmt.Errorf("%v: %w", l, err)
+			return finish(2, fmt.Errorf("%v: %w", l, err))
 		}
 		if *dotOut != "" && !dotDone {
 			dotDone = true
 			if err := writeDot(*dotOut, stdout, verdict.Graph, verdict.Witness); err != nil {
-				return 2, err
+				return finish(2, err)
 			}
 		}
 		if verdict.OK {
+			cCorrect.Inc()
 			fmt.Fprintf(stdout, "%-12s chopping CORRECT: no critical cycle\n", l)
 			continue
 		}
+		cCritical.Inc()
 		exit = 1
 		fmt.Fprintf(stdout, "%-12s chopping MAY BE INCORRECT: %s\n",
 			l, verdict.Graph.DescribeCycle(verdict.Witness))
 		if *autochop {
+			doneChop := tr.Phase("autochop-" + l.String())
 			fixed, err := chopping.Autochop(programs, l)
+			doneChop()
 			if err != nil {
-				return 2, err
+				return finish(2, err)
 			}
 			fmt.Fprintf(stdout, "%-12s suggested correct chopping:\n", l)
 			for _, p := range fixed {
@@ -103,7 +131,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 			}
 		}
 	}
-	return exit, nil
+	return finish(exit, nil)
 }
 
 // writeDot emits the chopping graph as DOT to the named file, or to

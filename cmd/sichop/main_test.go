@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func programsInput(t *testing.T, programs []chopping.Program) *bytes.Buffer {
 func TestRunFig5Incorrect(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-level", "si"}, programsInput(t, workload.Fig5Programs()), &out)
+	code, err := run([]string{"-level", "si"}, programsInput(t, workload.Fig5Programs()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestRunFig5Incorrect(t *testing.T) {
 func TestRunFig6Correct(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-level", "all"}, programsInput(t, workload.Fig6Programs()), &out)
+	code, err := run([]string{"-level", "all"}, programsInput(t, workload.Fig6Programs()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRunFig6Correct(t *testing.T) {
 func TestRunFig11PerLevel(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-level", "si"}, programsInput(t, workload.Fig11Programs()), &out)
+	code, err := run([]string{"-level", "si"}, programsInput(t, workload.Fig11Programs()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRunFig11PerLevel(t *testing.T) {
 		t.Errorf("Fig11 under SI: exit = %d\n%s", code, out.String())
 	}
 	out.Reset()
-	code, err = run([]string{"-level", "ser"}, programsInput(t, workload.Fig11Programs()), &out)
+	code, err = run([]string{"-level", "ser"}, programsInput(t, workload.Fig11Programs()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,16 +74,16 @@ func TestRunFig11PerLevel(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	if _, err := run([]string{"-level", "bogus"}, strings.NewReader(`{"programs":[{"pieces":[{}]}]}`), &out); err == nil {
+	if _, err := run([]string{"-level", "bogus"}, strings.NewReader(`{"programs":[{"pieces":[{}]}]}`), &out, io.Discard); err == nil {
 		t.Error("bogus level accepted")
 	}
-	if _, err := run(nil, strings.NewReader("nope"), &out); err == nil {
+	if _, err := run(nil, strings.NewReader("nope"), &out, io.Discard); err == nil {
 		t.Error("invalid json accepted")
 	}
-	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("extra args accepted")
 	}
-	if _, err := run([]string{"missing.json"}, strings.NewReader(""), &out); err == nil {
+	if _, err := run([]string{"missing.json"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -90,7 +91,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunDotOutput(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-level", "si", "-dot", "-"}, programsInput(t, workload.Fig5Programs()), &out)
+	code, err := run([]string{"-level", "si", "-dot", "-"}, programsInput(t, workload.Fig5Programs()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestRunFixtures(t *testing.T) {
 	}
 	defer f.Close()
 	var out bytes.Buffer
-	code, err := run([]string{"-level", "si"}, f, &out)
+	code, err := run([]string{"-level", "si"}, f, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestRunFixtures(t *testing.T) {
 func TestRunAutochop(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-level", "si", "-autochop"}, programsInput(t, workload.Fig5Programs()), &out)
+	code, err := run([]string{"-level", "si", "-autochop"}, programsInput(t, workload.Fig5Programs()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

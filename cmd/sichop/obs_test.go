@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunTraceAndMetrics checks -trace prints per-level phase lines on
+// stderr and -metrics - dumps the verdict counters on stdout.
+func TestRunTraceAndMetrics(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code, err := run([]string{"-trace", "-metrics", "-", "../../testdata/fig5_programs.json"},
+		strings.NewReader(""), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (Figure 5 chopping has a critical cycle)\n%s", code, out.String())
+	}
+	es := errOut.String()
+	for _, want := range []string{"trace: phase=", "decode", "check-"} {
+		if !strings.Contains(es, want) {
+			t.Errorf("stderr missing %q:\n%s", want, es)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"# TYPE sichop_correct_total counter", "sichop_critical_cycles_total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, s)
+		}
+	}
+}

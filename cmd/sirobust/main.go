@@ -21,11 +21,12 @@ import (
 	"os"
 
 	"sian/internal/histio"
+	"sian/internal/obs"
 	"sian/internal/robustness"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sirobust:", err)
 		os.Exit(2)
@@ -33,11 +34,28 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sirobust", flag.ContinueOnError)
 	analysis := fs.String("analysis", "both", "analysis to run: both, si or psi")
+	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
+	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+
+	reg := obs.NewRegistry()
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(reg)
+	}
+	finish := func(code int, err error) (int, error) {
+		tr.Report(stderr)
+		if *metricsOut != "" {
+			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
+				return 2, derr
+			}
+		}
+		return code, err
 	}
 
 	var in io.Reader = stdin
@@ -54,35 +72,47 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		return 2, fmt.Errorf("at most one app file expected, got %d args", fs.NArg())
 	}
 
+	doneDecode := tr.Phase("decode")
 	app, err := histio.DecodeApp(in)
+	doneDecode()
 	if err != nil {
-		return 2, err
+		return finish(2, err)
 	}
 
 	runSI := *analysis == "both" || *analysis == "si"
 	runPSI := *analysis == "both" || *analysis == "psi"
 	if !runSI && !runPSI {
-		return 2, fmt.Errorf("unknown analysis %q (want both, si or psi)", *analysis)
+		return finish(2, fmt.Errorf("unknown analysis %q (want both, si or psi)", *analysis))
 	}
 
+	cRobust := reg.Counter("sirobust_robust_total")
+	cDangerous := reg.Counter("sirobust_dangerous_cycles_total")
 	exit := 0
 	if runSI {
+		done := tr.Phase("analysis-si-ser")
 		w, robust := robustness.CheckSIRobust(app)
+		done()
 		if robust {
+			cRobust.Inc()
 			fmt.Fprintln(stdout, "SI→SER  ROBUST: running under SI gives only serializable behaviour")
 		} else {
+			cDangerous.Inc()
 			exit = 1
 			fmt.Fprintf(stdout, "SI→SER  NOT ROBUST: dangerous cycle %s\n", w)
 		}
 	}
 	if runPSI {
+		done := tr.Phase("analysis-psi-si")
 		w, robust := robustness.CheckPSIRobust(app)
+		done()
 		if robust {
+			cRobust.Inc()
 			fmt.Fprintln(stdout, "PSI→SI  ROBUST: running under parallel SI gives only SI behaviour")
 		} else {
+			cDangerous.Inc()
 			exit = 1
 			fmt.Fprintf(stdout, "PSI→SI  NOT ROBUST: dangerous cycle %s\n", w)
 		}
 	}
-	return exit, nil
+	return finish(exit, nil)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func appInput(t *testing.T, app robustness.App) *bytes.Buffer {
 func TestRunWriteSkewApp(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-analysis", "si"}, appInput(t, workload.WriteSkewApp()), &out)
+	code, err := run([]string{"-analysis", "si"}, appInput(t, workload.WriteSkewApp()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestRunWriteSkewApp(t *testing.T) {
 func TestRunFixedApp(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run([]string{"-analysis", "both"}, appInput(t, workload.WriteSkewAppFixed()), &out)
+	code, err := run([]string{"-analysis", "both"}, appInput(t, workload.WriteSkewAppFixed()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRunFixedApp(t *testing.T) {
 func TestRunLongForkApp(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	code, err := run(nil, appInput(t, workload.LongForkApp()), &out)
+	code, err := run(nil, appInput(t, workload.LongForkApp()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,16 +73,16 @@ func TestRunLongForkApp(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	if _, err := run([]string{"-analysis", "bogus"}, appInput(t, workload.WriteSkewApp()), &out); err == nil {
+	if _, err := run([]string{"-analysis", "bogus"}, appInput(t, workload.WriteSkewApp()), &out, io.Discard); err == nil {
 		t.Error("bogus analysis accepted")
 	}
-	if _, err := run(nil, strings.NewReader("nope"), &out); err == nil {
+	if _, err := run(nil, strings.NewReader("nope"), &out, io.Discard); err == nil {
 		t.Error("invalid json accepted")
 	}
-	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("extra args accepted")
 	}
-	if _, err := run([]string{"missing.json"}, strings.NewReader(""), &out); err == nil {
+	if _, err := run([]string{"missing.json"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -95,7 +96,7 @@ func TestRunFixtures(t *testing.T) {
 	}
 	defer f.Close()
 	var out bytes.Buffer
-	code, err := run([]string{"-analysis", "si"}, f, &out)
+	code, err := run([]string{"-analysis", "si"}, f, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunTraceAndMetrics checks -trace prints per-analysis phase lines
+// on stderr and -metrics - dumps the verdict counters on stdout.
+func TestRunTraceAndMetrics(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code, err := run([]string{"-trace", "-metrics", "-", "../../testdata/writeskew_app.json"},
+		strings.NewReader(""), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (write skew is not robust)\n%s", code, out.String())
+	}
+	es := errOut.String()
+	for _, want := range []string{"trace: phase=", "decode", "analysis-si-ser"} {
+		if !strings.Contains(es, want) {
+			t.Errorf("stderr missing %q:\n%s", want, es)
+		}
+	}
+	s := out.String()
+	if !strings.Contains(s, "sirobust_dangerous_cycles_total") {
+		t.Errorf("metrics dump missing dangerous-cycle counter:\n%s", s)
+	}
+}

@@ -21,11 +21,14 @@ package check
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"sian/internal/core"
 	"sian/internal/depgraph"
 	"sian/internal/execution"
 	"sian/internal/model"
+	"sian/internal/obs"
 	"sian/internal/relation"
 )
 
@@ -52,6 +55,19 @@ type Options struct {
 	// the Theorem 10(i) construction to produce an abstract execution
 	// certificate.
 	BuildExecution bool
+	// Tracer, when non-nil, records the certification phases: validate
+	// (history well-formedness and INT), wr-enumeration (read-site
+	// candidate discovery), extension-search (WR assignment and WW
+	// linear extensions), cycle-search (the per-candidate composite
+	// cycle checks, accumulated), solve-inequalities (the Figure 3 /
+	// Lemma 15 execution construction) and explain (witness
+	// decomposition). cycle-search time is a subset of
+	// extension-search time.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the search counters
+	// check_graphs_examined_total, check_branches_pruned_total and
+	// check_wr_assignments_total, labelled model="<model>".
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the options used by Certify when passed the
@@ -87,6 +103,53 @@ type Result struct {
 	// branched (a negative verdict then quantifies over all
 	// candidates) or when the history is a member.
 	Rejection *depgraph.Graph
+	// Explain is the explainable trace of a negative verdict: the
+	// violated axiom and, where a candidate graph exists, the
+	// witnessing cycle as labelled edges. Nil for members.
+	Explain *Explanation
+}
+
+// Explanation makes a negative verdict explainable: which axiom of the
+// paper's Figure 1 specification the history cannot satisfy, and (when
+// a candidate dependency graph witnessed it) the forbidden cycle as an
+// edge list with dependency kinds.
+type Explanation struct {
+	// Model the verdict is about.
+	Model depgraph.Model
+	// Axiom names the violated axiom or axiom group (INT, EXT,
+	// SESSION/EXT, NOCONFLICT, PREFIX, TOTALVIS).
+	Axiom string
+	// Cycle is the witnessing forbidden cycle (empty for INT/EXT
+	// violations, which are not cycle-shaped).
+	Cycle []depgraph.Edge
+	// Graph is the candidate dependency graph the cycle lives in; use
+	// Graph.FormatCycle(Cycle) to render it with transaction IDs.
+	Graph *depgraph.Graph
+	// Detail carries free-text context (the INT violation, or how many
+	// candidate extensions were rejected).
+	Detail string
+	// Definitive reports whether the explanation covers every
+	// candidate extension (true when the search had exactly one
+	// candidate; false when it branched, in which case Cycle explains
+	// the last rejected candidate only).
+	Definitive bool
+}
+
+// String renders the explanation on one line, e.g.
+// "axiom NOCONFLICT (…); cycle t1 -WW(x)-> t2 -RW(x)-> t1".
+func (e *Explanation) String() string {
+	if e == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "axiom %s", e.Axiom)
+	if len(e.Cycle) > 0 && e.Graph != nil {
+		fmt.Fprintf(&b, "; cycle %s", e.Graph.FormatCycle(e.Cycle))
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " [%s]", e.Detail)
+	}
+	return b.String()
 }
 
 // Certify decides whether the history is allowed by the given model.
@@ -107,26 +170,47 @@ func Certify(h *model.History, m depgraph.Model, opts Options) (*Result, error) 
 	if opts.AddInit {
 		target = h.WithInit(opts.InitValue)
 	}
+	doneValidate := opts.Tracer.Phase("validate")
 	if err := target.Validate(); err != nil {
+		doneValidate()
 		return nil, fmt.Errorf("check: invalid history: %w", err)
 	}
 	res := &Result{History: target}
 	// INT is model-independent (it constrains transactions, not
 	// dependencies); fail fast.
 	if err := target.CheckInt(); err != nil {
+		doneValidate()
+		res.Explain = &Explanation{
+			Model: m, Axiom: "INT", Detail: err.Error(), Definitive: true,
+		}
 		return res, nil //nolint:nilerr // INT violation simply means non-membership.
 	}
+	doneValidate()
 	pinned := -1
 	if opts.AddInit || opts.PinInit {
 		pinned = 0
 	}
+	doneWR := opts.Tracer.Phase("wr-enumeration")
 	s, err := newSearch(target, m, opts.Budget, pinned)
+	doneWR()
 	if err != nil {
 		// A read with no candidate writer: no extension exists.
 		res.Member = false
+		res.Explain = &Explanation{
+			Model: m, Axiom: "EXT", Detail: err.Error(), Definitive: true,
+		}
 		return res, nil //nolint:nilerr // unresolvable read means non-membership
 	}
+	s.tracer = opts.Tracer
+	if opts.Metrics != nil {
+		lbl := obs.L("model", m.String())
+		s.cExamined = opts.Metrics.Counter("check_graphs_examined_total", lbl)
+		s.cPruned = opts.Metrics.Counter("check_branches_pruned_total", lbl)
+		s.cWR = opts.Metrics.Counter("check_wr_assignments_total", lbl)
+	}
+	doneSearch := opts.Tracer.Phase("extension-search")
 	g, examined, err := s.run()
+	doneSearch()
 	res.Examined = examined
 	if err != nil {
 		return res, err
@@ -135,18 +219,60 @@ func Certify(h *model.History, m depgraph.Model, opts Options) (*Result, error) 
 		if examined == 1 {
 			res.Rejection = s.lastCandidate
 		}
+		res.Explain = s.explainNegative(m, examined, opts.Tracer)
 		return res, nil
 	}
 	res.Member = true
 	res.Graph = g
 	if opts.BuildExecution && m == depgraph.SI {
+		doneSolve := opts.Tracer.Phase("solve-inequalities")
 		x, err := core.BuildExecution(g)
+		doneSolve()
 		if err != nil {
 			return res, fmt.Errorf("check: building SI execution certificate: %w", err)
 		}
 		res.Execution = x
 	}
 	return res, nil
+}
+
+// explainNegative builds the Explanation for a negative verdict from
+// the search's final state: the last complete candidate graph when one
+// exists, or the dependency (base) cycle that killed the last pruned
+// branch when every branch died early.
+func (s *search) explainNegative(m depgraph.Model, examined int, tr *obs.Tracer) *Explanation {
+	doneExplain := tr.Phase("explain")
+	defer doneExplain()
+	definitive := examined == 1
+	detail := ""
+	if !definitive && examined > 1 {
+		detail = fmt.Sprintf("cycle from the last of %d rejected candidate extensions", examined)
+	}
+	if s.lastCandidate != nil {
+		if we := s.lastCandidate.ExplainWitness(m); we != nil {
+			return &Explanation{
+				Model: m, Axiom: we.Axiom, Cycle: we.Cycle,
+				Graph: s.lastCandidate, Detail: detail, Definitive: definitive,
+			}
+		}
+		// A complete candidate that is not in the model must have a
+		// witness; reaching here means only INT could have failed,
+		// which Certify already ruled out. Fall through to a generic
+		// explanation rather than returning nil.
+	}
+	if s.lastPruned != nil {
+		if we := s.lastPruned.ExplainBaseCycle(m); we != nil {
+			if detail == "" {
+				detail = "every write-order extension of this WR assignment makes the dependencies cyclic"
+			}
+			return &Explanation{
+				Model: m, Axiom: we.Axiom, Cycle: we.Cycle,
+				Graph: s.lastPruned, Detail: detail, Definitive: definitive,
+			}
+		}
+	}
+	return &Explanation{Model: m, Axiom: "EXT",
+		Detail: "no dependency-graph extension of the history lies in the model", Definitive: definitive}
 }
 
 // CertifyAll certifies the history against several models
@@ -201,6 +327,16 @@ type search struct {
 	// the search ends negative with examined == 1 it is the definitive
 	// rejection explanation.
 	lastCandidate *depgraph.Graph
+	// lastPruned is the most recent partial graph whose dependencies
+	// were already cyclic (a dead branch); it explains negatives where
+	// no branch ever completed a candidate.
+	lastPruned *depgraph.Graph
+
+	// Optional observability (all nil-safe no-ops when unset).
+	tracer    *obs.Tracer
+	cExamined *obs.Counter
+	cPruned   *obs.Counter
+	cWR       *obs.Counter
 }
 
 func newSearch(h *model.History, m depgraph.Model, budget, pinned int) (*search, error) {
@@ -254,6 +390,7 @@ func (s *search) assignReads(i int, g *depgraph.Graph) (*depgraph.Graph, error) 
 	}
 	site := s.reads[i]
 	for _, w := range site.candidates {
+		s.cWR.Inc()
 		g2 := cloneGraph(s.h, g)
 		g2.AddWR(site.obj, w, site.reader)
 		found, err := s.assignReads(i+1, g2)
@@ -279,7 +416,16 @@ func (s *search) orderWrites(oi int, g *depgraph.Graph) (*depgraph.Graph, error)
 			return nil, ErrBudgetExceeded
 		}
 		s.lastCandidate = g
-		if g.InModel(s.m) == nil {
+		s.cExamined.Inc()
+		var cycleStart time.Time
+		if s.tracer != nil {
+			cycleStart = time.Now()
+		}
+		err := g.InModel(s.m)
+		if s.tracer != nil {
+			s.tracer.Add("cycle-search", time.Since(cycleStart))
+		}
+		if err == nil {
 			return g, nil
 		}
 		return nil, nil
@@ -299,6 +445,8 @@ func (s *search) orderWrites(oi int, g *depgraph.Graph) (*depgraph.Graph, error)
 	base.UnionInPlace(g.WR()).UnionInPlace(g.WW())
 	closure := base.TransitiveClosure()
 	if !closure.IsIrreflexive() {
+		s.cPruned.Inc()
+		s.lastPruned = g
 		return nil, nil // base already cyclic: dead branch
 	}
 	// forced[i] is the bitmask of writer positions that must precede

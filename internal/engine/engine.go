@@ -23,9 +23,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"sian/internal/model"
+	"sian/internal/obs"
 )
 
 // Kind selects the concurrency-control protocol of a DB.
@@ -88,6 +89,11 @@ type Config struct {
 	// Sites (PSI only) fixes the number of replicas; by default each
 	// new session gets its own replica.
 	Sites int
+	// Metrics receives the engine's counters and histograms, labelled
+	// engine="<kind>". When nil the DB uses a private registry,
+	// reachable via DB.Metrics, so instrumentation is always on and
+	// the hot path never branches on "is observability enabled?".
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -131,25 +137,66 @@ type DB struct {
 	sessions []*Session
 	sites    int
 
-	commits   atomic.Int64
-	conflicts atomic.Int64
+	reg *obs.Registry
+	// Counter/histogram handles are resolved once at New; the hot path
+	// is a single atomic op per event.
+	mCommits   *obs.Counter
+	mConflicts *obs.Counter
+	mAborts    *obs.Counter
+	mRetries   *obs.Counter
+	gSessions  *obs.Gauge
+	hCommitLat *obs.Histogram
+	hSnapAge   *obs.Histogram
 }
 
-// Stats reports cumulative commit and conflict-abort counts.
+// Stats reports the database's cumulative counters. Conflicts counts
+// only protocol-level losses (first-committer-wins write conflicts,
+// lock conflicts, SSI dangerous structures); user-initiated rollbacks
+// — a Transact callback returning a non-conflict error, or
+// ManualTx.Abort — count as Aborts, so a workload's conflict rate is
+// not inflated by explicit business-logic rollbacks. Retries counts
+// the automatic re-runs Transact performed after conflicts.
 type Stats struct {
 	Commits   int64
 	Conflicts int64
+	Aborts    int64
+	Retries   int64
 }
 
 // Stats returns a snapshot of the database's counters.
 func (db *DB) Stats() Stats {
-	return Stats{Commits: db.commits.Load(), Conflicts: db.conflicts.Load()}
+	return Stats{
+		Commits:   db.mCommits.Value(),
+		Conflicts: db.mConflicts.Value(),
+		Aborts:    db.mAborts.Value(),
+		Retries:   db.mRetries.Value(),
+	}
 }
+
+// Metrics returns the registry holding the engine's metric series
+// (Config.Metrics when one was supplied, a private registry
+// otherwise): engine_{commits,conflicts,aborts,retries}_total
+// counters, an engine_sessions gauge, and
+// engine_{commit_latency,snapshot_age}_ns histograms, all labelled
+// engine="<kind>".
+func (db *DB) Metrics() *obs.Registry { return db.reg }
 
 // New creates a database of the given kind.
 func New(kind Kind, cfg Config) (*DB, error) {
 	cfg = cfg.withDefaults()
 	db := &DB{kind: kind, cfg: cfg}
+	db.reg = cfg.Metrics
+	if db.reg == nil {
+		db.reg = obs.NewRegistry()
+	}
+	lbl := obs.L("engine", kind.String())
+	db.mCommits = db.reg.Counter("engine_commits_total", lbl)
+	db.mConflicts = db.reg.Counter("engine_conflicts_total", lbl)
+	db.mAborts = db.reg.Counter("engine_aborts_total", lbl)
+	db.mRetries = db.reg.Counter("engine_retries_total", lbl)
+	db.gSessions = db.reg.Gauge("engine_sessions", lbl)
+	db.hCommitLat = db.reg.Histogram("engine_commit_latency_ns", lbl)
+	db.hSnapAge = db.reg.Histogram("engine_snapshot_age_ns", lbl)
 	switch kind {
 	case SI:
 		db.impl = newSIProtocol()
@@ -208,6 +255,7 @@ func (db *DB) Session(id string) *Session {
 	db.impl.ensureSite(site)
 	s := &Session{db: db, id: id, site: site}
 	db.sessions = append(db.sessions, s)
+	db.gSessions.Add(1)
 	return s
 }
 
@@ -319,24 +367,31 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 		if err != nil {
 			return err
 		}
+		began := time.Now()
 		tx := &Tx{inner: inner, writes: make(map[model.Obj]model.Value)}
 		err = fn(tx)
 		if err != nil {
 			inner.abort()
 			if errors.Is(err, ErrConflict) {
-				s.db.conflicts.Add(1)
+				s.db.mConflicts.Inc()
+				s.db.mRetries.Inc()
 				continue // fn surfaced a conflict from a read; retry
 			}
+			s.db.mAborts.Inc() // user-initiated rollback, not a conflict
 			return err
 		}
+		commitStart := time.Now()
 		if err := inner.commit(tx.writes, tx.writeOrder); err != nil {
 			if errors.Is(err, ErrConflict) {
-				s.db.conflicts.Add(1)
+				s.db.mConflicts.Inc()
+				s.db.mRetries.Inc()
 				continue
 			}
 			return err
 		}
-		s.db.commits.Add(1)
+		s.db.mCommits.Inc()
+		s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
+		s.db.hSnapAge.Observe(commitStart.Sub(began).Nanoseconds())
 		s.record(name, tx.ops)
 		return nil
 	}
@@ -374,19 +429,21 @@ func (s *Session) Begin(name string) (*ManualTx, error) {
 		return nil, err
 	}
 	return &ManualTx{
-		s:    s,
-		name: name,
-		tx:   &Tx{inner: inner, writes: make(map[model.Obj]model.Value)},
+		s:     s,
+		name:  name,
+		began: time.Now(),
+		tx:    &Tx{inner: inner, writes: make(map[model.Obj]model.Value)},
 	}, nil
 }
 
 // ManualTx is an explicitly controlled transaction created by
 // Session.Begin.
 type ManualTx struct {
-	s    *Session
-	name string
-	tx   *Tx
-	done bool
+	s     *Session
+	name  string
+	began time.Time
+	tx    *Tx
+	done  bool
 }
 
 // Read reads x at the transaction's snapshot.
@@ -403,13 +460,16 @@ func (m *ManualTx) Commit() error {
 		return fmt.Errorf("engine: transaction %q already finished", m.name)
 	}
 	m.done = true
+	commitStart := time.Now()
 	if err := m.tx.inner.commit(m.tx.writes, m.tx.writeOrder); err != nil {
 		if errors.Is(err, ErrConflict) {
-			m.s.db.conflicts.Add(1)
+			m.s.db.mConflicts.Inc()
 		}
 		return err
 	}
-	m.s.db.commits.Add(1)
+	m.s.db.mCommits.Inc()
+	m.s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
+	m.s.db.hSnapAge.Observe(commitStart.Sub(m.began).Nanoseconds())
 	m.s.record(m.name, m.tx.ops)
 	return nil
 }
@@ -422,6 +482,7 @@ func (m *ManualTx) Abort() {
 	}
 	m.done = true
 	m.tx.inner.abort()
+	m.s.db.mAborts.Inc()
 }
 
 // Tx is a live transaction handle passed to Transact callbacks. It

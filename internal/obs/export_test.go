@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exporter golden files")
+
+// goldenRegistry builds a deterministic registry exercising every
+// metric kind, label escaping and histogram bucket layout.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("engine_commits_total", L("engine", "SI")).Add(42)
+	reg.Counter("engine_commits_total", L("engine", "PSI")).Add(7)
+	reg.Counter("engine_conflicts_total", L("engine", "SI")).Add(3)
+	reg.Gauge("engine_sessions", L("engine", "SI")).Set(4)
+	h := reg.Histogram("engine_commit_latency_ns", L("engine", "SI"))
+	for _, v := range []int64{0, 1, 2, 500, 500, 1000, 100000} {
+		h.Observe(v)
+	}
+	reg.Counter("weird_total", L("msg", `quote " back \ done`)).Inc()
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run go test -update-golden to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.prom", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.json", buf.Bytes())
+}
+
+// TestPrometheusShape asserts structural properties of the text format
+// independent of the golden bytes: cumulative buckets, +Inf terminal,
+// sum/count lines, # TYPE headers.
+func TestPrometheusShape(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"# TYPE engine_commits_total counter",
+		"# TYPE engine_sessions gauge",
+		"# TYPE engine_commit_latency_ns histogram",
+		`engine_commit_latency_ns_bucket{engine="SI",le="+Inf"} 7`,
+		`engine_commit_latency_ns_sum{engine="SI"} 102003`,
+		`engine_commit_latency_ns_count{engine="SI"} 7`,
+		`engine_commits_total{engine="PSI"} 7`,
+		`weird_total{msg="quote \" back \\ done"} 1`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, s)
+		}
+	}
+	// Bucket counts must be cumulative (monotone non-decreasing).
+	var prev int64 = -1
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.HasPrefix(line, "engine_commit_latency_ns_bucket") {
+			continue
+		}
+		n, err := trailingInt(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = n
+	}
+}
+
+// trailingInt pulls the sample value off the end of an exposition line.
+func trailingInt(line string) (int64, error) {
+	var n int64
+	i := strings.LastIndexByte(line, ' ')
+	err := json.Unmarshal([]byte(line[i+1:]), &n)
+	return n, err
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []JSONMetric
+	if err := json.Unmarshal(buf.Bytes(), &metrics); err != nil {
+		t.Fatalf("JSON export does not round-trip: %v", err)
+	}
+	byName := make(map[string]JSONMetric)
+	for _, m := range metrics {
+		byName[m.Name+"/"+m.Labels["engine"]] = m
+	}
+	if m := byName["engine_commits_total/SI"]; m.Value == nil || *m.Value != 42 {
+		t.Errorf("commits/SI = %+v, want value 42", m)
+	}
+	h := byName["engine_commit_latency_ns/SI"]
+	if h.Count == nil || *h.Count != 7 || h.P50 == nil || h.P99 == nil || len(h.Buckets) == 0 {
+		t.Errorf("histogram export incomplete: %+v", h)
+	}
+}
+
+func TestDump(t *testing.T) {
+	t.Parallel()
+	reg := goldenRegistry()
+	var stdout bytes.Buffer
+	if err := reg.Dump("-", &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "engine_commits_total") {
+		t.Error("Dump(-) should write Prometheus text to stdout")
+	}
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "m.prom")
+	if err := reg.Dump(promPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "m.json")
+	if err := reg.Dump(jsonPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []JSONMetric
+	if err := json.Unmarshal(j, &metrics); err != nil {
+		t.Errorf("Dump(*.json) should select the JSON exporter: %v", err)
+	}
+	if err := reg.Dump("", nil); err != nil {
+		t.Errorf("Dump(\"\") should be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,350 @@
+// Package obs is the observability substrate of the module: counters,
+// gauges and latency histograms behind a small registry, a lightweight
+// phase tracer, and Prometheus-text / JSON exporters.
+//
+// The design goals, in order:
+//
+//  1. Allocation-free hot path. Counter.Add, Gauge.Set and
+//     Histogram.Observe are single atomic operations on pre-registered
+//     series; registration (which allocates and takes a lock) happens
+//     once, after which callers hold the series pointer.
+//  2. Safe under heavy concurrency. All mutation is atomic; the
+//     registry lock is taken only at registration and export time.
+//  3. Nil-tolerant. Every method on a nil *Counter, *Gauge,
+//     *Histogram or *Tracer is a no-op, so instrumented code needs no
+//     "is observability enabled?" branches.
+//
+// Histograms use fixed log-scale (power-of-two) buckets: a value v ≥ 0
+// lands in bucket bits.Len64(v), i.e. bucket i covers [2^(i-1), 2^i).
+// This gives full int64 range with 64 fixed buckets, no configuration,
+// and constant-time observation — the same trick HdrHistogram and the
+// Prometheus native histograms build on.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric series (for example
+// engine="SI" or phase="cycle-search").
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numBuckets is fixed: bucket i holds values v with bits.Len64(v) == i,
+// so bucket 0 is exactly {0} and bucket 63 covers [2^62, 2^63).
+const numBuckets = 64
+
+// Histogram is a fixed log-scale (power-of-two bucket) histogram of
+// non-negative int64 observations. Observation is one atomic add per
+// bucket/sum/count — allocation-free and lock-free.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records v. Negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i:
+// 0 for bucket 0, 2^i − 1 otherwise.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<uint(i) - 1
+}
+
+// bucketLowerBound is the smallest value landing in bucket i.
+func bucketLowerBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observations,
+// linearly interpolated within the containing bucket. It returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) >= rank {
+			lo, hi := float64(bucketLowerBound(i)), float64(BucketUpperBound(i))
+			if n == 0 || hi <= lo {
+				return hi
+			}
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(n)
+	}
+	return float64(BucketUpperBound(numBuckets - 1))
+}
+
+// snapshotBuckets returns the per-bucket counts.
+func (h *Histogram) snapshotBuckets() [numBuckets]int64 {
+	var out [numBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// metricKind discriminates the registry's series types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered (name, labels) pair.
+type series struct {
+	name   string
+	labels []Label
+	kind   metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry holds named metric series. The zero value is not usable;
+// create with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	series []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+// Default is a process-wide registry for callers that do not need
+// isolation (the CLIs share it across their phases).
+var Default = NewRegistry()
+
+// seriesKey is the canonical identity of a series: name plus labels in
+// the order given (callers must use a consistent label order, as the
+// instrumentation sites in this module do).
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// lookup registers or fetches a series, enforcing kind consistency.
+func (r *Registry) lookup(name string, kind metricKind, labels []Label) *series {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: series %s already registered as %v, requested as %v", key, s.kind, kind))
+		}
+		return s
+	}
+	s := &series{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.histogram = &Histogram{}
+	}
+	r.byKey[key] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// Counter registers (or fetches) the counter series with the given
+// name and labels. Safe to call repeatedly; the same pointer is
+// returned each time. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, labels).counter
+}
+
+// Gauge registers (or fetches) the gauge series. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, labels).gauge
+}
+
+// Histogram registers (or fetches) the histogram series. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram, labels).histogram
+}
+
+// sortedSeries returns the series sorted by (name, label key) for
+// deterministic export.
+func (r *Registry) sortedSeries() []*series {
+	r.mu.Lock()
+	out := make([]*series, len(r.series))
+	copy(out, r.series)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey(out[i].name, out[i].labels) < seriesKey(out[j].name, out[j].labels)
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// PhaseTiming is one completed (or accumulated) phase of a traced
+// operation.
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
+	// Count is the number of intervals folded into Duration: 1 for a
+	// span recorded with Phase, higher for durations accumulated with
+	// Add (for example one entry per candidate-graph cycle check).
+	Count int64
+}
+
+// Tracer records named phase timings: coarse sequential spans via
+// Phase, and scattered micro-intervals folded into one line via Add.
+// All methods are safe for concurrent use and are no-ops on a nil
+// tracer, so library code can thread an optional *Tracer without
+// branching.
+type Tracer struct {
+	mu     sync.Mutex
+	reg    *Registry
+	phases []PhaseTiming
+	index  map[string]int
+}
+
+// NewTracer returns a tracer. When reg is non-nil every phase duration
+// is additionally observed into the reg histogram
+// phase_duration_ns{phase="<name>"}.
+func NewTracer(reg *Registry) *Tracer {
+	return &Tracer{reg: reg, index: make(map[string]int)}
+}
+
+// Phase starts a span and returns the function that ends it. Typical
+// use:
+//
+//	done := tr.Phase("wr-enumeration")
+//	... work ...
+//	done()
+func (t *Tracer) Phase(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(name, time.Since(start)) }
+}
+
+// Add folds d into the phase of the given name, creating it on first
+// use. Phases keep first-recorded order.
+func (t *Tracer) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if i, ok := t.index[name]; ok {
+		t.phases[i].Duration += d
+		t.phases[i].Count++
+	} else {
+		t.index[name] = len(t.phases)
+		t.phases = append(t.phases, PhaseTiming{Name: name, Duration: d, Count: 1})
+	}
+	reg := t.reg
+	t.mu.Unlock()
+	reg.Histogram("phase_duration_ns", L("phase", name)).Observe(d.Nanoseconds())
+}
+
+// Phases returns a copy of the recorded phases in first-recorded
+// order.
+func (t *Tracer) Phases() []PhaseTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseTiming, len(t.phases))
+	copy(out, t.phases)
+	return out
+}
+
+// Report writes one "trace: phase=<name> dur=<duration>" line per
+// recorded phase (adding n=<count> for accumulated phases), suitable
+// for the CLIs' -trace output on stderr.
+func (t *Tracer) Report(w io.Writer) {
+	if t == nil || w == nil {
+		return
+	}
+	for _, p := range t.Phases() {
+		if p.Count > 1 {
+			fmt.Fprintf(w, "trace: phase=%-24s dur=%-12v n=%d\n", p.Name, p.Duration, p.Count)
+		} else {
+			fmt.Fprintf(w, "trace: phase=%-24s dur=%v\n", p.Name, p.Duration)
+		}
+	}
+}
