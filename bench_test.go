@@ -22,7 +22,7 @@ import (
 
 // certOpts are the standard options for certifying figure histories
 // (they carry their own init transaction).
-var certOpts = check.Options{AddInit: false, PinInit: true, Budget: 1_000_000}
+var certOpts = check.Options{NoInit: true, PinInit: true, Budget: 1_000_000}
 
 // BenchmarkFig2aSessionGuarantees (E1): certification of the Figure
 // 2(a) history under all three models.
@@ -364,7 +364,7 @@ func BenchmarkEngineCertifyPipeline(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := check.Certify(h, k.m, check.Options{AddInit: false, PinInit: true, Budget: 5_000_000})
+				res, err := check.Certify(h, k.m, check.Options{NoInit: true, PinInit: true, Budget: 5_000_000})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -8,7 +8,8 @@
 //	sibench -engine si|ser|psi|ssi -workload registers|writeskew|transfers|longfork|banking|smallbank
 //	        [-sessions N] [-txs N] [-ops N] [-objects N] [-rounds N]
 //	        [-accounts N] [-hops N] [-chopped] [-seed N] [-certify]
-//	        [-trace] [-metrics file|-] [-bench-json file] [-pprof addr]
+//	        [-parallel N] [-trace] [-metrics file|-] [-bench-json file]
+//	        [-pprof addr]
 //
 // -metrics dumps the metrics registry (engine counters,
 // commit-latency and snapshot-age histograms, phase durations) on
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only with -pprof
 	"os"
+	"runtime"
 	"time"
 
 	"sian/internal/check"
@@ -65,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	seed := fs.Int64("seed", 1, "workload seed")
 	atomicLookup := fs.Bool("atomic-lookup", false, "banking: query both accounts in one transaction (the incorrect Figure 5 chopping)")
 	certify := fs.Bool("certify", false, "certify the recorded history against the engine's model")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the certification search (0 = one per CPU)")
 	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
 	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable benchmark summary (JSON) to this file")
@@ -150,7 +153,8 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		h, err = workload.StageBankingChopped(db, *atomicLookup)
 		if err == nil {
 			spliced, serr := check.Certify(h.Splice(), m, check.Options{
-				AddInit: false, PinInit: true, Budget: 1_000_000,
+				NoInit: true, PinInit: true, Budget: 1_000_000,
+				Parallelism: *parallel,
 			})
 			if serr != nil {
 				return 2, serr
@@ -173,14 +177,19 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	fmt.Fprintf(stdout, "history: %d sessions, %d transactions\n", h.NumSessions(), h.NumTransactions())
 
 	exit := 0
+	var certifyDur time.Duration
+	certifyExamined := 0
 	if *certify {
+		certifyStart := time.Now()
 		res, err := check.Certify(h, m, check.Options{
-			AddInit: false, PinInit: true, Budget: 10_000_000,
-			Tracer: tr, Metrics: reg,
+			NoInit: true, PinInit: true, Budget: 10_000_000,
+			Parallelism: *parallel, Tracer: tr, Metrics: reg,
 		})
+		certifyDur = time.Since(certifyStart)
 		if err != nil {
 			return 2, fmt.Errorf("certify: %w", err)
 		}
+		certifyExamined = res.Examined
 		switch {
 		case res.Member:
 			fmt.Fprintf(stdout, "history certified %v (%d candidate graphs examined)\n", m, res.Examined)
@@ -194,7 +203,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *engineFlag, *workloadFlag, *sessions, kind, elapsed, stats, reg); err != nil {
+		if err := writeBenchJSON(*benchJSON, *engineFlag, *workloadFlag, *sessions, *parallel, kind, elapsed, certifyDur, certifyExamined, stats, reg); err != nil {
 			return 2, err
 		}
 	}
@@ -215,6 +224,7 @@ type benchReport struct {
 	Engine             string  `json:"engine"`
 	Workload           string  `json:"workload"`
 	Sessions           int     `json:"sessions"`
+	CPUs               int     `json:"cpus"`
 	ElapsedNS          int64   `json:"elapsed_ns"`
 	Commits            int64   `json:"commits"`
 	Conflicts          int64   `json:"conflicts"`
@@ -225,9 +235,36 @@ type benchReport struct {
 	P99CommitLatencyNS float64 `json:"p99_commit_latency_ns"`
 	P50SnapshotAgeNS   float64 `json:"p50_snapshot_age_ns"`
 	P99SnapshotAgeNS   float64 `json:"p99_snapshot_age_ns"`
+
+	// Certification fields are present when -certify ran.
+	CertifyParallelism int   `json:"certify_parallelism,omitempty"`
+	CertifyNS          int64 `json:"certify_ns,omitempty"`
+	CertifyExamined    int   `json:"certify_examined,omitempty"`
+
+	// CheckerBench carries the offline seed-vs-incremental search
+	// benchmark when a recorded report includes one (see
+	// internal/check/search_bench_test.go); sibench itself does not
+	// populate it, but round-trips it for the committed artifact.
+	CheckerBench *checkerBenchRecord `json:"checker_bench,omitempty"`
 }
 
-func writeBenchJSON(path, engineName, workloadName string, sessions int, kind engine.Kind, elapsed time.Duration, stats engine.Stats, reg *obs.Registry) error {
+// checkerBenchRecord is a hand-recorded result of
+// `go test -bench Search ./internal/check`: the seed clone-based
+// search versus the incremental core at 1, 2 and 4 workers over the
+// same corpus and budget, in nanoseconds per corpus sweep.
+type checkerBenchRecord struct {
+	Source                  string  `json:"source"`
+	Corpus                  string  `json:"corpus"`
+	CPUs                    int     `json:"cpus"`
+	SeedCloneNSPerSweep     int64   `json:"seed_clone_ns_per_sweep"`
+	IncrementalP1NSPerSweep int64   `json:"incremental_p1_ns_per_sweep"`
+	IncrementalP2NSPerSweep int64   `json:"incremental_p2_ns_per_sweep"`
+	IncrementalP4NSPerSweep int64   `json:"incremental_p4_ns_per_sweep"`
+	SpeedupP1VsSeed         float64 `json:"speedup_p1_vs_seed"`
+	Note                    string  `json:"note,omitempty"`
+}
+
+func writeBenchJSON(path, engineName, workloadName string, sessions, parallel int, kind engine.Kind, elapsed, certifyDur time.Duration, certifyExamined int, stats engine.Stats, reg *obs.Registry) error {
 	lbl := obs.L("engine", kind.String())
 	commitLat := reg.Histogram("engine_commit_latency_ns", lbl)
 	snapAge := reg.Histogram("engine_snapshot_age_ns", lbl)
@@ -236,6 +273,7 @@ func writeBenchJSON(path, engineName, workloadName string, sessions int, kind en
 		Engine:             engineName,
 		Workload:           workloadName,
 		Sessions:           sessions,
+		CPUs:               runtime.NumCPU(),
 		ElapsedNS:          elapsed.Nanoseconds(),
 		Commits:            stats.Commits,
 		Conflicts:          stats.Conflicts,
@@ -245,6 +283,14 @@ func writeBenchJSON(path, engineName, workloadName string, sessions int, kind en
 		P99CommitLatencyNS: commitLat.Quantile(0.99),
 		P50SnapshotAgeNS:   snapAge.Quantile(0.50),
 		P99SnapshotAgeNS:   snapAge.Quantile(0.99),
+	}
+	if certifyExamined > 0 {
+		rep.CertifyParallelism = parallel
+		if parallel <= 0 {
+			rep.CertifyParallelism = runtime.GOMAXPROCS(0)
+		}
+		rep.CertifyNS = certifyDur.Nanoseconds()
+		rep.CertifyExamined = certifyExamined
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.TxsPerSec = float64(stats.Commits) / secs

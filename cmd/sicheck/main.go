@@ -7,8 +7,8 @@
 // Usage:
 //
 //	sicheck [-model all|ser|si|psi|pc|gsi] [-init] [-init-value N]
-//	        [-budget N] [-witness] [-classify] [-dot out.dot]
-//	        [-trace] [-metrics file|-] [history.json]
+//	        [-budget N] [-parallel N] [-witness] [-classify]
+//	        [-dot out.dot] [-trace] [-metrics file|-] [history.json]
 //
 // The history is read from the file argument or standard input; see
 // internal/histio for the JSON schema. -trace prints per-phase timing
@@ -50,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	addInit := fs.Bool("init", true, "add an initialisation transaction writing init-value to every object")
 	initValue := fs.Int64("init-value", 0, "value written by the added initialisation transaction")
 	budget := fs.Int("budget", 1_000_000, "maximum number of candidate dependency graphs to examine")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the certification search (0 = one per CPU)")
 	witness := fs.Bool("witness", false, "print the witness dependency graph for members")
 	dotOut := fs.String("dot", "", "write the first witness dependency graph as Graphviz DOT to this file ('-' for stdout)")
 	classify := fs.Bool("classify", false, "name the anomaly class of the history across the model lattice")
@@ -99,12 +100,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	}
 
 	opts := check.Options{
-		AddInit:   *addInit,
-		PinInit:   true,
-		InitValue: model.Value(*initValue),
-		Budget:    *budget,
-		Tracer:    tr,
-		Metrics:   reg,
+		NoInit:      !*addInit,
+		PinInit:     true,
+		InitValue:   model.Value(*initValue),
+		Budget:      *budget,
+		Parallelism: *parallel,
+		Tracer:      tr,
+		Metrics:     reg,
 	}
 	if !*addInit {
 		// Pin only when the history visibly carries its own init

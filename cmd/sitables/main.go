@@ -84,7 +84,7 @@ func anomalyTable(w io.Writer) error {
 		row := make([]bool, len(models))
 		for i, m := range models {
 			res, err := check.Certify(ex.History, m, check.Options{
-				AddInit: false, PinInit: true, Budget: 1_000_000,
+				NoInit: true, PinInit: true, Budget: 1_000_000,
 			})
 			if err != nil {
 				return fmt.Errorf("%s under %v: %w", ex.Name, m, err)
@@ -244,7 +244,7 @@ func stageLongFork() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	opts := check.Options{AddInit: false, PinInit: true, Budget: 1_000_000}
+	opts := check.Options{NoInit: true, PinInit: true, Budget: 1_000_000}
 	psi, err := check.Certify(h, depgraph.PSI, opts)
 	if err != nil {
 		return false, err

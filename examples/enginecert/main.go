@@ -25,7 +25,7 @@ func main() {
 	} {
 		h := runRegisters(cfg.kind)
 		res, err := sian.Certify(h, cfg.model, sian.CertifyOptions{
-			AddInit: false, PinInit: true, Budget: 5_000_000,
+			NoInit: true, PinInit: true, Budget: 5_000_000,
 		})
 		if err != nil {
 			log.Fatalf("%v: %v", cfg.kind, err)
@@ -133,7 +133,7 @@ func stageLongFork() {
 
 	db.Flush()
 	h := db.History()
-	opts := sian.CertifyOptions{AddInit: false, PinInit: true, Budget: 1_000_000}
+	opts := sian.CertifyOptions{NoInit: true, PinInit: true, Budget: 1_000_000}
 	psi, err := sian.Certify(h, sian.PSI, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -48,7 +48,7 @@ func main() {
 		fmt.Printf("%-22s", r.name)
 		for _, m := range models {
 			res, err := sian.Certify(r.h, m, sian.CertifyOptions{
-				AddInit: true, PinInit: true, InitValue: r.init, Budget: 100000,
+				PinInit: true, InitValue: r.init, Budget: 100000,
 			})
 			if err != nil {
 				log.Fatalf("%s under %v: %v", r.name, m, err)

@@ -31,7 +31,7 @@ func main() {
 	// Certify against each model. The default options add an
 	// initialisation transaction; here the accounts start at 60, so we
 	// set the initial value explicitly.
-	opts := sian.CertifyOptions{AddInit: true, PinInit: true, InitValue: 60, Budget: 100000}
+	opts := sian.CertifyOptions{PinInit: true, InitValue: 60, Budget: 100000}
 	for _, m := range []sian.Model{sian.SER, sian.SI, sian.PSI, sian.PC} {
 		res, err := sian.Certify(h, m, opts)
 		if err != nil {

@@ -87,7 +87,7 @@ func main() {
 	fmt.Println("engine: both withdrawals committed under SI (write skew realised)")
 
 	h := db.History()
-	opts := sian.CertifyOptions{AddInit: false, PinInit: true, Budget: 100000}
+	opts := sian.CertifyOptions{NoInit: true, PinInit: true, Budget: 100000}
 	si, err := sian.Certify(h, sian.SI, opts)
 	if err != nil {
 		log.Fatal(err)

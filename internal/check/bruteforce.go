@@ -361,3 +361,15 @@ func brutePSI(h *model.History, pinInit bool) bool {
 		return false
 	})
 }
+
+// relationFromOrder builds the strict total order relation of a
+// permutation (earlier elements precede later ones).
+func relationFromOrder(n int, order []int) *relation.Rel {
+	r := relation.New(n)
+	for i, a := range order {
+		for _, b := range order[i+1:] {
+			r.Add(a, b)
+		}
+	}
+	return r
+}

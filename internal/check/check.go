@@ -6,10 +6,14 @@
 // The certifier searches the space of dependency-graph extensions of
 // the history — read-dependency (WR) assignments consistent with the
 // values read, and per-object total write orders (WW) — and tests each
-// candidate for membership in GraphSER / GraphSI / GraphPSI. For
-// value-traceable histories (every object value written at most once,
-// as produced by internal/workload and internal/engine) the WR
-// assignment is unique, leaving only the WW orders to search.
+// candidate for membership in GraphSER / GraphSI / GraphPSI. The
+// search mutates a single depgraph.Builder per worker, undoing edges
+// on backtrack, and fans the top-level WR branches across a bounded
+// worker pool (Options.Parallelism) while keeping verdicts and
+// witnesses deterministic. For value-traceable histories (every object
+// value written at most once, as produced by internal/workload and
+// internal/engine) the WR assignment is unique, leaving only the WW
+// orders to search.
 //
 // The package also contains a brute-force checker that enumerates
 // abstract executions directly against the axioms of Figure 1; it is
@@ -21,36 +25,47 @@ package check
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
-	"time"
+	"sync"
 
 	"sian/internal/core"
 	"sian/internal/depgraph"
 	"sian/internal/execution"
 	"sian/internal/model"
 	"sian/internal/obs"
-	"sian/internal/relation"
 )
 
-// Options configures certification.
+// Options configures certification. The zero value selects the
+// defaults: an initialisation transaction writing 0, a one-million
+// candidate budget and one worker per CPU. Each field is normalised
+// individually, so setting only some fields (a Tracer, a Metrics
+// registry) keeps the defaults for the rest.
 type Options struct {
-	// AddInit, when true, extends the history with an initialisation
+	// NoInit disables extending the history with an initialisation
 	// transaction writing InitValue to every object before checking.
-	// Enabled in DefaultOptions; disable when the history already
-	// contains its own initialising writes.
-	AddInit bool
+	// Set it when the history already contains its own initialising
+	// writes.
+	NoInit bool
 	// InitValue is the value written by the initialisation
 	// transaction.
 	InitValue model.Value
 	// PinInit constrains transaction 0 to behave as the paper's
 	// initialisation transaction: it precedes every other transaction
 	// in the write orders (and, semantically, in VIS and CO). It is
-	// implied by AddInit; set it explicitly when certifying a history
-	// that carries its own init transaction at index 0.
+	// implied unless NoInit is set; set it explicitly when certifying a
+	// history that carries its own init transaction at index 0.
 	PinInit bool
 	// Budget bounds the number of candidate dependency graphs
 	// examined before the search gives up with ErrBudgetExceeded.
+	// Non-positive means the default of one million.
 	Budget int
+	// Parallelism bounds the number of worker goroutines exploring
+	// top-level WR assignment branches. Non-positive means
+	// runtime.GOMAXPROCS(0). Verdicts, witnesses and explanations are
+	// deterministic at any setting; with Parallelism 1 the search is
+	// exactly the sequential depth-first exploration.
+	Parallelism int
 	// BuildExecution, when certifying SI membership, additionally runs
 	// the Theorem 10(i) construction to produce an abstract execution
 	// certificate.
@@ -65,16 +80,37 @@ type Options struct {
 	// extension-search time.
 	Tracer *obs.Tracer
 	// Metrics, when non-nil, receives the search counters
-	// check_graphs_examined_total, check_branches_pruned_total and
-	// check_wr_assignments_total, labelled model="<model>".
+	// check_graphs_examined_total, check_branches_pruned_total,
+	// check_wr_assignments_total, check_undo_ops_total,
+	// check_closure_delta_edges_total and check_workers_spawned_total,
+	// labelled model="<model>".
 	Metrics *obs.Registry
 }
 
-// DefaultOptions returns the options used by Certify when passed the
-// zero Options value: init transaction with value 0 and a one-million
-// graph budget.
+// DefaultOptions returns the fully normalised options the zero
+// Options value selects: init transaction with value 0, a one-million
+// graph budget and one worker per CPU.
 func DefaultOptions() Options {
-	return Options{AddInit: true, PinInit: true, InitValue: 0, Budget: 1_000_000}
+	return Options{}.normalized()
+}
+
+// normalized fills in the per-field defaults. Every field stands on
+// its own — there is deliberately no "zero value means all defaults"
+// comparison, which used to silently disable the init transaction and
+// budget when only Tracer or Metrics were set.
+func (o Options) normalized() Options {
+	if o.Budget <= 0 {
+		o.Budget = 1_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if !o.NoInit {
+		// The added init transaction sits at index 0 and precedes
+		// everything by construction.
+		o.PinInit = true
+	}
+	return o
 }
 
 // ErrBudgetExceeded reports that the certification search examined
@@ -91,10 +127,13 @@ type Result struct {
 	// Execution is the Theorem 10(i) certificate when requested via
 	// Options.BuildExecution and the model is SI.
 	Execution *execution.Execution
-	// Examined counts candidate graphs tested.
+	// Examined counts candidate graphs tested. It is deterministic for
+	// any verdict at any parallelism (workers beyond the first explore
+	// work the sequential search would have reached anyway, and the
+	// count reflects the sequential prefix).
 	Examined int
-	// History is the history actually analysed (init-extended when
-	// Options.AddInit).
+	// History is the history actually analysed (init-extended unless
+	// Options.NoInit).
 	History *model.History
 	// Rejection explains a negative verdict when the dependency
 	// extension was fully determined (a single candidate graph): it is
@@ -153,21 +192,16 @@ func (e *Explanation) String() string {
 }
 
 // Certify decides whether the history is allowed by the given model.
-// The zero Options value selects DefaultOptions.
+// Zero-valued Options fields select their defaults individually.
 func Certify(h *model.History, m depgraph.Model, opts Options) (*Result, error) {
 	switch m {
 	case depgraph.SER, depgraph.SI, depgraph.PSI, depgraph.PC, depgraph.GSI:
 	default:
 		return nil, fmt.Errorf("check: unknown model %v", m)
 	}
-	if opts == (Options{}) {
-		opts = DefaultOptions()
-	}
-	if opts.Budget <= 0 {
-		opts.Budget = DefaultOptions().Budget
-	}
+	opts = opts.normalized()
 	target := h
-	if opts.AddInit {
+	if !opts.NoInit {
 		target = h.WithInit(opts.InitValue)
 	}
 	doneValidate := opts.Tracer.Phase("validate")
@@ -187,11 +221,11 @@ func Certify(h *model.History, m depgraph.Model, opts Options) (*Result, error) 
 	}
 	doneValidate()
 	pinned := -1
-	if opts.AddInit || opts.PinInit {
+	if opts.PinInit {
 		pinned = 0
 	}
 	doneWR := opts.Tracer.Phase("wr-enumeration")
-	s, err := newSearch(target, m, opts.Budget, pinned)
+	s, err := newSearch(target, m, opts.Budget, opts.Parallelism, pinned)
 	doneWR()
 	if err != nil {
 		// A read with no candidate writer: no extension exists.
@@ -207,6 +241,9 @@ func Certify(h *model.History, m depgraph.Model, opts Options) (*Result, error) 
 		s.cExamined = opts.Metrics.Counter("check_graphs_examined_total", lbl)
 		s.cPruned = opts.Metrics.Counter("check_branches_pruned_total", lbl)
 		s.cWR = opts.Metrics.Counter("check_wr_assignments_total", lbl)
+		s.cUndo = opts.Metrics.Counter("check_undo_ops_total", lbl)
+		s.cDelta = opts.Metrics.Counter("check_closure_delta_edges_total", lbl)
+		s.cWorkers = opts.Metrics.Counter("check_workers_spawned_total", lbl)
 	}
 	doneSearch := opts.Tracer.Phase("extension-search")
 	g, examined, err := s.run()
@@ -277,248 +314,28 @@ func (s *search) explainNegative(m depgraph.Model, examined int, tr *obs.Tracer)
 
 // CertifyAll certifies the history against several models
 // concurrently, one goroutine per model, and returns the results keyed
-// by model. The first error encountered is returned (results for other
-// models may still be present).
+// by model. On failure it returns the error of the first failing model
+// in the order of the models argument (results for other models may
+// still be present).
 func CertifyAll(h *model.History, models []depgraph.Model, opts Options) (map[depgraph.Model]*Result, error) {
-	type outcome struct {
-		m   depgraph.Model
-		res *Result
-		err error
+	results := make([]*Result, len(models))
+	errs := make([]error, len(models))
+	var wg sync.WaitGroup
+	for i, m := range models {
+		wg.Add(1)
+		go func(i int, m depgraph.Model) {
+			defer wg.Done()
+			results[i], errs[i] = Certify(h, m, opts)
+		}(i, m)
 	}
-	ch := make(chan outcome, len(models))
-	for _, m := range models {
-		go func(m depgraph.Model) {
-			res, err := Certify(h, m, opts)
-			ch <- outcome{m: m, res: res, err: err}
-		}(m)
-	}
+	wg.Wait()
 	out := make(map[depgraph.Model]*Result, len(models))
 	var firstErr error
-	for range models {
-		o := <-ch
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%v: %w", o.m, o.err)
+	for i, m := range models {
+		if errs[i] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%v: %w", m, errs[i])
 		}
-		out[o.m] = o.res
+		out[m] = results[i]
 	}
 	return out, firstErr
-}
-
-// readSite is one transaction-level external read (T ⊢ read(x, v)).
-type readSite struct {
-	reader     int
-	obj        model.Obj
-	val        model.Value
-	candidates []int
-}
-
-// search carries the state of the dependency-graph search.
-type search struct {
-	h       *model.History
-	m       depgraph.Model
-	budget  int
-	pinned  int // index forced first in every WW order, or -1
-	reads   []readSite
-	objs    []model.Obj // objects with ≥2 writers needing a WW order
-	writers map[model.Obj][]int
-
-	examined int
-	// lastCandidate is the most recent complete candidate graph; when
-	// the search ends negative with examined == 1 it is the definitive
-	// rejection explanation.
-	lastCandidate *depgraph.Graph
-	// lastPruned is the most recent partial graph whose dependencies
-	// were already cyclic (a dead branch); it explains negatives where
-	// no branch ever completed a candidate.
-	lastPruned *depgraph.Graph
-
-	// Optional observability (all nil-safe no-ops when unset).
-	tracer    *obs.Tracer
-	cExamined *obs.Counter
-	cPruned   *obs.Counter
-	cWR       *obs.Counter
-}
-
-func newSearch(h *model.History, m depgraph.Model, budget, pinned int) (*search, error) {
-	s := &search{h: h, m: m, budget: budget, pinned: pinned, writers: make(map[model.Obj][]int)}
-	n := h.NumTransactions()
-	for i := 0; i < n; i++ {
-		t := h.Transaction(i)
-		for _, x := range t.Objects() {
-			v, reads := t.ReadsBeforeWrites(x)
-			if !reads {
-				continue
-			}
-			site := readSite{reader: i, obj: x, val: v}
-			for j := 0; j < n; j++ {
-				if j == i {
-					continue
-				}
-				if w, ok := h.Transaction(j).FinalWrite(x); ok && w == v {
-					site.candidates = append(site.candidates, j)
-				}
-			}
-			if len(site.candidates) == 0 {
-				return nil, fmt.Errorf("check: transaction %d reads (%s, %d) never finally written", i, x, v)
-			}
-			s.reads = append(s.reads, site)
-		}
-	}
-	for _, x := range h.Objects() {
-		w := h.WriteTx(x)
-		s.writers[x] = w
-		if len(w) >= 2 {
-			s.objs = append(s.objs, x)
-		}
-	}
-	return s, nil
-}
-
-// run performs the search and returns the first member graph found
-// (nil if none), the number of candidates examined, and an error only
-// for budget exhaustion.
-func (s *search) run() (*depgraph.Graph, int, error) {
-	g, err := s.assignReads(0, depgraph.New(s.h))
-	return g, s.examined, err
-}
-
-// assignReads chooses a WR source for every read site, then moves on
-// to WW orders.
-func (s *search) assignReads(i int, g *depgraph.Graph) (*depgraph.Graph, error) {
-	if i == len(s.reads) {
-		return s.orderWrites(0, g)
-	}
-	site := s.reads[i]
-	for _, w := range site.candidates {
-		s.cWR.Inc()
-		g2 := cloneGraph(s.h, g)
-		g2.AddWR(site.obj, w, site.reader)
-		found, err := s.assignReads(i+1, g2)
-		if err != nil || found != nil {
-			return found, err
-		}
-	}
-	return nil, nil
-}
-
-// orderWrites chooses a total WW order for each multi-writer object.
-// Rather than enumerating all k! permutations, it only enumerates
-// linear extensions of the precedence already forced on the writers by
-// (SO ∪ WR ∪ WW-chosen-so-far)⁺: ordering two base-related writers
-// against the base relation would create a base cycle, which excludes
-// membership in all three models (RW? is reflexive, so every base
-// cycle is a composite cycle). On the value-traceable histories the
-// engines record, reads chain most writers, leaving few extensions.
-func (s *search) orderWrites(oi int, g *depgraph.Graph) (*depgraph.Graph, error) {
-	if oi == len(s.objs) {
-		s.examined++
-		if s.examined > s.budget {
-			return nil, ErrBudgetExceeded
-		}
-		s.lastCandidate = g
-		s.cExamined.Inc()
-		var cycleStart time.Time
-		if s.tracer != nil {
-			cycleStart = time.Now()
-		}
-		err := g.InModel(s.m)
-		if s.tracer != nil {
-			s.tracer.Add("cycle-search", time.Since(cycleStart))
-		}
-		if err == nil {
-			return g, nil
-		}
-		return nil, nil
-	}
-	x := s.objs[oi]
-	writers := s.writers[x]
-	// The forced precedence comes from edges guaranteed to lie inside
-	// the model's composite relation (so that contradicting them makes
-	// a composite cycle). For every model that is WR ∪ WW; SO joins
-	// except under GSI, whose composite ignores the session order.
-	var base *relation.Rel
-	if s.m == depgraph.GSI {
-		base = relation.New(s.h.NumTransactions())
-	} else {
-		base = s.h.SessionOrder()
-	}
-	base.UnionInPlace(g.WR()).UnionInPlace(g.WW())
-	closure := base.TransitiveClosure()
-	if !closure.IsIrreflexive() {
-		s.cPruned.Inc()
-		s.lastPruned = g
-		return nil, nil // base already cyclic: dead branch
-	}
-	// forced[i] is the bitmask of writer positions that must precede
-	// writers[i].
-	k := len(writers)
-	if k > 64 {
-		return nil, fmt.Errorf("check: object %q has %d writers; search limited to 64", x, k)
-	}
-	forced := make([]uint64, k)
-	for i, a := range writers {
-		for j, b := range writers {
-			if i != j && closure.Has(b, a) {
-				forced[i] |= 1 << uint(j)
-			}
-			// The pinned init transaction precedes every writer.
-			if i != j && writers[j] == s.pinned {
-				forced[i] |= 1 << uint(j)
-			}
-		}
-	}
-	order := make([]int, 0, k)
-	return s.extend(oi, x, writers, forced, 0, order, g)
-}
-
-// extend enumerates linear extensions of the forced precedence via
-// DFS: at each step any writer whose forced predecessors are all
-// placed may come next.
-func (s *search) extend(oi int, x model.Obj, writers []int, forced []uint64, placed uint64, order []int, g *depgraph.Graph) (*depgraph.Graph, error) {
-	if len(order) == len(writers) {
-		g2 := cloneGraph(s.h, g)
-		for a := 0; a < len(order); a++ {
-			for b := a + 1; b < len(order); b++ {
-				g2.AddWW(x, order[a], order[b])
-			}
-		}
-		return s.orderWrites(oi+1, g2)
-	}
-	for i := range writers {
-		bit := uint64(1) << uint(i)
-		if placed&bit != 0 || forced[i]&^placed != 0 {
-			continue
-		}
-		found, err := s.extend(oi, x, writers, forced, placed|bit, append(order, writers[i]), g)
-		if err != nil || found != nil {
-			return found, err
-		}
-	}
-	return nil, nil
-}
-
-// cloneGraph copies the WR/WW edges of g into a fresh graph over h.
-func cloneGraph(h *model.History, g *depgraph.Graph) *depgraph.Graph {
-	out := depgraph.New(h)
-	for _, x := range h.Objects() {
-		for _, p := range g.WRObj(x).Pairs() {
-			out.AddWR(x, p[0], p[1])
-		}
-		for _, p := range g.WWObj(x).Pairs() {
-			out.AddWW(x, p[0], p[1])
-		}
-	}
-	return out
-}
-
-// relationFromOrder builds the strict total order relation of a
-// permutation (earlier elements precede later ones).
-func relationFromOrder(n int, order []int) *relation.Rel {
-	r := relation.New(n)
-	for i, a := range order {
-		for _, b := range order[i+1:] {
-			r.Add(a, b)
-		}
-	}
-	return r
 }

@@ -26,7 +26,7 @@ func certify(t *testing.T, h *model.History, m depgraph.Model) *Result {
 func certifyNoInit(t *testing.T, h *model.History, m depgraph.Model) *Result {
 	t.Helper()
 	pin := h.NumTransactions() > 0 && h.Transaction(0).ID == model.InitTransactionID
-	res, err := Certify(h, m, Options{AddInit: false, PinInit: pin, Budget: 1_000_000})
+	res, err := Certify(h, m, Options{NoInit: true, PinInit: pin, Budget: 1_000_000})
 	if err != nil {
 		t.Fatalf("Certify(%v): %v", m, err)
 	}
@@ -88,7 +88,7 @@ func TestCertifyReturnsWitnessInModel(t *testing.T) {
 func TestCertifyBuildsExecutionCertificate(t *testing.T) {
 	t.Parallel()
 	ws := workload.WriteSkew()
-	res, err := Certify(ws.History, depgraph.SI, Options{AddInit: false, Budget: 100000, BuildExecution: true})
+	res, err := Certify(ws.History, depgraph.SI, Options{NoInit: true, Budget: 100000, BuildExecution: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestCertifyInvalidHistory(t *testing.T) {
 	h := model.NewHistory(model.Session{ID: "s", Transactions: []model.Transaction{
 		model.NewTransaction("T"),
 	}})
-	if _, err := Certify(h, depgraph.SI, Options{AddInit: false, Budget: 10}); err == nil {
+	if _, err := Certify(h, depgraph.SI, Options{NoInit: true, Budget: 10}); err == nil {
 		t.Error("empty transaction accepted")
 	}
 }
@@ -162,7 +162,7 @@ func TestCertifyBudget(t *testing.T) {
 		model.NewTransaction("r", model.Read("x", 3)),
 	}})
 	h := model.NewHistory(sessions...)
-	_, err := Certify(h, depgraph.SER, Options{AddInit: true, Budget: 1})
+	_, err := Certify(h, depgraph.SER, Options{Budget: 1})
 	if !errors.Is(err, ErrBudgetExceeded) {
 		// The first candidate may already be a member; only fail on
 		// unexpected errors.
@@ -409,7 +409,7 @@ func TestCertifyAll(t *testing.T) {
 	t.Parallel()
 	ws := workload.WriteSkew()
 	models := []depgraph.Model{depgraph.SER, depgraph.SI, depgraph.PSI, depgraph.PC, depgraph.GSI}
-	out, err := CertifyAll(ws.History, models, Options{AddInit: false, PinInit: true, Budget: 100000})
+	out, err := CertifyAll(ws.History, models, Options{NoInit: true, PinInit: true, Budget: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +447,7 @@ func TestCertifyTooManyWriters(t *testing.T) {
 		})
 	}
 	h := model.NewHistory(sessions...)
-	if _, err := Certify(h, depgraph.SI, Options{AddInit: false, Budget: 10}); err == nil {
+	if _, err := Certify(h, depgraph.SI, Options{NoInit: true, Budget: 10}); err == nil {
 		t.Error("65 writers accepted")
 	}
 }
@@ -484,7 +484,7 @@ func TestClassify(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
 			pin := brutePin(tc.h)
-			rep, err := Classify(tc.h, Options{AddInit: false, PinInit: pin, Budget: 1_000_000})
+			rep, err := Classify(tc.h, Options{NoInit: true, PinInit: pin, Budget: 1_000_000})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -97,7 +97,7 @@ func TestExhaustiveSmallScope(t *testing.T) {
 				hi := h.WithInit(0)
 				checked++
 				for _, p := range pairs {
-					res, err := Certify(hi, p.graph, Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+					res, err := Certify(hi, p.graph, Options{NoInit: true, PinInit: true, Budget: 1_000_000})
 					if err != nil {
 						t.Fatalf("certify: %v\n%v", err, hi)
 					}
@@ -139,7 +139,7 @@ func TestExhaustiveLattice(t *testing.T) {
 				model.Session{ID: "s2", Transactions: []model.Transaction{model.NewTransaction("T2", ops2...)}},
 			).WithInit(0)
 			member := func(m depgraph.Model) bool {
-				res, err := Certify(h, m, Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+				res, err := Certify(h, m, Options{NoInit: true, PinInit: true, Budget: 1_000_000})
 				if err != nil {
 					t.Fatalf("certify: %v", err)
 				}
@@ -209,7 +209,7 @@ func TestExhaustiveThreeTransactions(t *testing.T) {
 					hi := model.NewHistory(hs...).WithInit(0)
 					checked++
 					for _, p := range pairs {
-						res, err := Certify(hi, p.graph, Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+						res, err := Certify(hi, p.graph, Options{NoInit: true, PinInit: true, Budget: 1_000_000})
 						if err != nil {
 							t.Fatalf("certify: %v\n%v", err, hi)
 						}

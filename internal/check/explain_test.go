@@ -11,7 +11,7 @@ import (
 
 // explainOpts matches the options the Figure 2 example histories are
 // built for: they carry their own init transaction, pinned first.
-var explainOpts = Options{AddInit: false, PinInit: true, Budget: 1_000_000}
+var explainOpts = Options{NoInit: true, PinInit: true, Budget: 1_000_000}
 
 // assertCycleWellFormed checks the witness is a genuine cycle: each
 // edge starts where the previous one ended and the last edge returns to
@@ -161,7 +161,7 @@ func TestExplainInt(t *testing.T) {
 			),
 		}},
 	)
-	res, err := Certify(h, depgraph.SI, Options{AddInit: true, PinInit: true, Budget: 1000})
+	res, err := Certify(h, depgraph.SI, Options{PinInit: true, Budget: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,109 @@
+package check
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/model"
+	"sian/internal/workload"
+)
+
+// The benchmarks below compare the seed clone-based search
+// (refCertify, the faithful port in differential_test.go) against the
+// incremental mutate-and-undo core, on multi-writer random histories
+// of at least eight transactions whose certification genuinely
+// branches. BENCH_sibench.json records a run of these.
+
+const searchBenchBudget = 20_000
+
+var searchBench struct {
+	once sync.Once
+	hs   []*model.History
+}
+
+// searchBenchCorpus deterministically selects random histories that
+// are (a) at least eight transactions, (b) fan out into at least eight
+// top-level WR branches so the worker pool has work to distribute,
+// (c) non-members of SI within the budget, so seed, sequential and
+// parallel searches all exhaust the same candidate space.
+func searchBenchCorpus(tb testing.TB) []*model.History {
+	searchBench.once.Do(func() {
+		rng := rand.New(rand.NewSource(7))
+		cfg := workload.RandomConfig{
+			Sessions: 4, TxPerSession: 2, OpsPerTx: 3,
+			Objects: 2, Values: 2, ReadFraction: 400,
+		}
+		for attempts := 0; len(searchBench.hs) < 10 && attempts < 20_000; attempts++ {
+			h := workload.RandomHistory(rng, cfg)
+			if h.NumTransactions() < 8 {
+				continue
+			}
+			target := h.WithInit(0)
+			if target.Validate() != nil || target.CheckInt() != nil {
+				continue
+			}
+			s, err := newSearch(target, depgraph.SI, searchBenchBudget, 4, 0)
+			if err != nil {
+				continue
+			}
+			if _, total := s.planBranches(); total < 8 {
+				continue
+			}
+			res, err := Certify(h, depgraph.SI, Options{Budget: searchBenchBudget, Parallelism: 1})
+			if err != nil || res.Member || res.Examined < 100 {
+				continue
+			}
+			searchBench.hs = append(searchBench.hs, h)
+		}
+	})
+	if len(searchBench.hs) < 4 {
+		tb.Fatalf("search bench corpus too small: %d histories", len(searchBench.hs))
+	}
+	return searchBench.hs
+}
+
+// BenchmarkSearchSeedClone measures the pre-refactor clone-based
+// search (one graph clone per WR branch and write-order leaf, a full
+// transitive closure per orderWrites node) over the corpus. One op =
+// one full certification sweep of the corpus under SI.
+func BenchmarkSearchSeedClone(b *testing.B) {
+	hs := searchBenchCorpus(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for _, h := range hs {
+			out, err := refCertify(h, depgraph.SI, false, true, searchBenchBudget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.member {
+				b.Fatal("corpus history unexpectedly member")
+			}
+		}
+	}
+}
+
+// BenchmarkSearchIncremental measures the incremental mutate-and-undo
+// core at 1, 2 and 4 workers over the same corpus and budget. At p1
+// the exploration order is exactly the seed's; speedup over
+// BenchmarkSearchSeedClone is purely algorithmic. Parallel speedup is
+// additionally bounded by the host's GOMAXPROCS.
+func BenchmarkSearchIncremental(b *testing.B) {
+	hs := searchBenchCorpus(b)
+	for _, par := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "p1", 2: "p2", 4: "p4"}[par], func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				for _, h := range hs {
+					res, err := Certify(h, depgraph.SI, Options{Budget: searchBenchBudget, Parallelism: par})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Member {
+						b.Fatal("corpus history unexpectedly member")
+					}
+				}
+			}
+		})
+	}
+}

@@ -237,7 +237,7 @@ func TestSpliceG1NotSI(t *testing.T) {
 	}
 	// Independent check through the certifier on the spliced history.
 	sh := figs.G1.History.Splice()
-	res, err := check.Certify(sh, depgraph.SI, check.Options{AddInit: false, PinInit: true, Budget: 100000})
+	res, err := check.Certify(sh, depgraph.SI, check.Options{NoInit: true, PinInit: true, Budget: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestTheorem16Randomised(t *testing.T) {
 		// Theorem 16's conclusion, re-checked through the certifier:
 		// the spliced history is in HistSI.
 		sh := res.History.Splice()
-		sres, err := check.Certify(sh, depgraph.SI, check.Options{AddInit: false, PinInit: true, Budget: 2_000_000})
+		sres, err := check.Certify(sh, depgraph.SI, check.Options{NoInit: true, PinInit: true, Budget: 2_000_000})
 		if err != nil {
 			t.Fatalf("trial %d: certifying spliced history: %v", trial, err)
 		}
@@ -361,7 +361,7 @@ func TestDynamicCriteriaAllLevelsRandomised(t *testing.T) {
 			}
 			spliceable++
 			sres, err := check.Certify(res.History.Splice(), lv.m,
-				check.Options{AddInit: false, PinInit: true, Budget: 2_000_000})
+				check.Options{NoInit: true, PinInit: true, Budget: 2_000_000})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -268,14 +268,17 @@ func (g *Graph) labelDep(a, b int, kinds ...EdgeKind) *Edge {
 				return &Edge{Kind: EdgeSO, From: a, To: b}
 			}
 		case EdgeWR:
-			for x, r := range g.wr {
-				if r.Has(a, b) {
+			// Iterate objects in sorted order, not the map, so the
+			// labeling object is deterministic when a pair is a
+			// dependency on several objects.
+			for _, x := range g.History.Objects() {
+				if g.WRObj(x).Has(a, b) {
 					return &Edge{Kind: EdgeWR, Obj: x, From: a, To: b}
 				}
 			}
 		case EdgeWW:
-			for x, r := range g.ww {
-				if r.Has(a, b) {
+			for _, x := range g.History.Objects() {
+				if g.WWObj(x).Has(a, b) {
 					return &Edge{Kind: EdgeWW, Obj: x, From: a, To: b}
 				}
 			}

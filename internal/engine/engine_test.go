@@ -31,7 +31,7 @@ func certifyHistory(t *testing.T, db *DB, m depgraph.Model) bool {
 	t.Helper()
 	db.Flush()
 	h := db.History()
-	res, err := check.Certify(h, m, check.Options{AddInit: false, PinInit: true, Budget: 5_000_000})
+	res, err := check.Certify(h, m, check.Options{NoInit: true, PinInit: true, Budget: 5_000_000})
 	if err != nil {
 		t.Fatalf("Certify: %v", err)
 	}
@@ -283,7 +283,7 @@ func TestSIWriteSkewStaged(t *testing.T) {
 		t.Error("staged write-skew history not certified SI")
 	}
 	db.Flush()
-	res, err := check.Certify(db.History(), depgraph.SER, check.Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+	res, err := check.Certify(db.History(), depgraph.SER, check.Options{NoInit: true, PinInit: true, Budget: 1_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -165,7 +165,7 @@ func TestSSIConcurrentWorkloadsSerializable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := check.Certify(h, depgraph.SER, check.Options{AddInit: false, PinInit: true, Budget: 5_000_000})
+		res, err := check.Certify(h, depgraph.SER, check.Options{NoInit: true, PinInit: true, Budget: 5_000_000})
 		if err != nil {
 			t.Fatal(err)
 		}

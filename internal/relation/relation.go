@@ -131,6 +131,22 @@ func (r *Rel) Clone() *Rel {
 	return c
 }
 
+// Clear removes every pair, keeping the carrier.
+func (r *Rel) Clear() {
+	for i := range r.rows {
+		r.rows[i] = 0
+	}
+}
+
+// CopyFrom overwrites r with the pairs of s (same carrier) and returns
+// r. Together with ComposeOf and the *InPlace variants it lets hot
+// paths reuse scratch relations instead of allocating per candidate.
+func (r *Rel) CopyFrom(s *Rel) *Rel {
+	r.sameCarrier(s)
+	copy(r.rows, s.rows)
+	return r
+}
+
 // sameCarrier panics unless r and s range over the same carrier.
 func (r *Rel) sameCarrier(s *Rel) {
 	if r.n != s.n {
@@ -199,6 +215,32 @@ func (r *Rel) Compose(s *Rel) *Rel {
 	return out
 }
 
+// ComposeOf overwrites r with the sequential composition a ; b and
+// returns r. r must not alias a or b.
+func (r *Rel) ComposeOf(a, b *Rel) *Rel {
+	r.sameCarrier(a)
+	r.sameCarrier(b)
+	if r == a || r == b {
+		panic("relation: ComposeOf destination aliases an operand")
+	}
+	r.Clear()
+	for i := 0; i < r.n; i++ {
+		ai := a.row(i)
+		oi := r.row(i)
+		for w, word := range ai {
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				bj := b.row(j)
+				for k := range oi {
+					oi[k] |= bj[k]
+				}
+			}
+		}
+	}
+	return r
+}
+
 // Maybe returns R? = R ∪ Id, the reflexive closure.
 func (r *Rel) Maybe() *Rel {
 	out := r.Clone()
@@ -206,6 +248,14 @@ func (r *Rel) Maybe() *Rel {
 		out.row(i)[i/64] |= 1 << (uint(i) % 64)
 	}
 	return out
+}
+
+// MaybeInPlace adds the identity pairs to r and returns r.
+func (r *Rel) MaybeInPlace() *Rel {
+	for i := 0; i < r.n; i++ {
+		r.row(i)[i/64] |= 1 << (uint(i) % 64)
+	}
+	return r
 }
 
 // Inverse returns R⁻¹ = {(b, a) | (a, b) ∈ R}.
@@ -451,6 +501,22 @@ func (r *Rel) Successors(a int) []int {
 		}
 	}
 	return out
+}
+
+// EachSuccessor calls fn for every b with (a, b) ∈ R, in increasing
+// order, without allocating.
+func (r *Rel) EachSuccessor(a int, fn func(b int)) {
+	if a < 0 || a >= r.n {
+		panic(fmt.Sprintf("relation: element %d out of range [0,%d)", a, r.n))
+	}
+	ra := r.row(a)
+	for w, word := range ra {
+		for word != 0 {
+			b := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			fn(b)
+		}
+	}
 }
 
 // Predecessors returns the sorted list of elements b with (b, a) ∈ R.

@@ -55,7 +55,8 @@ func (c RandomConfig) withDefaults() RandomConfig {
 // outside every model; use RandomPlausibleHistory to bias towards
 // members. Histories do not include an initialisation transaction
 // (values may be read that nobody wrote); certification with
-// Options.AddInit handles the initial reads of value 0.
+// the checker's default init transaction (Options.NoInit unset)
+// handles the initial reads of value 0.
 func RandomHistory(rng *rand.Rand, cfg RandomConfig) *model.History {
 	cfg = cfg.withDefaults()
 	sessions := make([]model.Session, 0, cfg.Sessions)

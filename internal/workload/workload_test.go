@@ -137,7 +137,7 @@ func TestRunRegistersCertifiable(t *testing.T) {
 			case engine.PSI:
 				m = depgraph.PSI
 			}
-			res, err := check.Certify(h, m, check.Options{AddInit: false, PinInit: true, Budget: 5_000_000})
+			res, err := check.Certify(h, m, check.Options{NoInit: true, PinInit: true, Budget: 5_000_000})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,14 +198,14 @@ func TestStageLongFork(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The staged history is PSI but not SI (Figure 2(c)).
-	psi, err := check.Certify(h, depgraph.PSI, check.Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+	psi, err := check.Certify(h, depgraph.PSI, check.Options{NoInit: true, PinInit: true, Budget: 1_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !psi.Member {
 		t.Errorf("staged long fork not PSI-certifiable:\n%v", h)
 	}
-	si, err := check.Certify(h, depgraph.SI, check.Options{AddInit: false, PinInit: true, Budget: 1_000_000})
+	si, err := check.Certify(h, depgraph.SI, check.Options{NoInit: true, PinInit: true, Budget: 1_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestStageBankingChopped(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			opts := check.Options{AddInit: false, PinInit: true, Budget: 1_000_000}
+			opts := check.Options{NoInit: true, PinInit: true, Budget: 1_000_000}
 			res, err := check.Certify(h, depgraph.SI, opts)
 			if err != nil {
 				t.Fatal(err)
@@ -390,7 +390,7 @@ func TestChoppedProgramsCorollary18(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		opts := check.Options{AddInit: false, PinInit: true, Budget: 5_000_000}
+		opts := check.Options{NoInit: true, PinInit: true, Budget: 5_000_000}
 		res, err := check.Certify(h, depgraph.SI, opts)
 		if err != nil {
 			t.Fatal(err)

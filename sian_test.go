@@ -27,7 +27,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 				sian.Read("acct1", 60), sian.Read("acct2", 60), sian.Write("acct2", -40)),
 		}},
 	)
-	opts := sian.CertifyOptions{AddInit: true, PinInit: true, InitValue: 60, Budget: 100000}
+	opts := sian.CertifyOptions{PinInit: true, InitValue: 60, Budget: 100000}
 	wantWS := map[sian.Model]bool{sian.SER: false, sian.SI: true, sian.PSI: true}
 	for m, want := range wantWS {
 		res, err := sian.Certify(ws, m, opts)
@@ -41,7 +41,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 	// Theorem 10(i) through the facade.
 	res, err := sian.Certify(ws, sian.SI, sian.CertifyOptions{
-		AddInit: true, PinInit: true, InitValue: 60, Budget: 100000, BuildExecution: true,
+		PinInit: true, InitValue: 60, Budget: 100000, BuildExecution: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestFacadeEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := db.History()
-	res, err := sian.Certify(h, sian.SI, sian.CertifyOptions{AddInit: false, PinInit: true, Budget: 1000})
+	res, err := sian.Certify(h, sian.SI, sian.CertifyOptions{NoInit: true, PinInit: true, Budget: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestFacadeWrappers(t *testing.T) {
 	}
 
 	// Dynamic chopping via the facade on a spliceable SI graph.
-	res, err := sian.Certify(h, sian.SI, sian.CertifyOptions{AddInit: false, PinInit: true, Budget: 1000})
+	res, err := sian.Certify(h, sian.SI, sian.CertifyOptions{NoInit: true, PinInit: true, Budget: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
