@@ -9,7 +9,7 @@
 //	        [-sessions N] [-txs N] [-ops N] [-objects N] [-rounds N]
 //	        [-accounts N] [-hops N] [-chopped] [-seed N] [-certify]
 //	        [-parallel N] [-trace] [-metrics file|-] [-bench-json file]
-//	        [-pprof addr]
+//	        [-pprof addr] [-record file.ndjson] [-timeline file.json]
 //
 // -metrics dumps the metrics registry (engine counters,
 // commit-latency and snapshot-age histograms, phase durations) on
@@ -18,7 +18,16 @@
 // a machine-readable benchmark summary (throughput, p50/p99 commit
 // latency) to the named file. -pprof serves net/http/pprof on the
 // given address (for example localhost:6060) for the duration of the
-// run. Exit status 0 on success, 1 when -certify fails, 2 on usage or
+// run.
+//
+// -record attaches a flight recorder to the engine and dumps the
+// transactional event stream as NDJSON on exit — feed it to simon for
+// online certification. -timeline renders the same stream (plus the
+// -trace certifier phases) as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. -record-cap bounds
+// the recorder ring (older events are overwritten beyond it).
+//
+// Exit status 0 on success, 1 when -certify fails, 2 on usage or
 // processing errors.
 package main
 
@@ -27,18 +36,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registered on DefaultServeMux, served only with -pprof
 	"os"
 	"runtime"
 	"time"
 
 	"sian/internal/check"
+	"sian/internal/cliutil"
 	"sian/internal/depgraph"
 	"sian/internal/engine"
+	"sian/internal/histio"
 	"sian/internal/model"
 	"sian/internal/obs"
+	"sian/internal/obs/eventlog"
 	"sian/internal/workload"
 )
 
@@ -71,7 +80,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
 	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable benchmark summary (JSON) to this file")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
+	recordOut := fs.String("record", "", "dump the transactional event stream as NDJSON to this file on exit")
+	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file on exit")
+	recordCap := fs.Int("record-cap", 0, "flight-recorder ring capacity in events (0 = default)")
+	startPprof := cliutil.PprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -85,18 +97,16 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if *trace {
 		tr = obs.NewTracer(reg)
 	}
-	if *pprofAddr != "" {
-		ln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			return 2, fmt.Errorf("pprof: %w", err)
-		}
-		defer ln.Close()
-		fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
-		go func() {
-			_ = http.Serve(ln, nil) // shut down by the deferred Close
-		}()
+	stopPprof, err := startPprof(stderr)
+	if err != nil {
+		return 2, err
 	}
-	cfg := engine.Config{Metrics: reg}
+	defer stopPprof()
+	var rec *eventlog.Recorder
+	if *recordOut != "" || *timelineOut != "" {
+		rec = eventlog.NewRecorder(*recordCap)
+	}
+	cfg := engine.Config{Metrics: reg, Recorder: rec}
 	if *workloadFlag == "longfork" {
 		cfg.ManualPropagation = true
 	}
@@ -213,7 +223,42 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			return 2, err
 		}
 	}
+	if rec != nil {
+		events := rec.Events()
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Fprintf(stderr, "flight recorder: ring overwrote %d events; raise -record-cap for a full stream\n", dropped)
+		}
+		if *recordOut != "" {
+			if err := writeFileWith(*recordOut, func(w io.Writer) error {
+				return histio.EncodeEvents(w, events)
+			}); err != nil {
+				return 2, fmt.Errorf("record: %w", err)
+			}
+			fmt.Fprintf(stdout, "recorded %d events to %s\n", len(events), *recordOut)
+		}
+		if *timelineOut != "" {
+			if err := writeFileWith(*timelineOut, func(w io.Writer) error {
+				return eventlog.WriteChromeTrace(w, events, tr.Phases())
+			}); err != nil {
+				return 2, fmt.Errorf("timeline: %w", err)
+			}
+			fmt.Fprintf(stdout, "timeline written to %s (load in ui.perfetto.dev)\n", *timelineOut)
+		}
+	}
 	return exit, nil
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchReport is the machine-readable benchmark summary emitted by

@@ -8,15 +8,17 @@
 //
 //	sicheck [-model all|ser|si|psi|pc|gsi] [-init] [-init-value N]
 //	        [-budget N] [-parallel N] [-witness] [-classify]
-//	        [-dot out.dot] [-trace] [-metrics file|-] [history.json]
+//	        [-dot out.dot] [-trace] [-metrics file|-] [-pprof addr]
+//	        [history.json]
 //
 // The history is read from the file argument or standard input; see
 // internal/histio for the JSON schema. -trace prints per-phase timing
 // lines on stderr; -metrics dumps the metrics registry (search
 // counters and phase-duration histograms) on exit, in Prometheus text
-// format ('-' for stdout, a path ending in .json for JSON). Exit
-// status 0 means the history is allowed by every requested model, 1
-// that some model rejects it, 2 a usage or processing error.
+// format ('-' for stdout, a path ending in .json for JSON). -pprof
+// serves net/http/pprof on the given address for the duration of the
+// run. Exit status 0 means the history is allowed by every requested
+// model, 1 that some model rejects it, 2 a usage or processing error.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"os"
 
 	"sian/internal/check"
+	"sian/internal/cliutil"
 	"sian/internal/depgraph"
 	"sian/internal/dot"
 	"sian/internal/histio"
@@ -56,9 +59,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	classify := fs.Bool("classify", false, "name the anomaly class of the history across the model lattice")
 	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
 	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	startPprof := cliutil.PprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
+	stopPprof, err := startPprof(stderr)
+	if err != nil {
+		return 2, err
+	}
+	defer stopPprof()
 
 	var in io.Reader = stdin
 	switch fs.NArg() {

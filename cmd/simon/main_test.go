@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sian/internal/histio"
+	"sian/internal/workload"
+)
+
+func testdata(name string) string {
+	return filepath.Join("..", "..", "testdata", name)
+}
+
+// TestHistoryFileVerdicts: write skew is allowed by SI and rejected
+// by SER, mapped to exit codes 0 and 1.
+func TestHistoryFileVerdicts(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "si", testdata("writeskew_history.json")}, strings.NewReader(""), &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("si: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "allowed by SI") {
+		t.Errorf("si output: %s", out.String())
+	}
+	out.Reset()
+	code, err = run([]string{"-model", "ser", testdata("writeskew_history.json")}, strings.NewReader(""), &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("ser: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "NOT allowed by SER") {
+		t.Errorf("ser output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "violation") {
+		t.Errorf("ser output has no violation line: %s", out.String())
+	}
+}
+
+// TestEventFileMode streams an NDJSON event dump.
+func TestEventFileMode(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := histio.EncodeEvents(f, histio.HistoryToEvents(workload.LostUpdate().History)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "si", path}, strings.NewReader(""), &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "NOCONFLICT") {
+		t.Errorf("output lacks the NOCONFLICT verdict: %s", out.String())
+	}
+}
+
+// TestStdinPipeStreaming feeds events through a pipe, the live-tail
+// path: the monitor must consume them as they arrive.
+func TestStdinPipeStreaming(t *testing.T) {
+	t.Parallel()
+	var encoded bytes.Buffer
+	if err := histio.EncodeEvents(&encoded, histio.HistoryToEvents(workload.WriteSkew().History)); err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		lines := strings.SplitAfter(strings.TrimSuffix(encoded.String(), "\n"), "\n")
+		for _, line := range lines {
+			if _, err := io.WriteString(pw, line); err != nil {
+				return
+			}
+		}
+		pw.Close()
+	}()
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "si"}, pr, &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "allowed by SI") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// TestHistoryOnStdinAutodetect pipes a history JSON document (not
+// events) into stdin.
+func TestHistoryOnStdinAutodetect(t *testing.T) {
+	t.Parallel()
+	data, err := os.ReadFile(testdata("longfork_history.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "psi"}, bytes.NewReader(data), &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("psi: code=%d err=%v\n%s", code, err, out.String())
+	}
+	out.Reset()
+	code, err = run([]string{"-model", "si"}, bytes.NewReader(data), &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("si: code=%d err=%v\n%s", code, err, out.String())
+	}
+}
+
+// TestFollowIdleExit tails a pre-written file with -follow; -idle-exit
+// bounds the wait so the run concludes on its own.
+func TestFollowIdleExit(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := histio.EncodeEvents(f, histio.HistoryToEvents(workload.SessionGuarantees().History)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "si", "-follow", "-idle-exit", "300ms", path}, strings.NewReader(""), &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+}
+
+// TestMetricsDump prints the monitor registry in Prometheus format.
+func TestMetricsDump(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "si", "-metrics", "-", testdata("writeskew_history.json")}, strings.NewReader(""), &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"monitor_events_ingested_total", "monitor_commits_total", "monitor_window_txns"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("metrics dump lacks %s:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestWindowedRun exercises the bounded-window path end to end.
+func TestWindowedRun(t *testing.T) {
+	t.Parallel()
+	var in bytes.Buffer
+	n := 0
+	seq := func() int64 { n++; return int64(n) }
+	for i := 1; i <= 100; i++ {
+		fmt.Fprintf(&in, `{"seq":%d,"kind":"begin","session":"s","tx":"s#%d"}`+"\n", seq(), i)
+		fmt.Fprintf(&in, `{"seq":%d,"kind":"write","session":"s","tx":"s#%d","obj":"x","val":%d}`+"\n", seq(), i, i)
+		fmt.Fprintf(&in, `{"seq":%d,"kind":"commit","session":"s","tx":"s#%d","name":"T%d"}`+"\n", seq(), i, i)
+	}
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-model", "si", "-window", "8"}, &in, &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "92 collapsed") {
+		t.Errorf("output lacks collapse count: %s", out.String())
+	}
+}
+
+// TestUsageErrors: unknown model and unreadable file map to errors.
+func TestUsageErrors(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-model", "bogus"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := run([]string{filepath.Join(t.TempDir(), "missing.ndjson")}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := run([]string{"a", "b"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("two positional args accepted")
+	}
+}

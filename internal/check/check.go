@@ -246,6 +246,10 @@ func Certify(h *model.History, m depgraph.Model, opts Options) (*Result, error) 
 		s.cWorkers = opts.Metrics.Counter("check_workers_spawned_total", lbl)
 	}
 	doneSearch := opts.Tracer.Phase("extension-search")
+	// cycle-search is accumulated by the search workers; reserve its
+	// report position now so the trace order does not depend on which
+	// worker records the first interval.
+	opts.Tracer.Reserve("cycle-search")
 	g, examined, err := s.run()
 	doneSearch()
 	res.Examined = examined

@@ -1,0 +1,69 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/model"
+	"sian/internal/obs"
+)
+
+// branchingWriteSkew is a write-skew history with a duplicated write
+// of a=1, so WR enumeration branches and the parallel search explores
+// several candidates concurrently.
+func branchingWriteSkew() *model.History {
+	return model.NewHistory(
+		model.Session{ID: "s0", Transactions: []model.Transaction{
+			model.NewTransaction("t0", model.Write("a", 1), model.Write("b", 1)),
+		}},
+		model.Session{ID: "s1", Transactions: []model.Transaction{
+			model.NewTransaction("t1", model.Write("a", 1)),
+		}},
+		model.Session{ID: "sA", Transactions: []model.Transaction{
+			model.NewTransaction("tA", model.Read("a", 1), model.Write("b", 2)),
+		}},
+		model.Session{ID: "sB", Transactions: []model.Transaction{
+			model.NewTransaction("tB", model.Read("b", 1), model.Write("a", 2)),
+		}},
+	)
+}
+
+// TestTracePhaseOrderDeterministic pins the fix for the tracer
+// phase-ordering race: with a parallel search, worker goroutines used
+// to record "cycle-search" at whatever moment the first worker reached
+// it, so the reported phase sequence varied from run to run. Certify
+// now reserves the slot up front, and the phase order must be
+// identical across repeated runs.
+func TestTracePhaseOrderDeterministic(t *testing.T) {
+	t.Parallel()
+	h := branchingWriteSkew()
+	var want string
+	for i := 0; i < 20; i++ {
+		tr := obs.NewTracer(nil)
+		_, err := Certify(h, depgraph.SER, Options{
+			NoInit:      true,
+			PinInit:     false,
+			Parallelism: 4,
+			Tracer:      tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, p := range tr.Phases() {
+			names = append(names, p.Name)
+		}
+		got := strings.Join(names, ",")
+		if i == 0 {
+			want = got
+			if !strings.Contains(got, "cycle-search") {
+				t.Fatalf("run did not exercise cycle-search: phases %q", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d phase order %q differs from first run %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package cliutil holds small flag-wiring helpers shared by the sian
+// command-line tools, so sicheck, sibench and simon expose identical
+// operational flags.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
+)
+
+// PprofFlag registers -pprof on fs and returns a starter to call
+// after parsing. When the flag was left empty the starter is a no-op;
+// otherwise it begins serving net/http/pprof on the address and
+// returns a stop function that closes the listener.
+func PprofFlag(fs *flag.FlagSet) func(stderr io.Writer) (stop func(), err error) {
+	addr := fs.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
+	return func(stderr io.Writer) (func(), error) {
+		if *addr == "" {
+			return func() {}, nil
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, nil) // shut down by stop closing the listener
+		}()
+		return func() { ln.Close() }, nil
+	}
+}

@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"testing"
+)
+
+func TestPprofFlagDisabled(t *testing.T) {
+	t.Parallel()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	start := PprofFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	stop, err := start(&stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if stderr.Len() != 0 {
+		t.Errorf("disabled pprof wrote %q", stderr.String())
+	}
+}
+
+func TestPprofFlagServes(t *testing.T) {
+	t.Parallel()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	start := PprofFlag(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	stop, err := start(&stderr)
+	if err != nil {
+		t.Skipf("listen: %v", err) // sandboxed environments may forbid sockets
+	}
+	defer stop()
+	m := regexp.MustCompile(`http://([^/]+)/debug/pprof/`).FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("no address announced in %q", stderr.String())
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("GET pprof: status %d, err %v", resp.StatusCode, err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"sian/internal/model"
 	"sian/internal/obs"
+	"sian/internal/obs/eventlog"
 )
 
 // Kind selects the concurrency-control protocol of a DB.
@@ -94,6 +95,13 @@ type Config struct {
 	// reachable via DB.Metrics, so instrumentation is always on and
 	// the hot path never branches on "is observability enabled?".
 	Metrics *obs.Registry
+	// Recorder, when non-nil, receives a structured event for every
+	// transaction lifecycle point (begin, read, write, commit, abort,
+	// conflict) across all sessions — the flight-recorder stream that
+	// internal/monitor certifies online and eventlog.WriteChromeTrace
+	// renders as a timeline. Recording is lock-light and never blocks
+	// commits; nil keeps the hot path free of event appends.
+	Recorder *eventlog.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -321,9 +329,10 @@ type Session struct {
 	id   string
 	site int
 
-	mu  sync.Mutex
-	txs []model.Transaction
-	seq int
+	mu       sync.Mutex
+	txs      []model.Transaction
+	seq      int
+	attempts int
 }
 
 // ID returns the session identifier.
@@ -332,6 +341,33 @@ func (s *Session) ID() string { return s.id }
 // Site returns the replica index the session is pinned to (meaningful
 // for PSI).
 func (s *Session) Site() int { return s.site }
+
+// beginAttempt records a Begin event for a fresh transaction attempt
+// and returns the attempt id ("<session>#<n>"; conflict retries get
+// fresh attempts). Without a recorder it returns "" and stays off the
+// session mutex.
+func (s *Session) beginAttempt() string {
+	rec := s.db.cfg.Recorder
+	if rec == nil {
+		return ""
+	}
+	s.mu.Lock()
+	s.attempts++
+	n := s.attempts
+	s.mu.Unlock()
+	txid := fmt.Sprintf("%s#%d", s.id, n)
+	rec.Record(eventlog.Event{Kind: eventlog.Begin, Session: s.id, TxID: txid})
+	return txid
+}
+
+// event records a lifecycle event for the attempt; a no-op without a
+// recorder.
+func (s *Session) event(kind eventlog.Kind, txid, name string) {
+	if s.db.cfg.Recorder == nil {
+		return
+	}
+	s.db.cfg.Recorder.Record(eventlog.Event{Kind: kind, Session: s.id, TxID: txid, Name: name})
+}
 
 func (s *Session) committed() []model.Transaction {
 	s.mu.Lock()
@@ -368,21 +404,25 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 			return err
 		}
 		began := time.Now()
-		tx := &Tx{inner: inner, writes: make(map[model.Obj]model.Value)}
+		txid := s.beginAttempt()
+		tx := &Tx{inner: inner, writes: make(map[model.Obj]model.Value), rec: s.db.cfg.Recorder, session: s.id, txid: txid}
 		err = fn(tx)
 		if err != nil {
 			inner.abort()
 			if errors.Is(err, ErrConflict) {
+				s.event(eventlog.Conflict, txid, "")
 				s.db.mConflicts.Inc()
 				s.db.mRetries.Inc()
 				continue // fn surfaced a conflict from a read; retry
 			}
+			s.event(eventlog.Abort, txid, "")
 			s.db.mAborts.Inc() // user-initiated rollback, not a conflict
 			return err
 		}
 		commitStart := time.Now()
 		if err := inner.commit(tx.writes, tx.writeOrder); err != nil {
 			if errors.Is(err, ErrConflict) {
+				s.event(eventlog.Conflict, txid, "")
 				s.db.mConflicts.Inc()
 				s.db.mRetries.Inc()
 				continue
@@ -392,12 +432,15 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 		s.db.mCommits.Inc()
 		s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
 		s.db.hSnapAge.Observe(commitStart.Sub(began).Nanoseconds())
-		s.record(name, tx.ops)
+		id := s.record(name, tx.ops)
+		s.event(eventlog.Commit, txid, id)
 		return nil
 	}
 }
 
-func (s *Session) record(name string, ops []model.Op) {
+// record appends the committed transaction to the session's history
+// and returns the canonical id it was recorded under.
+func (s *Session) record(name string, ops []model.Op) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -413,6 +456,7 @@ func (s *Session) record(name string, ops []model.Op) {
 		id = fmt.Sprintf("%s/%d", s.id, s.seq)
 	}
 	s.txs = append(s.txs, model.NewTransaction(id, ops...))
+	return id
 }
 
 // Begin starts a manually controlled transaction on the session. Use
@@ -428,11 +472,12 @@ func (s *Session) Begin(name string) (*ManualTx, error) {
 	if err != nil {
 		return nil, err
 	}
+	txid := s.beginAttempt()
 	return &ManualTx{
 		s:     s,
 		name:  name,
 		began: time.Now(),
-		tx:    &Tx{inner: inner, writes: make(map[model.Obj]model.Value)},
+		tx:    &Tx{inner: inner, writes: make(map[model.Obj]model.Value), rec: s.db.cfg.Recorder, session: s.id, txid: txid},
 	}, nil
 }
 
@@ -463,6 +508,7 @@ func (m *ManualTx) Commit() error {
 	commitStart := time.Now()
 	if err := m.tx.inner.commit(m.tx.writes, m.tx.writeOrder); err != nil {
 		if errors.Is(err, ErrConflict) {
+			m.s.event(eventlog.Conflict, m.tx.txid, "")
 			m.s.db.mConflicts.Inc()
 		}
 		return err
@@ -470,7 +516,8 @@ func (m *ManualTx) Commit() error {
 	m.s.db.mCommits.Inc()
 	m.s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
 	m.s.db.hSnapAge.Observe(commitStart.Sub(m.began).Nanoseconds())
-	m.s.record(m.name, m.tx.ops)
+	id := m.s.record(m.name, m.tx.ops)
+	m.s.event(eventlog.Commit, m.tx.txid, id)
 	return nil
 }
 
@@ -482,6 +529,7 @@ func (m *ManualTx) Abort() {
 	}
 	m.done = true
 	m.tx.inner.abort()
+	m.s.event(eventlog.Abort, m.tx.txid, "")
 	m.s.db.mAborts.Inc()
 }
 
@@ -493,20 +541,29 @@ type Tx struct {
 	ops        []model.Op
 	writes     map[model.Obj]model.Value
 	writeOrder []model.Obj
+
+	// Flight-recorder plumbing; rec is nil when no recorder is
+	// attached, keeping the operation hot path event-free.
+	rec     *eventlog.Recorder
+	session string
+	txid    string
 }
 
 // Read returns the value of x as of the transaction's snapshot (or its
 // own buffered write).
 func (t *Tx) Read(x model.Obj) (model.Value, error) {
-	if v, ok := t.writes[x]; ok {
-		t.ops = append(t.ops, model.Read(x, v))
-		return v, nil
-	}
-	v, err := t.inner.read(x)
-	if err != nil {
-		return 0, err
+	v, ok := t.writes[x]
+	if !ok {
+		var err error
+		v, err = t.inner.read(x)
+		if err != nil {
+			return 0, err
+		}
 	}
 	t.ops = append(t.ops, model.Read(x, v))
+	if t.rec != nil {
+		t.rec.Record(eventlog.Event{Kind: eventlog.Read, Session: t.session, TxID: t.txid, Obj: x, Val: v})
+	}
 	return v, nil
 }
 
@@ -517,5 +574,8 @@ func (t *Tx) Write(x model.Obj, v model.Value) error {
 	}
 	t.writes[x] = v
 	t.ops = append(t.ops, model.Write(x, v))
+	if t.rec != nil {
+		t.rec.Record(eventlog.Event{Kind: eventlog.Write, Session: t.session, TxID: t.txid, Obj: x, Val: v})
+	}
 	return nil
 }

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sian/internal/model"
+	"sian/internal/obs/eventlog"
+)
+
+// TestRecorderLifecycleEvents drives an SI database with a recorder
+// attached and checks the event stream matches the engine's own
+// accounting: one Begin per attempt, Commit events carrying the
+// canonical recorded ids, Conflict/Abort marks for the losing paths.
+func TestRecorderLifecycleEvents(t *testing.T) {
+	t.Parallel()
+	rec := eventlog.NewRecorder(4096)
+	db, err := New(SI, Config{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := db.Session("s1")
+	s2 := db.Session("s2")
+
+	// A forced first-committer-wins conflict: two overlapping manual
+	// transactions writing x.
+	m1, err := s1.Begin("win")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s2.Begin("lose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Write("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Write("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("overlapping write commit err = %v, want conflict", err)
+	}
+
+	// A user abort and a plain committed transaction.
+	m3, err := s2.Begin("rollback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.Write("x", 3); err != nil {
+		t.Fatal(err)
+	}
+	m3.Abort()
+	if err := s2.Transact(func(tx *Tx) error {
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		return tx.Write("x", v+10)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	events := rec.Events()
+	counts := map[eventlog.Kind]int{}
+	var commitNames []string
+	for _, ev := range events {
+		counts[ev.Kind]++
+		if ev.Kind == eventlog.Commit {
+			commitNames = append(commitNames, ev.Name)
+		}
+	}
+	stats := db.Stats()
+	if int64(counts[eventlog.Commit]) != stats.Commits {
+		t.Errorf("commit events = %d, engine commits = %d", counts[eventlog.Commit], stats.Commits)
+	}
+	if int64(counts[eventlog.Conflict]) != stats.Conflicts {
+		t.Errorf("conflict events = %d, engine conflicts = %d", counts[eventlog.Conflict], stats.Conflicts)
+	}
+	if int64(counts[eventlog.Abort]) != stats.Aborts {
+		t.Errorf("abort events = %d, engine aborts = %d", counts[eventlog.Abort], stats.Aborts)
+	}
+	// Every attempt (committed or not) began.
+	attempts := counts[eventlog.Commit] + counts[eventlog.Conflict] + counts[eventlog.Abort]
+	if counts[eventlog.Begin] != attempts {
+		t.Errorf("begin events = %d, attempts = %d", counts[eventlog.Begin], attempts)
+	}
+	// Commit names are exactly the history's transaction ids, in
+	// commit order per session.
+	ids := map[string]bool{}
+	for _, tx := range db.History().Transactions() {
+		ids[tx.ID] = true
+	}
+	for _, name := range commitNames {
+		if !ids[name] {
+			t.Errorf("commit event names unknown transaction %q", name)
+		}
+	}
+	if len(commitNames) != len(ids) {
+		t.Errorf("commit events = %d, history transactions = %d", len(commitNames), len(ids))
+	}
+	if commitNames[0] != model.InitTransactionID {
+		t.Errorf("first commit = %q, want %q", commitNames[0], model.InitTransactionID)
+	}
+}
+
+// TestRecorderConcurrentSessions checks the recorder under the
+// engine's real worker concurrency (and the race detector): every
+// committed transaction has a commit event, attempt ids never collide.
+func TestRecorderConcurrentSessions(t *testing.T) {
+	t.Parallel()
+	rec := eventlog.NewRecorder(1 << 16)
+	db, err := New(SI, Config{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{"a": 0, "b": 0}); err != nil {
+		t.Fatal(err)
+	}
+	const sessions, txs = 4, 30
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		s := db.Session("w" + string(rune('0'+i)))
+		wg.Add(1)
+		go func(s *Session, base int64) {
+			defer wg.Done()
+			for j := 0; j < txs; j++ {
+				_ = s.Transact(func(tx *Tx) error {
+					v, err := tx.Read("a")
+					if err != nil {
+						return err
+					}
+					if err := tx.Write("a", v+1); err != nil {
+						return err
+					}
+					return tx.Write("b", model.Value(base+int64(j)))
+				})
+			}
+		}(s, int64(i)*1000)
+	}
+	wg.Wait()
+	seenAttempt := map[string]bool{}
+	commits := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == eventlog.Begin {
+			if seenAttempt[ev.Session+"\x00"+ev.TxID] {
+				t.Fatalf("duplicate attempt id %s/%s", ev.Session, ev.TxID)
+			}
+			seenAttempt[ev.Session+"\x00"+ev.TxID] = true
+		}
+		if ev.Kind == eventlog.Commit {
+			commits++
+		}
+	}
+	if int64(commits) != db.Stats().Commits {
+		t.Errorf("commit events = %d, engine commits = %d", commits, db.Stats().Commits)
+	}
+}

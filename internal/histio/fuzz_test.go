@@ -41,6 +41,50 @@ func FuzzDecodeHistory(f *testing.F) {
 	})
 }
 
+// FuzzDecodeEvents checks that arbitrary NDJSON input never panics
+// the streaming event scanner (the tail-reader path of cmd/simon) and
+// that every successfully decoded stream round-trips through
+// EncodeEvents. Seeds include truncated and mid-line-cut streams, the
+// shapes a tail reader sees while a writer is mid-append.
+func FuzzDecodeEvents(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeEvents(&seed, HistoryToEvents(workload.WriteSkew().History)); err != nil {
+		f.Fatal(err)
+	}
+	full := seed.String()
+	f.Add(full)
+	// Streaming truncations: cut mid-line, cut at a line boundary,
+	// lose the final newline.
+	f.Add(full[:len(full)/2])
+	if i := strings.Index(full, "\n"); i >= 0 {
+		f.Add(full[:i+1])
+		f.Add(full[:i])
+	}
+	f.Add(strings.TrimSuffix(full, "\n"))
+	f.Add("\n\n\n")
+	f.Add(`{"seq":1,"ts":1,"kind":"begin","session":"s","tx":"s#1"}` + "\n")
+	f.Add(`{"seq":1,"kind":"write","obj":"x","val":-9223372036854775808}` + "\n")
+	f.Add(`{"seq":`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		evs, err := DecodeEvents(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeEvents(&out, evs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		evs2, err := DecodeEvents(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, out.String())
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(evs2), len(evs))
+		}
+	})
+}
+
 // FuzzDecodePrograms checks decoder robustness for program sets.
 func FuzzDecodePrograms(f *testing.F) {
 	var seed bytes.Buffer

@@ -1,0 +1,215 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sian/internal/obs"
+)
+
+// TxnSpan is one transaction attempt's lifetime, assembled from its
+// begin..commit/abort/conflict event pair.
+type TxnSpan struct {
+	Session string
+	TxID    string
+	// Name is the canonical committed-transaction id (commit events
+	// only; empty for aborted or still-open attempts).
+	Name string
+	// BeginTS and EndTS are Unix nanoseconds. A span whose begin event
+	// was overwritten by ring wrap-around starts at its first retained
+	// event; a span still open when the recorder was dumped ends at
+	// the dump's last event.
+	BeginTS, EndTS int64
+	// Reads and Writes count the attempt's operations.
+	Reads, Writes int
+	// Outcome is Commit, Abort or Conflict, or zero for an attempt
+	// with no retained terminal event.
+	Outcome Kind
+}
+
+// Spans folds a Seq-ordered event slice into per-attempt transaction
+// spans, in order of first event.
+func Spans(events []Event) []TxnSpan {
+	type key struct{ session, txid string }
+	index := make(map[key]int)
+	var spans []TxnSpan
+	var lastTS int64
+	for _, ev := range events {
+		if ev.TS > lastTS {
+			lastTS = ev.TS
+		}
+		k := key{ev.Session, ev.TxID}
+		i, ok := index[k]
+		if !ok || spans[i].Outcome != KindInvalid {
+			// First retained event of the attempt, or a fresh attempt
+			// reusing a finished attempt's id.
+			i = len(spans)
+			index[k] = i
+			spans = append(spans, TxnSpan{Session: ev.Session, TxID: ev.TxID, BeginTS: ev.TS, EndTS: ev.TS})
+		}
+		sp := &spans[i]
+		if ev.TS > sp.EndTS {
+			sp.EndTS = ev.TS
+		}
+		switch ev.Kind {
+		case Read:
+			sp.Reads++
+		case Write:
+			sp.Writes++
+		case Commit, Abort, Conflict:
+			sp.Outcome = ev.Kind
+			if ev.Kind == Commit {
+				sp.Name = ev.Name
+			}
+		}
+	}
+	for i := range spans {
+		if spans[i].Outcome == KindInvalid && lastTS > spans[i].EndTS {
+			spans[i].EndTS = lastTS
+		}
+	}
+	return spans
+}
+
+// traceEvent is one entry of the Chrome trace-event JSON format
+// (loadable at ui.perfetto.dev and chrome://tracing). ts and dur are
+// microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON-object form of a trace (the form that carries
+// metadata alongside the event array).
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Trace-event process ids: engine transactions on one track group,
+// certifier phases on another.
+const (
+	pidEngine    = 1
+	pidCertifier = 2
+)
+
+// WriteChromeTrace renders the events as a Chrome trace-event JSON
+// document: one complete ("X") slice per transaction attempt, grouped
+// into one thread per session; instant ("i") markers for conflicts
+// and aborts; and, when phases is non-empty, the obs.Tracer phase
+// durations as a sequential track of a separate "certifier" process.
+// Timestamps are rebased to the earliest event so the timeline starts
+// near zero. The output is deterministic for a given input.
+func WriteChromeTrace(w io.Writer, events []Event, phases []obs.PhaseTiming) error {
+	spans := Spans(events)
+
+	// Stable session → tid assignment, in sorted session order.
+	sessionSet := make(map[string]bool)
+	for _, sp := range spans {
+		sessionSet[sp.Session] = true
+	}
+	sessions := make([]string, 0, len(sessionSet))
+	for s := range sessionSet {
+		sessions = append(sessions, s)
+	}
+	sort.Strings(sessions)
+	tidOf := make(map[string]int, len(sessions))
+	for i, s := range sessions {
+		tidOf[s] = i + 1
+	}
+
+	var base int64
+	for i, ev := range events {
+		if i == 0 || ev.TS < base {
+			base = ev.TS
+		}
+	}
+	usSince := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	var out []traceEvent
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", Pid: pidEngine,
+		Args: map[string]any{"name": "engine"},
+	})
+	for _, s := range sessions {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pidEngine, Tid: tidOf[s],
+			Args: map[string]any{"name": "session " + s},
+		})
+	}
+	for _, sp := range spans {
+		name := sp.Name
+		if name == "" {
+			name = sp.TxID
+		}
+		dur := usSince(sp.EndTS) - usSince(sp.BeginTS)
+		out = append(out, traceEvent{
+			Name: name, Cat: "txn", Ph: "X",
+			Pid: pidEngine, Tid: tidOf[sp.Session],
+			TS: usSince(sp.BeginTS), Dur: &dur,
+			Args: map[string]any{
+				"session": sp.Session,
+				"txid":    sp.TxID,
+				"reads":   sp.Reads,
+				"writes":  sp.Writes,
+				"outcome": outcomeLabel(sp.Outcome),
+			},
+		})
+	}
+	for _, ev := range events {
+		if ev.Kind != Conflict && ev.Kind != Abort {
+			continue
+		}
+		out = append(out, traceEvent{
+			Name: ev.Kind.String(), Cat: "txn", Ph: "i",
+			Pid: pidEngine, Tid: tidOf[ev.Session],
+			TS: usSince(ev.TS), S: "t",
+			Args: map[string]any{"txid": ev.TxID},
+		})
+	}
+
+	if len(phases) > 0 {
+		out = append(out, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pidCertifier,
+			Args: map[string]any{"name": "certifier phases"},
+		})
+		// The tracer records durations, not wall-clock intervals; lay
+		// the phases out back to back in report order.
+		var cursor float64
+		for _, p := range phases {
+			dur := float64(p.Duration.Nanoseconds()) / 1e3
+			out = append(out, traceEvent{
+				Name: p.Name, Cat: "phase", Ph: "X",
+				Pid: pidCertifier, Tid: 1,
+				TS: cursor, Dur: &dur,
+				Args: map[string]any{"intervals": p.Count},
+			})
+			cursor += dur
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(traceDoc{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("eventlog: encoding chrome trace: %w", err)
+	}
+	return nil
+}
+
+// outcomeLabel names a span outcome for trace args ("open" for an
+// attempt with no retained terminal event).
+func outcomeLabel(k Kind) string {
+	if k == KindInvalid {
+		return "open"
+	}
+	return k.String()
+}

@@ -1,0 +1,150 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sian/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a small fixed stream: two sessions, one conflict
+// retry, one abort, deterministic timestamps.
+func goldenEvents() []Event {
+	base := int64(1_000_000_000)
+	at := func(ms int64) int64 { return base + ms*int64(time.Millisecond) }
+	return []Event{
+		{Seq: 1, TS: at(0), Kind: Begin, Session: "init", TxID: "init#1"},
+		{Seq: 2, TS: at(1), Kind: Write, Session: "init", TxID: "init#1", Obj: "x", Val: 0},
+		{Seq: 3, TS: at(1), Kind: Write, Session: "init", TxID: "init#1", Obj: "y", Val: 0},
+		{Seq: 4, TS: at(2), Kind: Commit, Session: "init", TxID: "init#1", Name: "init"},
+		{Seq: 5, TS: at(3), Kind: Begin, Session: "s1", TxID: "s1#1"},
+		{Seq: 6, TS: at(3), Kind: Begin, Session: "s2", TxID: "s2#1"},
+		{Seq: 7, TS: at(4), Kind: Read, Session: "s1", TxID: "s1#1", Obj: "x", Val: 0},
+		{Seq: 8, TS: at(4), Kind: Read, Session: "s2", TxID: "s2#1", Obj: "x", Val: 0},
+		{Seq: 9, TS: at(5), Kind: Write, Session: "s1", TxID: "s1#1", Obj: "x", Val: 1},
+		{Seq: 10, TS: at(5), Kind: Write, Session: "s2", TxID: "s2#1", Obj: "x", Val: 2},
+		{Seq: 11, TS: at(6), Kind: Commit, Session: "s1", TxID: "s1#1", Name: "s1/1"},
+		{Seq: 12, TS: at(7), Kind: Conflict, Session: "s2", TxID: "s2#1"},
+		{Seq: 13, TS: at(8), Kind: Begin, Session: "s2", TxID: "s2#2"},
+		{Seq: 14, TS: at(9), Kind: Read, Session: "s2", TxID: "s2#2", Obj: "x", Val: 1},
+		{Seq: 15, TS: at(10), Kind: Write, Session: "s2", TxID: "s2#2", Obj: "x", Val: 2},
+		{Seq: 16, TS: at(11), Kind: Commit, Session: "s2", TxID: "s2#2", Name: "s2/1"},
+		{Seq: 17, TS: at(12), Kind: Begin, Session: "s1", TxID: "s1#2"},
+		{Seq: 18, TS: at(13), Kind: Abort, Session: "s1", TxID: "s1#2"},
+	}
+}
+
+func goldenPhases() []obs.PhaseTiming {
+	return []obs.PhaseTiming{
+		{Name: "validate", Duration: 120 * time.Microsecond, Count: 1},
+		{Name: "wr-enumeration", Duration: 340 * time.Microsecond, Count: 1},
+		{Name: "extension-search", Duration: 2 * time.Millisecond, Count: 1},
+		{Name: "cycle-search", Duration: 900 * time.Microsecond, Count: 17},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), goldenPhases()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline differs from golden; rerun with -update and inspect the diff\ngot:\n%s", buf.String())
+	}
+}
+
+// TestChromeTraceWellFormed validates the exporter output against the
+// Chrome trace-event format contract: a traceEvents array whose
+// entries carry name/ph/pid/tid/ts, "X" slices a non-negative dur, and
+// nothing else that would make Perfetto reject the file.
+func TestChromeTraceWellFormed(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), goldenPhases()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("output is not a trace-event JSON object: %v", err)
+	}
+	if doc.Unit != "ms" && doc.Unit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ms or ns", doc.Unit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	slices, instants, metadata := 0, 0, 0
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		switch ph := ev["ph"]; ph {
+		case "X":
+			slices++
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Errorf("event %d: X slice needs non-negative dur, got %v", i, ev["dur"])
+			}
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Errorf("event %d: X slice needs non-negative ts, got %v", i, ev["ts"])
+			}
+		case "i":
+			instants++
+			if s, ok := ev["s"].(string); !ok || (s != "t" && s != "p" && s != "g") {
+				t.Errorf("event %d: instant scope = %v, want t/p/g", i, ev["s"])
+			}
+		case "M":
+			metadata++
+		default:
+			t.Errorf("event %d: unexpected phase type %v", i, ph)
+		}
+	}
+	// 5 committed/conflicted/aborted/open attempts + 4 phases.
+	if slices != 9 {
+		t.Errorf("slices = %d, want 9", slices)
+	}
+	if instants != 2 {
+		t.Errorf("instants = %d, want 2 (conflict + abort)", instants)
+	}
+	// process_name ×2, thread_name ×3 sessions.
+	if metadata != 5 {
+		t.Errorf("metadata = %d, want 5", metadata)
+	}
+}
+
+func TestChromeTraceEmptyInput(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package eventlog is the engine's flight recorder: a fixed-capacity,
+// lock-light ring buffer of structured transactional events
+// (begin/read/write/commit/abort/conflict). Engines append events from
+// many worker goroutines; the recorder shards the ring by session so
+// an append contends only on its shard's mutex, while a single atomic
+// sequence number gives every event a global order. When the ring is
+// full the oldest events of the appending shard are overwritten, so
+// recording never blocks and never grows — the recorder keeps the
+// recent past, like an aircraft flight recorder.
+//
+// Events dump to and load from NDJSON via internal/histio, and render
+// to a Chrome trace-event (Perfetto-loadable) timeline via
+// WriteChromeTrace.
+package eventlog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sian/internal/model"
+)
+
+// Kind labels one transactional event.
+type Kind int
+
+// Event kinds. Begin/Commit/Abort delimit a transaction attempt;
+// Conflict marks an attempt aborted by the protocol (first-committer-
+// wins, lock or SSI dangerous-structure conflicts); Read and Write are
+// the attempt's operations.
+const (
+	KindInvalid Kind = iota
+	Begin
+	Read
+	Write
+	Commit
+	Abort
+	Conflict
+)
+
+// String returns "begin", "read", "write", "commit", "abort" or
+// "conflict".
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "begin"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "begin":
+		return Begin, nil
+	case "read":
+		return Read, nil
+	case "write":
+		return Write, nil
+	case "commit":
+		return Commit, nil
+	case "abort":
+		return Abort, nil
+	case "conflict":
+		return Conflict, nil
+	default:
+		return KindInvalid, fmt.Errorf("eventlog: unknown event kind %q", s)
+	}
+}
+
+// Event is one recorded transactional event.
+type Event struct {
+	// Seq is the event's position in the recorder's global order,
+	// assigned by Record (starting at 1).
+	Seq int64
+	// TS is the event's wall-clock timestamp in Unix nanoseconds.
+	TS int64
+	// Kind is the event kind.
+	Kind Kind
+	// Session identifies the issuing session.
+	Session string
+	// TxID identifies the transaction attempt within the session
+	// (each conflict retry is a fresh attempt with a fresh id).
+	TxID string
+	// Name, set on Commit events only, is the canonical id the
+	// committed transaction carries in the recorded history (for
+	// example "s1/2", or "init" for the initialisation transaction).
+	Name string
+	// Obj and Val carry the operation of Read and Write events.
+	Obj model.Obj
+	Val model.Value
+}
+
+// shardCount is the number of independent rings; a power of two so the
+// shard index is a mask away from the session hash.
+const shardCount = 8
+
+// DefaultCapacity is the recorder capacity used when NewRecorder is
+// given a non-positive one: large enough to hold a sizeable benchmark
+// run, small enough (a few MB) to always leave on.
+const DefaultCapacity = 1 << 16
+
+// Recorder is the ring-buffer flight recorder. All methods are safe
+// for concurrent use and are no-ops on a nil recorder, so engine code
+// can thread an optional *Recorder without branching.
+type Recorder struct {
+	seq     atomic.Int64
+	dropped atomic.Int64
+	shards  [shardCount]shard
+}
+
+// shard is one independent ring. Total appended count n never wraps;
+// the ring slot of the i-th append is i % len(buf).
+type shard struct {
+	mu  sync.Mutex
+	buf []Event
+	n   int
+}
+
+// NewRecorder returns a recorder holding at most capacity events
+// (approximately: the capacity is split evenly across internal shards,
+// so a workload hammering one session can overwrite that shard while
+// others have room). Non-positive capacity selects DefaultCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := capacity / shardCount
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{}
+	for i := range r.shards {
+		r.shards[i].buf = make([]Event, per)
+	}
+	return r
+}
+
+// Record appends the event, assigning its Seq and, when ev.TS is zero,
+// stamping the current time. When the event's shard ring is full the
+// oldest event in it is overwritten (counted by Dropped).
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Seq = r.seq.Add(1)
+	if ev.TS == 0 {
+		ev.TS = time.Now().UnixNano()
+	}
+	s := &r.shards[shardOf(ev.Session)]
+	s.mu.Lock()
+	if s.n >= len(s.buf) {
+		r.dropped.Add(1)
+	}
+	s.buf[s.n%len(s.buf)] = ev
+	s.n++
+	s.mu.Unlock()
+}
+
+// shardOf hashes a session id to a shard index (FNV-1a).
+func shardOf(session string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(session); i++ {
+		h ^= uint32(session[i])
+		h *= 16777619
+	}
+	return int(h) & (shardCount - 1)
+}
+
+// Events returns the retained events sorted by Seq. It locks each
+// shard briefly; recording may proceed concurrently, and the snapshot
+// reflects some linearisation of the appends.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		kept := s.n
+		if kept > len(s.buf) {
+			kept = len(s.buf)
+		}
+		start := s.n - kept
+		for j := start; j < s.n; j++ {
+			out = append(out, s.buf[j%len(s.buf)])
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	total := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		kept := s.n
+		if kept > len(s.buf) {
+			kept = len(s.buf)
+		}
+		total += kept
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Recorded returns the total number of events ever recorded, including
+// overwritten ones.
+func (r *Recorder) Recorded() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Dropped returns the number of events overwritten by ring wrap-
+// around.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}

@@ -37,8 +37,9 @@ func NewTracer(reg *Registry) *Tracer {
 	return &Tracer{reg: reg, index: make(map[string]int)}
 }
 
-// Phase starts a span and returns the function that ends it. Typical
-// use:
+// Phase starts a span and returns the function that ends it. The
+// phase's report position is fixed when Phase is called, not when the
+// span ends, so nested phases keep their start order. Typical use:
 //
 //	done := tr.Phase("wr-enumeration")
 //	... work ...
@@ -47,12 +48,34 @@ func (t *Tracer) Phase(name string) func() {
 	if t == nil {
 		return func() {}
 	}
+	t.reserve(name)
 	start := time.Now()
 	return func() { t.Add(name, time.Since(start)) }
 }
 
+// Reserve fixes the report position of a phase before any interval is
+// recorded into it. Callers that accumulate a phase with Add from
+// several goroutines reserve it up front, so the report order does not
+// depend on which worker records first.
+func (t *Tracer) Reserve(name string) {
+	if t == nil {
+		return
+	}
+	t.reserve(name)
+}
+
+func (t *Tracer) reserve(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[name]; !ok {
+		t.index[name] = len(t.phases)
+		t.phases = append(t.phases, PhaseTiming{Name: name})
+	}
+}
+
 // Add folds d into the phase of the given name, creating it on first
-// use. Phases keep first-recorded order.
+// use. Phases keep first-reserved order (Phase and Reserve fix the
+// position; a bare Add appends).
 func (t *Tracer) Add(name string, d time.Duration) {
 	if t == nil {
 		return
@@ -70,16 +93,21 @@ func (t *Tracer) Add(name string, d time.Duration) {
 	reg.Histogram("phase_duration_ns", L("phase", name)).Observe(d.Nanoseconds())
 }
 
-// Phases returns a copy of the recorded phases in first-recorded
-// order.
+// Phases returns a copy of the recorded phases in first-reserved
+// order. Phases reserved but never recorded into (Count 0) are
+// omitted, so reserving a phase that ends up empty leaves no trace.
 func (t *Tracer) Phases() []PhaseTiming {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]PhaseTiming, len(t.phases))
-	copy(out, t.phases)
+	out := make([]PhaseTiming, 0, len(t.phases))
+	for _, p := range t.phases {
+		if p.Count > 0 {
+			out = append(out, p)
+		}
+	}
 	return out
 }
 
