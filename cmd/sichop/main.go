@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"sian/internal/chopping"
+	"sian/internal/cliutil"
 	"sian/internal/dot"
 	"sian/internal/histio"
 	"sian/internal/obs"
@@ -39,12 +40,16 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sichop", flag.ContinueOnError)
 	level := fs.String("level", "all", "criticality level: all, ser, si or psi")
+	format := fs.String("format", "text", "output format: text or json")
 	dotOut := fs.String("dot", "", "write the static chopping graph (with the first critical cycle highlighted) as Graphviz DOT to this file ('-' for stdout)")
 	autochop := fs.Bool("autochop", false, "when a chopping is incorrect, print a coarsened correct chopping")
 	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
 	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *format != "text" && *format != "json" {
+		return 2, fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 
 	reg := obs.NewRegistry()
@@ -63,9 +68,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	}
 
 	var in io.Reader = stdin
+	target := "stdin"
 	switch fs.NArg() {
 	case 0:
 	case 1:
+		target = fs.Arg(0)
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return 2, err
@@ -92,6 +99,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	cCritical := reg.Counter("sichop_critical_cycles_total")
 	exit := 0
 	dotDone := false
+	set := cliutil.VerdictSet{Tool: "sichop", Verdicts: []cliutil.Verdict{}}
 	for _, l := range levels {
 		doneLevel := tr.Phase("check-" + l.String())
 		verdict, err := chopping.CheckStatic(programs, l)
@@ -105,15 +113,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 				return finish(2, err)
 			}
 		}
+		check, theorem := levelVerdict(l)
 		if verdict.OK {
 			cCorrect.Inc()
-			fmt.Fprintf(stdout, "%-12s chopping CORRECT: no critical cycle\n", l)
+			set.Verdicts = append(set.Verdicts, cliutil.Verdict{Check: check, Target: target, OK: true, Theorem: theorem})
+			if *format == "text" {
+				fmt.Fprintf(stdout, "%-12s chopping CORRECT: no critical cycle\n", l)
+			}
 			continue
 		}
 		cCritical.Inc()
 		exit = 1
-		fmt.Fprintf(stdout, "%-12s chopping MAY BE INCORRECT: %s\n",
-			l, verdict.Graph.DescribeCycle(verdict.Witness))
+		witness := verdict.Graph.DescribeCycle(verdict.Witness)
+		set.Verdicts = append(set.Verdicts, cliutil.Verdict{
+			Check: check, Target: target, Category: "incorrect-chopping", Theorem: theorem,
+			Witness: witness,
+			Detail:  fmt.Sprintf("incorrect-chopping: critical cycle %s (%s)", witness, theorem),
+		})
+		if *format == "text" {
+			fmt.Fprintf(stdout, "%-12s chopping MAY BE INCORRECT: %s\n", l, witness)
+		}
 		if *autochop {
 			doneChop := tr.Phase("autochop-" + l.String())
 			fixed, err := chopping.Autochop(programs, l)
@@ -131,7 +150,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 			}
 		}
 	}
+	if *format == "json" {
+		set.Exit = exit
+		if err := cliutil.WriteVerdicts(stdout, set); err != nil {
+			return finish(2, err)
+		}
+	}
 	return finish(exit, nil)
+}
+
+// levelVerdict maps a criticality level to the shared verdict schema's
+// check name and theorem citation (matching silint's).
+func levelVerdict(l chopping.Criticality) (check, theorem string) {
+	switch l {
+	case chopping.SERCritical:
+		return "chopping-ser", "Theorem 29, Appendix B"
+	case chopping.SICritical:
+		return "chopping-si", "Corollary 18, §5"
+	default:
+		return "chopping-psi", "Theorem 31, Appendix B"
+	}
 }
 
 // writeDot emits the chopping graph as DOT to the named file, or to

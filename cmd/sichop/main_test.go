@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"strings"
 	"testing"
 
 	"sian/internal/chopping"
+	"sian/internal/cliutil"
 	"sian/internal/histio"
 	"sian/internal/workload"
 )
@@ -133,5 +135,67 @@ func TestRunAutochop(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "suggested correct chopping") {
 		t.Errorf("missing suggestion:\n%s", out.String())
+	}
+}
+
+// TestRunJSON pins the shared machine-readable verdict schema.
+func TestRunJSON(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-format", "json", "-level", "si"}, programsInput(t, workload.Fig5Programs()), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	var set cliutil.VerdictSet
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if set.Tool != "sichop" || set.Exit != 1 || len(set.Verdicts) != 1 {
+		t.Fatalf("set = %+v", set)
+	}
+	v := set.Verdicts[0]
+	if v.Check != "chopping-si" || v.OK || v.Category != "incorrect-chopping" ||
+		v.Theorem != "Corollary 18, §5" || v.Target != "stdin" || v.Witness == "" {
+		t.Errorf("verdict = %+v", v)
+	}
+	if strings.Contains(out.String(), "chopping CORRECT") || strings.Contains(out.String(), "MAY BE INCORRECT") {
+		t.Errorf("json output mixed with text lines:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{"-format", "json", "-level", "all"}, programsInput(t, workload.Fig6Programs()), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("Fig6: exit = %d, want 0", code)
+	}
+	set = cliutil.VerdictSet{}
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatal(err)
+	}
+	if set.Exit != 0 || len(set.Verdicts) != 3 {
+		t.Fatalf("Fig6 set = %+v", set)
+	}
+	wantChecks := map[string]string{
+		"chopping-ser": "Theorem 29, Appendix B",
+		"chopping-si":  "Corollary 18, §5",
+		"chopping-psi": "Theorem 31, Appendix B",
+	}
+	for _, v := range set.Verdicts {
+		if !v.OK || wantChecks[v.Check] != v.Theorem {
+			t.Errorf("Fig6 verdict = %+v", v)
+		}
+		delete(wantChecks, v.Check)
+	}
+	if len(wantChecks) != 0 {
+		t.Errorf("missing checks: %v", wantChecks)
+	}
+
+	if _, err := run([]string{"-format", "yaml"}, programsInput(t, workload.Fig5Programs()), &out, io.Discard); err == nil {
+		t.Error("bogus format accepted")
 	}
 }

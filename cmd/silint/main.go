@@ -1,0 +1,157 @@
+// Command silint statically analyses Go packages written against the
+// sian engine API: it lifts per-transaction read/write sets out of
+// Session.Transact/TransactNamed closures and Begin…Commit spans, then
+// runs the paper's static criteria (robustness, §6; chopping
+// correctness, §5 and Appendix B) and reports violations at the
+// offending call sites.
+//
+// Usage:
+//
+//	silint [-model si|psi|ser|all] [-format text|json] [packages...]
+//
+// Package patterns are directories, with an optional /... suffix to
+// walk subdirectories; the default is the current directory. Exit
+// status 0 means every check passed, 1 at least one potential anomaly
+// was reported, 2 an analysis error (unparseable or untypeable code,
+// bad flags, exceeded search budget).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sian/internal/cliutil"
+	"sian/internal/depgraph"
+	"sian/internal/obs"
+	"sian/internal/silint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// models maps the -model flag to the checks Analyze should run.
+func models(flag string) ([]depgraph.Model, error) {
+	switch flag {
+	case "si":
+		return []depgraph.Model{depgraph.SI}, nil
+	case "psi":
+		return []depgraph.Model{depgraph.PSI}, nil
+	case "ser":
+		return []depgraph.Model{depgraph.SER}, nil
+	case "all":
+		return []depgraph.Model{depgraph.SI, depgraph.PSI, depgraph.SER}, nil
+	}
+	return nil, fmt.Errorf("unknown model %q (want si, psi, ser or all)", flag)
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("silint", flag.ContinueOnError)
+	model := fs.String("model", "si", "consistency model to check: si, psi, ser or all")
+	format := fs.String("format", "text", "output format: text or json")
+	notes := fs.Bool("notes", false, "also print analysis notes (⊤-widenings, session identity losses)")
+	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
+	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *format != "text" && *format != "json" {
+		return 2, fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	ms, err := models(*model)
+	if err != nil {
+		return 2, err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	reg := obs.NewRegistry()
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(reg)
+	}
+	finish := func(code int, err error) (int, error) {
+		tr.Report(stderr)
+		if *metricsOut != "" {
+			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
+				return 2, derr
+			}
+		}
+		return code, err
+	}
+
+	done := tr.Phase("analyze")
+	report, err := silint.Analyze(patterns, silint.Options{Models: ms, Registry: reg})
+	done()
+	if err != nil {
+		return finish(2, err)
+	}
+
+	exit := 0
+	if report.Anomalies() > 0 {
+		exit = 1
+	}
+	doneOut := tr.Phase("output")
+	defer doneOut()
+	if *format == "json" {
+		return finish(exit, writeJSON(stdout, report, exit))
+	}
+	txs := 0
+	for _, p := range report.Packages {
+		for _, s := range p.Sessions {
+			txs += len(s.Txs)
+		}
+		for _, d := range p.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		if *notes {
+			for _, n := range p.Notes {
+				fmt.Fprintln(stderr, "note:", n)
+			}
+		}
+	}
+	if exit == 0 {
+		fmt.Fprintf(stdout, "silint: no anomalies in %d package(s), %d transaction(s)\n",
+			len(report.Packages), txs)
+	}
+	return finish(exit, nil)
+}
+
+// writeJSON emits the report in the shared verdict schema: one verdict
+// per diagnostic, plus an OK verdict for every clean package.
+func writeJSON(w io.Writer, report *silint.Report, exit int) error {
+	set := cliutil.VerdictSet{Tool: "silint", Verdicts: []cliutil.Verdict{}, Exit: exit}
+	for _, p := range report.Packages {
+		if len(p.Diagnostics) == 0 {
+			set.Verdicts = append(set.Verdicts, cliutil.Verdict{
+				Check:  "silint",
+				Target: p.Path,
+				OK:     true,
+			})
+			continue
+		}
+		for _, d := range p.Diagnostics {
+			set.Verdicts = append(set.Verdicts, cliutil.Verdict{
+				Check:    d.Check,
+				Target:   d.Package,
+				OK:       false,
+				Category: d.Category,
+				Theorem:  d.Theorem,
+				Witness:  d.Witness,
+				Pos:      fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+				Tx:       d.Tx,
+				Detail:   d.Message,
+			})
+		}
+	}
+	return cliutil.WriteVerdicts(w, set)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"sian/internal/cliutil"
+)
+
+const (
+	writeSkewPkg = "../../internal/silint/testdata/src/writeskew"
+	bankingPkg   = "../../internal/silint/fixtures/banking"
+)
+
+func TestRunTextWriteSkew(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-model", "si", writeSkewPkg}, strings.NewReader(""), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "write-skew: dangerous cycle") || !strings.Contains(s, "Theorem 19") {
+		t.Errorf("output: %s", s)
+	}
+	if !strings.Contains(s, "main.go:") {
+		t.Errorf("diagnostic not anchored to a position: %s", s)
+	}
+}
+
+func TestRunTextClean(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-model", "si", bankingPkg}, strings.NewReader(""), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "silint: no anomalies") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// TestRunJSON pins the shared machine-readable verdict schema.
+func TestRunJSON(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-model", "si", "-format", "json", writeSkewPkg}, strings.NewReader(""), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	var set cliutil.VerdictSet
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if set.Tool != "silint" || set.Exit != 1 || len(set.Verdicts) == 0 {
+		t.Fatalf("set = %+v", set)
+	}
+	v := set.Verdicts[0]
+	if v.Check != "robustness-si" || v.OK || v.Category != "write-skew" ||
+		v.Theorem != "Theorem 19, §6.1" || v.Tx == "" || v.Witness == "" ||
+		!strings.Contains(v.Pos, "main.go:") {
+		t.Errorf("verdict = %+v", v)
+	}
+
+	out.Reset()
+	code, err = run([]string{"-format", "json", bankingPkg}, strings.NewReader(""), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("clean package: exit = %d, want 0", code)
+	}
+	set = cliutil.VerdictSet{}
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatal(err)
+	}
+	if set.Exit != 0 || len(set.Verdicts) != 1 || !set.Verdicts[0].OK || set.Verdicts[0].Check != "silint" {
+		t.Errorf("clean set = %+v", set)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if _, err := run([]string{"-model", "bogus"}, strings.NewReader(""), &out, io.Discard); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if _, err := run([]string{"-format", "yaml"}, strings.NewReader(""), &out, io.Discard); err == nil {
+		t.Error("bogus format accepted")
+	}
+	if code, err := run([]string{"no/such/dir"}, strings.NewReader(""), &out, io.Discard); err == nil || code != 2 {
+		t.Errorf("missing package: code=%d err=%v", code, err)
+	}
+}

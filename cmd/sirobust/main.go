@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"sian/internal/cliutil"
 	"sian/internal/histio"
 	"sian/internal/obs"
 	"sian/internal/robustness"
@@ -37,10 +38,14 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sirobust", flag.ContinueOnError)
 	analysis := fs.String("analysis", "both", "analysis to run: both, si or psi")
+	format := fs.String("format", "text", "output format: text or json")
 	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
 	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *format != "text" && *format != "json" {
+		return 2, fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 
 	reg := obs.NewRegistry()
@@ -59,9 +64,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	}
 
 	var in io.Reader = stdin
+	target := "stdin"
 	switch fs.NArg() {
 	case 0:
 	case 1:
+		target = fs.Arg(0)
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return 2, err
@@ -88,30 +95,55 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	cRobust := reg.Counter("sirobust_robust_total")
 	cDangerous := reg.Counter("sirobust_dangerous_cycles_total")
 	exit := 0
+	set := cliutil.VerdictSet{Tool: "sirobust", Verdicts: []cliutil.Verdict{}}
 	if runSI {
 		done := tr.Phase("analysis-si-ser")
 		w, robust := robustness.CheckSIRobust(app)
 		done()
+		v := cliutil.Verdict{Check: "robustness-si", Target: target, OK: robust, Theorem: "Theorem 19, §6.1"}
 		if robust {
 			cRobust.Inc()
-			fmt.Fprintln(stdout, "SI→SER  ROBUST: running under SI gives only serializable behaviour")
+			if *format == "text" {
+				fmt.Fprintln(stdout, "SI→SER  ROBUST: running under SI gives only serializable behaviour")
+			}
 		} else {
 			cDangerous.Inc()
 			exit = 1
-			fmt.Fprintf(stdout, "SI→SER  NOT ROBUST: dangerous cycle %s\n", w)
+			v.Category = "write-skew"
+			v.Witness = fmt.Sprint(w)
+			v.Detail = fmt.Sprintf("write-skew: dangerous cycle %s (Theorem 19, §6.1)", w)
+			if *format == "text" {
+				fmt.Fprintf(stdout, "SI→SER  NOT ROBUST: dangerous cycle %s\n", w)
+			}
 		}
+		set.Verdicts = append(set.Verdicts, v)
 	}
 	if runPSI {
 		done := tr.Phase("analysis-psi-si")
 		w, robust := robustness.CheckPSIRobust(app)
 		done()
+		v := cliutil.Verdict{Check: "robustness-psi", Target: target, OK: robust, Theorem: "Theorem 22, §6.2"}
 		if robust {
 			cRobust.Inc()
-			fmt.Fprintln(stdout, "PSI→SI  ROBUST: running under parallel SI gives only SI behaviour")
+			if *format == "text" {
+				fmt.Fprintln(stdout, "PSI→SI  ROBUST: running under parallel SI gives only SI behaviour")
+			}
 		} else {
 			cDangerous.Inc()
 			exit = 1
-			fmt.Fprintf(stdout, "PSI→SI  NOT ROBUST: dangerous cycle %s\n", w)
+			v.Category = "long-fork"
+			v.Witness = fmt.Sprint(w)
+			v.Detail = fmt.Sprintf("long-fork: dangerous cycle %s (Theorem 22, §6.2)", w)
+			if *format == "text" {
+				fmt.Fprintf(stdout, "PSI→SI  NOT ROBUST: dangerous cycle %s\n", w)
+			}
+		}
+		set.Verdicts = append(set.Verdicts, v)
+	}
+	if *format == "json" {
+		set.Exit = exit
+		if err := cliutil.WriteVerdicts(stdout, set); err != nil {
+			return finish(2, err)
 		}
 	}
 	return finish(exit, nil)

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"strings"
 	"testing"
 
+	"sian/internal/cliutil"
 	"sian/internal/histio"
 	"sian/internal/robustness"
 	"sian/internal/workload"
@@ -102,5 +104,61 @@ func TestRunFixtures(t *testing.T) {
 	}
 	if code != 1 || !strings.Contains(out.String(), "NOT ROBUST") {
 		t.Errorf("code=%d out=%s", code, out.String())
+	}
+}
+
+// TestRunJSON pins the shared machine-readable verdict schema.
+func TestRunJSON(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	code, err := run([]string{"-format", "json"}, appInput(t, workload.WriteSkewApp()), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	var set cliutil.VerdictSet
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if set.Tool != "sirobust" || set.Exit != 1 || len(set.Verdicts) != 2 {
+		t.Fatalf("set = %+v", set)
+	}
+	si, psi := set.Verdicts[0], set.Verdicts[1]
+	if si.Check != "robustness-si" || si.OK || si.Category != "write-skew" ||
+		si.Theorem != "Theorem 19, §6.1" || !strings.Contains(si.Witness, "-RW*->") {
+		t.Errorf("si verdict = %+v", si)
+	}
+	if psi.Check != "robustness-psi" || psi.Target != "stdin" {
+		t.Errorf("psi verdict = %+v", psi)
+	}
+	if strings.Contains(out.String(), "ROBUST:") {
+		t.Errorf("json output mixed with text lines:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{"-format", "json"}, appInput(t, workload.WriteSkewAppFixed()), &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("fixed app: exit = %d, want 0", code)
+	}
+	set = cliutil.VerdictSet{}
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatal(err)
+	}
+	if set.Exit != 0 || len(set.Verdicts) != 2 || !set.Verdicts[0].OK || !set.Verdicts[1].OK {
+		t.Errorf("fixed app set = %+v", set)
+	}
+	for _, v := range set.Verdicts {
+		if v.Category != "" || v.Witness != "" || v.Detail != "" {
+			t.Errorf("ok verdict carries anomaly fields: %+v", v)
+		}
+	}
+
+	if _, err := run([]string{"-format", "yaml"}, appInput(t, workload.WriteSkewApp()), &out, io.Discard); err == nil {
+		t.Error("bogus format accepted")
 	}
 }

@@ -18,13 +18,11 @@ type Piece struct {
 	Writes []model.Obj
 }
 
-// NewPiece builds a piece from read and write sets, copying both.
+// NewPiece builds a piece from read and write sets; both are copied,
+// deduplicated and canonically sorted so that map-ordered inputs yield
+// deterministic graphs and witnesses.
 func NewPiece(name string, reads, writes []model.Obj) Piece {
-	r := make([]model.Obj, len(reads))
-	copy(r, reads)
-	w := make([]model.Obj, len(writes))
-	copy(w, writes)
-	return Piece{Name: name, Reads: r, Writes: w}
+	return Piece{Name: name, Reads: model.NormalizeObjs(reads), Writes: model.NormalizeObjs(writes)}
 }
 
 // Program is the code of the sessions resulting from chopping a single
@@ -130,34 +128,18 @@ func SCG(programs []Program) (*Graph, []PieceID) {
 				continue
 			}
 			a, b := pieceAt(uid), pieceAt(vid)
-			if intersects(a.Writes, b.Reads) {
+			if model.ObjsIntersect(a.Writes, b.Reads) {
 				g.AddEdge(u, v, KindWR)
 			}
-			if intersects(a.Writes, b.Writes) {
+			if model.ObjsIntersect(a.Writes, b.Writes) {
 				g.AddEdge(u, v, KindWW)
 			}
-			if intersects(a.Reads, b.Writes) {
+			if model.ObjsIntersect(a.Reads, b.Writes) {
 				g.AddEdge(u, v, KindRW)
 			}
 		}
 	}
 	return g, ids
-}
-
-func intersects(a, b []model.Obj) bool {
-	if len(a) == 0 || len(b) == 0 {
-		return false
-	}
-	set := make(map[model.Obj]bool, len(a))
-	for _, x := range a {
-		set[x] = true
-	}
-	for _, x := range b {
-		if set[x] {
-			return true
-		}
-	}
-	return false
 }
 
 // Verdict is the outcome of a static chopping analysis.

@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Verdict is the machine-readable outcome of one static check, shared
+// by silint, sirobust and sichop so downstream tooling can consume a
+// single schema regardless of which tool produced it.
+type Verdict struct {
+	// Check identifies the analysis, e.g. "robustness-si",
+	// "robustness-psi", "chopping-si".
+	Check string `json:"check"`
+	// Target names what was checked: a package import path, an app
+	// file, or a program set.
+	Target string `json:"target"`
+	// OK reports that the check passed (robust / correct chopping).
+	OK bool `json:"ok"`
+	// Category classifies a failure, e.g. "write-skew", "long-fork",
+	// "incorrect-chopping".
+	Category string `json:"category,omitempty"`
+	// Theorem cites the paper result behind the check.
+	Theorem string `json:"theorem,omitempty"`
+	// Witness renders the dangerous or critical cycle on failure.
+	Witness string `json:"witness,omitempty"`
+	// Pos is a file:line:col source anchor when the tool has one
+	// (silint diagnostics).
+	Pos string `json:"pos,omitempty"`
+	// Tx labels the anchoring transaction when known.
+	Tx string `json:"tx,omitempty"`
+	// Detail carries the human-readable message.
+	Detail string `json:"detail,omitempty"`
+}
+
+// VerdictSet is a tool run's complete JSON output.
+type VerdictSet struct {
+	// Tool is the emitting command name.
+	Tool string `json:"tool"`
+	// Verdicts lists one entry per executed check.
+	Verdicts []Verdict `json:"verdicts"`
+	// Exit is the process exit code the run will return
+	// (0 all OK, 1 at least one violation, 2 analysis error).
+	Exit int `json:"exit"`
+}
+
+// WriteVerdicts emits the set as indented JSON followed by a newline.
+func WriteVerdicts(w io.Writer, set VerdictSet) error {
+	data, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,39 @@
+package model
+
+// Object-set utilities shared by the static analyses: the chopping and
+// robustness packages both manipulate read/write sets declared (or
+// extracted) as []Obj slices, and silint lowers abstract-interpretation
+// results into the same representation. Keeping the set algebra here
+// gives every consumer identical semantics.
+
+// NormalizeObjs returns a sorted copy of objs with duplicates removed.
+// Static-analysis constructors normalise their read/write sets with it
+// so that map-ordered inputs (e.g. sets extracted by silint) produce
+// deterministic graphs and witnesses.
+func NormalizeObjs(objs []Obj) []Obj {
+	set := make(map[Obj]bool, len(objs))
+	for _, x := range objs {
+		set[x] = true
+	}
+	return sortedObjs(set)
+}
+
+// ObjsIntersect reports whether the two object sets share an element.
+func ObjsIntersect(a, b []Obj) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	set := make(map[Obj]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		if set[x] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeObjs(t *testing.T) {
+	t.Parallel()
+	got := NormalizeObjs([]Obj{"b", "a", "b", "c", "a"})
+	want := []Obj{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizeObjs = %v, want %v", got, want)
+	}
+	if got := NormalizeObjs(nil); len(got) != 0 {
+		t.Fatalf("NormalizeObjs(nil) = %v, want empty", got)
+	}
+}
+
+func TestObjsIntersect(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b []Obj
+		want bool
+	}{
+		{nil, nil, false},
+		{[]Obj{"x"}, nil, false},
+		{[]Obj{"x"}, []Obj{"y"}, false},
+		{[]Obj{"x", "y"}, []Obj{"y", "z"}, true},
+		{[]Obj{"x"}, []Obj{"a", "b", "x"}, true},
+	}
+	for _, c := range cases {
+		if got := ObjsIntersect(c.a, c.b); got != c.want {
+			t.Errorf("ObjsIntersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := ObjsIntersect(c.b, c.a); got != c.want {
+			t.Errorf("ObjsIntersect(%v, %v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}

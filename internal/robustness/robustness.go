@@ -51,15 +51,22 @@ type TxSpec struct {
 	Name   string
 	Reads  []model.Obj
 	Writes []model.Obj
+	// WritesWidened marks the write set as a strict may-write
+	// over-approximation (e.g. silint's ⊤-widening of a non-constant
+	// key): the transaction is not guaranteed to write any particular
+	// listed object at run time, so an intersection with another write
+	// set does not imply a concrete write-write conflict. The
+	// vulnerability refinement (see the package comment) requires that
+	// implication, so anti-dependencies incident to a widened
+	// transaction are always treated as vulnerable.
+	WritesWidened bool
 }
 
-// NewTxSpec builds a specification, copying both sets.
+// NewTxSpec builds a specification; both sets are copied, deduplicated
+// and canonically sorted so that map-ordered inputs yield deterministic
+// graphs and witnesses.
 func NewTxSpec(name string, reads, writes []model.Obj) TxSpec {
-	r := make([]model.Obj, len(reads))
-	copy(r, reads)
-	w := make([]model.Obj, len(writes))
-	copy(w, writes)
-	return TxSpec{Name: name, Reads: r, Writes: w}
+	return TxSpec{Name: name, Reads: model.NormalizeObjs(reads), Writes: model.NormalizeObjs(writes)}
 }
 
 // SessionSpec is an ordered list of transaction specifications issued
@@ -146,34 +153,18 @@ func BuildStatic(app App) *StaticGraph {
 				}
 				continue
 			}
-			if intersects(specs[a].Writes, specs[b].Reads) {
+			if model.ObjsIntersect(specs[a].Writes, specs[b].Reads) {
 				g.WR.Add(a, b)
 			}
-			if intersects(specs[a].Writes, specs[b].Writes) {
+			if model.ObjsIntersect(specs[a].Writes, specs[b].Writes) {
 				g.WW.Add(a, b)
 			}
-			if intersects(specs[a].Reads, specs[b].Writes) {
+			if model.ObjsIntersect(specs[a].Reads, specs[b].Writes) {
 				g.RW.Add(a, b)
 			}
 		}
 	}
 	return g
-}
-
-func intersects(a, b []model.Obj) bool {
-	if len(a) == 0 || len(b) == 0 {
-		return false
-	}
-	set := make(map[model.Obj]bool, len(a))
-	for _, x := range a {
-		set[x] = true
-	}
-	for _, x := range b {
-		if set[x] {
-			return true
-		}
-	}
-	return false
 }
 
 // EdgeKind labels an edge of a static dependency graph for witness
@@ -235,7 +226,10 @@ func (w *Witness) String() string {
 
 // vulnerableRW returns the anti-dependency edges between transactions
 // whose write sets are disjoint (so the pair can be concurrent and
-// escape write-conflict detection).
+// escape write-conflict detection). A widened write set (TxSpec.
+// WritesWidened) never certifies a concrete write-write conflict, so
+// edges incident to widened transactions stay vulnerable even when the
+// declared sets intersect.
 func (g *StaticGraph) vulnerableRW(app App) *relation.Rel {
 	var specs []TxSpec
 	for _, s := range app.Sessions {
@@ -243,7 +237,8 @@ func (g *StaticGraph) vulnerableRW(app App) *relation.Rel {
 	}
 	out := relation.New(g.RW.N())
 	for _, p := range g.RW.Pairs() {
-		if !intersects(specs[p[0]].Writes, specs[p[1]].Writes) {
+		a, b := specs[p[0]], specs[p[1]]
+		if a.WritesWidened || b.WritesWidened || !model.ObjsIntersect(a.Writes, b.Writes) {
 			out.Add(p[0], p[1])
 		}
 	}

@@ -1,0 +1,103 @@
+package silint
+
+import (
+	"strings"
+	"testing"
+
+	"sian/internal/engine"
+	"sian/internal/model"
+	"sian/internal/silint/fixtures/audit"
+	"sian/internal/silint/fixtures/banking"
+)
+
+// TestDifferentialSoundness runs the fixture workloads on the SI
+// reference engine and checks that every dynamically recorded read and
+// write is covered by the statically extracted set for the same
+// transaction: the extraction must be a sound over-approximation.
+func TestDifferentialSoundness(t *testing.T) {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{
+		banking.Acct1: 300, banking.Acct2: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	teller := db.Session("teller")
+	if err := banking.TransferChopped(teller, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := banking.Lookup1(db.Session("auditor1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := banking.Lookup2(db.Session("auditor2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.SumAll(db.Session("summer"),
+		[]model.Obj{banking.Acct1, banking.Acct2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.AuditNamed(db.Session("checker"), banking.Acct2); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := Analyze([]string{"fixtures/banking", "fixtures/audit"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := make(map[string]*Tx) // tx name → extracted spec
+	for _, pkg := range report.Packages {
+		for _, s := range pkg.Sessions {
+			for _, tx := range s.Txs {
+				if _, dup := static[tx.Name]; dup {
+					t.Fatalf("ambiguous transaction name %q across fixtures", tx.Name)
+				}
+				static[tx.Name] = tx
+			}
+		}
+	}
+
+	covered := func(s *ObjSet, x model.Obj) bool {
+		if s.Top {
+			return true
+		}
+		for _, o := range s.Objects() {
+			if o == x {
+				return true
+			}
+		}
+		return false
+	}
+	checked := 0
+	for _, sess := range db.History().Sessions() {
+		if sess.ID == model.InitTransactionID {
+			continue
+		}
+		for _, tr := range sess.Transactions {
+			// Recorded ids are "<session>/<name>"; the name matches the
+			// extracted transaction label.
+			name := tr.ID[strings.LastIndex(tr.ID, "/")+1:]
+			tx, ok := static[name]
+			if !ok {
+				t.Errorf("recorded transaction %s has no extracted counterpart %q", tr.ID, name)
+				continue
+			}
+			for _, x := range tr.ReadSet() {
+				if !covered(tx.Reads, x) {
+					t.Errorf("%s: dynamic read of %s not covered by static reads %s", tr.ID, x, tx.Reads)
+				}
+			}
+			for _, x := range tr.WriteSet() {
+				if !covered(tx.Writes, x) {
+					t.Errorf("%s: dynamic write of %s not covered by static writes %s", tr.ID, x, tx.Writes)
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 6 {
+		t.Errorf("only %d transactions checked, want at least 6", checked)
+	}
+}

@@ -1,0 +1,748 @@
+package silint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"sian/internal/model"
+)
+
+// ObjSet is the abstract object set the extractor computes for each
+// transaction: a set of named objects, plus a ⊤ element standing for
+// "any object" when a key could not be resolved statically. ⊤
+// conservatively intersects everything, so widening only ever adds
+// dependency edges to the lowered static graphs.
+type ObjSet struct {
+	objs map[model.Obj]bool
+	// Top records that the set was widened to ⊤.
+	Top bool
+}
+
+func newObjSet() *ObjSet { return &ObjSet{objs: make(map[model.Obj]bool)} }
+
+func (s *ObjSet) add(objs []model.Obj, top bool) {
+	for _, x := range objs {
+		s.objs[x] = true
+	}
+	if top {
+		s.Top = true
+	}
+}
+
+// Objects returns the named objects of the set, sorted. When Top is
+// set the named objects are still meaningful: they were resolved
+// precisely and the set additionally contains every other object.
+func (s *ObjSet) Objects() []model.Obj {
+	out := make([]model.Obj, 0, len(s.objs))
+	for x := range s.objs {
+		out = append(out, x)
+	}
+	return model.NormalizeObjs(out)
+}
+
+// String renders e.g. "{acct1, acct2}" or "⊤∪{acct1}".
+func (s *ObjSet) String() string {
+	names := make([]string, 0, len(s.objs))
+	for _, x := range s.Objects() {
+		names = append(names, string(x))
+	}
+	set := "{" + strings.Join(names, ", ") + "}"
+	if s.Top {
+		if len(names) == 0 {
+			return "⊤"
+		}
+		return "⊤∪" + set
+	}
+	return set
+}
+
+// TxKind distinguishes how a transaction span was written.
+type TxKind int
+
+// Transaction span kinds.
+const (
+	TxInvalid TxKind = iota
+	// TxTransact is a Session.Transact/TransactNamed closure.
+	TxTransact
+	// TxManual is a Session.Begin … Commit/Abort span.
+	TxManual
+)
+
+// Tx is one extracted transaction: the static over-approximation of
+// the read and write sets of a Transact closure or manual Begin span,
+// anchored at its call site.
+type Tx struct {
+	// Name labels the transaction in witnesses: the constant name
+	// passed to TransactNamed/Begin, or a position-derived fallback.
+	Name string
+	// Pos is the Transact/TransactNamed/Begin call position.
+	Pos token.Pos
+	// Kind records the span style.
+	Kind TxKind
+	// Reads and Writes are the extracted abstract sets.
+	Reads, Writes *ObjSet
+	// InLoop marks a span whose call site is inside a loop; the
+	// lowering duplicates it within its session to model repeated
+	// sequential execution.
+	InLoop bool
+}
+
+// Session is an ordered list of transactions extracted for one session
+// identity (a session variable, or a single call site when the
+// receiver expression has no stable identity).
+type Session struct {
+	// Name is a display name (the receiver variable, usually).
+	Name string
+	// Txs in syntactic order, which over-approximates session order.
+	Txs []*Tx
+	// MultiInstance marks a session that may be instantiated more than
+	// once at run time (any session not rooted in a local variable of
+	// func main). The analyses still treat it as a single instance —
+	// the library convention is that self-concurrent transactions are
+	// listed in two sessions — but extraction emits a note so the
+	// assumption is visible.
+	MultiInstance bool
+}
+
+// annotationRE is the escape-hatch comment: silint:obj=a or
+// silint:obj=a,b on the call line or the line above asserts the set of
+// objects a key expression may denote.
+var annotationRE = regexp.MustCompile(`silint:obj=([^\s]+)`)
+
+// extractor walks one package and produces its sessions.
+type extractor struct {
+	pkg *Package
+
+	// prepass state
+	annots    map[string]map[int][]model.Obj // filename → line → asserted objects
+	assigns   map[types.Object]int
+	assignRHS map[types.Object]ast.Expr
+	addrTaken map[types.Object]bool
+	loopRange []posRange
+
+	// walk state
+	sessions     []*Session
+	sessionByObj map[types.Object]*Session
+	manual       map[types.Object]*Tx
+	okIdent      map[*ast.Ident]bool
+	beginDone    map[*ast.CallExpr]bool
+	inMain       bool
+	fnName       string
+
+	notes     []string
+	widenings int
+}
+
+type posRange struct{ from, to token.Pos }
+
+func newExtractor(pkg *Package) *extractor {
+	return &extractor{
+		pkg:          pkg,
+		annots:       make(map[string]map[int][]model.Obj),
+		assigns:      make(map[types.Object]int),
+		assignRHS:    make(map[types.Object]ast.Expr),
+		addrTaken:    make(map[types.Object]bool),
+		sessionByObj: make(map[types.Object]*Session),
+		manual:       make(map[types.Object]*Tx),
+		okIdent:      make(map[*ast.Ident]bool),
+		beginDone:    make(map[*ast.CallExpr]bool),
+	}
+}
+
+// extract runs the full extraction for the package.
+func (e *extractor) extract() {
+	e.prepass()
+	for _, f := range e.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			e.inMain = e.pkg.Types.Name() == "main" && fd.Recv == nil && fd.Name.Name == "main"
+			e.fnName = fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					e.handleAssign(s)
+				case *ast.CallExpr:
+					e.handleCall(s)
+				}
+				return true
+			})
+			e.checkManualEscapes(fd)
+		}
+	}
+	for _, s := range e.sessions {
+		if s.MultiInstance && len(s.Txs) > 0 {
+			e.note(s.Txs[0].Pos, "session %s is declared outside func main and may be instantiated more than once; the analysis assumes a single instance (model self-concurrency by running the code under a second, distinct session)", s.Name)
+		}
+	}
+}
+
+// prepass collects annotations, per-object assignment counts and
+// right-hand sides (for constant propagation), address-taking, and
+// loop body ranges.
+func (e *extractor) prepass() {
+	for _, f := range e.pkg.Files {
+		fname := e.pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := annotationRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := e.pkg.Fset.Position(c.Slash).Line
+				var objs []model.Obj
+				for _, name := range strings.Split(m[1], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						objs = append(objs, model.Obj(name))
+					}
+				}
+				if e.annots[fname] == nil {
+					e.annots[fname] = make(map[int][]model.Obj)
+				}
+				e.annots[fname][line] = objs
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				aligned := len(s.Lhs) == len(s.Rhs)
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := e.objectOf(id)
+					if obj == nil {
+						continue
+					}
+					e.assigns[obj]++
+					if aligned && e.assigns[obj] == 1 {
+						e.assignRHS[obj] = s.Rhs[i]
+					} else {
+						delete(e.assignRHS, obj)
+					}
+				}
+			case *ast.ValueSpec:
+				aligned := len(s.Names) == len(s.Values)
+				for i, id := range s.Names {
+					if len(s.Values) == 0 {
+						continue // zero-value declaration; a later assignment may still be single
+					}
+					obj := e.objectOf(id)
+					if obj == nil {
+						continue
+					}
+					e.assigns[obj]++
+					if aligned && e.assigns[obj] == 1 {
+						e.assignRHS[obj] = s.Values[i]
+					} else {
+						delete(e.assignRHS, obj)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := s.X.(*ast.Ident); ok {
+					if obj := e.objectOf(id); obj != nil {
+						e.assigns[obj]++
+						delete(e.assignRHS, obj)
+					}
+				}
+			case *ast.RangeStmt:
+				for _, x := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := x.(*ast.Ident); ok {
+						if obj := e.objectOf(id); obj != nil {
+							e.assigns[obj] += 2 // reassigned every iteration
+							delete(e.assignRHS, obj)
+						}
+					}
+				}
+				e.loopRange = append(e.loopRange, posRange{s.Body.Pos(), s.Body.End()})
+			case *ast.ForStmt:
+				e.loopRange = append(e.loopRange, posRange{s.Body.Pos(), s.Body.End()})
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					if id, ok := unparen(s.X).(*ast.Ident); ok {
+						if obj := e.objectOf(id); obj != nil {
+							e.addrTaken[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (e *extractor) objectOf(id *ast.Ident) types.Object {
+	if obj := e.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return e.pkg.Info.Uses[id]
+}
+
+func (e *extractor) inLoop(pos token.Pos) bool {
+	for _, r := range e.loopRange {
+		if pos >= r.from && pos < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}
+
+// isEngineNamed reports whether t is (a pointer to) the named engine
+// type, matched through the sian facade's aliases.
+func isEngineNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != name {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sian/internal/engine" || strings.HasSuffix(path, "/internal/engine")
+}
+
+// methodCall resolves call to (receiver expression, receiver engine
+// type name, method name) when it is a method call on one of the
+// engine's transaction-facing types.
+func (e *extractor) methodCall(call *ast.CallExpr) (recv ast.Expr, typeName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	selInfo := e.pkg.Info.Selections[sel]
+	if selInfo == nil || selInfo.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	for _, name := range []string{"Session", "Tx", "ManualTx"} {
+		if isEngineNamed(selInfo.Recv(), name) {
+			return sel.X, name, sel.Sel.Name, true
+		}
+	}
+	return nil, "", "", false
+}
+
+// handleAssign registers manual transactions: tx, err := sess.Begin(…).
+func (e *extractor) handleAssign(s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	recv, typeName, method, ok := e.methodCall(call)
+	if !ok || typeName != "Session" || method != "Begin" {
+		return
+	}
+	e.beginDone[call] = true
+	tx := e.beginTx(recv, call)
+	if len(s.Lhs) == 0 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := e.objectOf(id); obj != nil {
+		e.manual[obj] = tx
+	}
+}
+
+// beginTx creates the manual transaction for a Begin call and appends
+// it to the receiver's session.
+func (e *extractor) beginTx(recv ast.Expr, call *ast.CallExpr) *Tx {
+	name := ""
+	if len(call.Args) > 0 {
+		name = e.constString(call.Args[0])
+	}
+	tx := &Tx{
+		Name:   e.txName(name, call),
+		Pos:    call.Pos(),
+		Kind:   TxManual,
+		Reads:  newObjSet(),
+		Writes: newObjSet(),
+		InLoop: e.inLoop(call.Pos()),
+	}
+	e.sessionFor(recv, call).Txs = append(e.sessionFor(recv, call).Txs, tx)
+	return tx
+}
+
+// handleCall dispatches Transact/TransactNamed/Begin on sessions and
+// Read/Write/Commit/Abort on tracked manual transactions.
+func (e *extractor) handleCall(call *ast.CallExpr) {
+	recv, typeName, method, ok := e.methodCall(call)
+	if !ok {
+		return
+	}
+	switch typeName {
+	case "Session":
+		switch method {
+		case "Transact":
+			if len(call.Args) == 1 {
+				e.handleTransact(call, recv, "", call.Args[0])
+			}
+		case "TransactNamed":
+			if len(call.Args) == 2 {
+				e.handleTransact(call, recv, e.constString(call.Args[0]), call.Args[1])
+			}
+		case "Begin":
+			if !e.beginDone[call] {
+				// Begin whose result is not bound to a variable: the
+				// span cannot perform reads or writes through a name we
+				// can see; record it with empty sets.
+				e.beginDone[call] = true
+				e.beginTx(recv, call)
+			}
+		}
+	case "ManualTx":
+		id, ok := unparen(recv).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := e.pkg.Info.Uses[id]
+		tx, tracked := e.manual[obj]
+		if !tracked {
+			return
+		}
+		switch method {
+		case "Read":
+			if len(call.Args) == 1 {
+				tx.Reads.add(e.resolveObj(call.Args[0], call))
+				e.okIdent[id] = true
+			}
+		case "Write":
+			if len(call.Args) == 2 {
+				tx.Writes.add(e.resolveObj(call.Args[0], call))
+				e.okIdent[id] = true
+			}
+		case "Commit", "Abort":
+			e.okIdent[id] = true
+		}
+	}
+}
+
+// handleTransact extracts one Transact/TransactNamed call: the closure
+// (or same-package named handler) body is abstractly interpreted for
+// tx.Read/tx.Write call sites.
+func (e *extractor) handleTransact(call *ast.CallExpr, recv ast.Expr, name string, fnArg ast.Expr) {
+	tx := &Tx{
+		Name:   e.txName(name, call),
+		Pos:    call.Pos(),
+		Kind:   TxTransact,
+		Reads:  newObjSet(),
+		Writes: newObjSet(),
+		InLoop: e.inLoop(call.Pos()),
+	}
+	sess := e.sessionFor(recv, call)
+	sess.Txs = append(sess.Txs, tx)
+
+	var body *ast.BlockStmt
+	var txObj types.Object
+	switch fn := unparen(fnArg).(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+		txObj = e.paramObj(fn.Type)
+	default:
+		if fd := e.funcDeclFor(fnArg); fd != nil && fd.Body != nil {
+			body = fd.Body
+			txObj = e.paramObj(fd.Type)
+		}
+	}
+	if body == nil {
+		e.widen(tx, call.Pos(), "transaction body is not statically visible")
+		return
+	}
+	if txObj == nil {
+		return // no way to name the tx handle: the body cannot read or write
+	}
+	e.extractOps(body, txObj, tx)
+}
+
+// paramObj returns the object of the first parameter of the function
+// type, or nil when it is unnamed or blank.
+func (e *extractor) paramObj(ft *ast.FuncType) types.Object {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return nil
+	}
+	names := ft.Params.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return e.pkg.Info.Defs[names[0]]
+}
+
+// funcDeclFor resolves an expression used as a Transact handler to a
+// same-package top-level function declaration.
+func (e *extractor) funcDeclFor(x ast.Expr) *ast.FuncDecl {
+	var obj types.Object
+	switch f := unparen(x).(type) {
+	case *ast.Ident:
+		obj = e.pkg.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = e.pkg.Info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != e.pkg.Types {
+		return nil
+	}
+	for _, file := range e.pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && e.pkg.Info.Defs[fd.Name] == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// extractOps walks a transaction body, adding every tx.Read/tx.Write
+// key to the sets; any other use of the transaction handle (passing it
+// to a helper, aliasing it) escapes the abstraction and widens both
+// sets to ⊤.
+func (e *extractor) extractOps(body *ast.BlockStmt, txObj types.Object, tx *Tx) {
+	ok := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		id, isIdent := unparen(sel.X).(*ast.Ident)
+		if !isIdent || e.pkg.Info.Uses[id] != txObj {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Read":
+			if len(call.Args) == 1 {
+				tx.Reads.add(e.resolveObj(call.Args[0], call))
+				ok[id] = true
+			}
+		case "Write":
+			if len(call.Args) == 2 {
+				tx.Writes.add(e.resolveObj(call.Args[0], call))
+				ok[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || ok[id] || e.pkg.Info.Uses[id] != txObj {
+			return true
+		}
+		e.widen(tx, id.Pos(), fmt.Sprintf("transaction handle %s escapes the closure", id.Name))
+		return false
+	})
+}
+
+// checkManualEscapes widens manual transactions whose handle is used
+// outside the recognised Read/Write/Commit/Abort receivers.
+func (e *extractor) checkManualEscapes(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || e.okIdent[id] {
+			return true
+		}
+		obj := e.pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if tx, tracked := e.manual[obj]; tracked {
+			e.widen(tx, id.Pos(), fmt.Sprintf("transaction handle %s escapes", id.Name))
+		}
+		return true
+	})
+}
+
+// widen moves both sets of the transaction to ⊤ (recorded once).
+func (e *extractor) widen(tx *Tx, pos token.Pos, why string) {
+	if tx.Reads.Top && tx.Writes.Top {
+		return
+	}
+	tx.Reads.Top = true
+	tx.Writes.Top = true
+	e.widenings++
+	e.note(pos, "%s: read/write sets widened to ⊤", why)
+}
+
+func (e *extractor) note(pos token.Pos, format string, args ...any) {
+	e.notes = append(e.notes, fmt.Sprintf("%s: %s", e.position(pos), fmt.Sprintf(format, args...)))
+}
+
+func (e *extractor) position(pos token.Pos) string {
+	p := e.pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// txName derives the transaction label: the constant name argument
+// when available, a position fallback otherwise.
+func (e *extractor) txName(name string, call *ast.CallExpr) string {
+	if name != "" {
+		return name
+	}
+	return "tx@" + e.position(call.Pos())
+}
+
+// constString evaluates x as a compile-time string constant ("" when
+// it is not one).
+func (e *extractor) constString(x ast.Expr) string {
+	tv, ok := e.pkg.Info.Types[x]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// resolveObj resolves an object-key expression to named objects, or ⊤.
+// Resolution order: the silint:obj annotation on the call line (or the
+// line above), compile-time constants (go/types folds constant
+// expressions, including conversions of constants to model.Obj),
+// single-assignment variables whose right-hand side resolves
+// (recursively), and explicit conversions of a resolvable operand.
+// Everything else — loop variables, function parameters, computed keys
+// — widens to ⊤.
+func (e *extractor) resolveObj(arg ast.Expr, call *ast.CallExpr) ([]model.Obj, bool) {
+	if objs, ok := e.annotationAt(call.Pos()); ok {
+		return objs, false
+	}
+	objs, top := e.resolveExpr(arg, make(map[types.Object]bool))
+	if top {
+		e.widenings++
+		e.note(call.Pos(), "object key %s is not a resolvable constant: widened to ⊤ (annotate with // silint:obj=<name> to assert the key)", exprText(arg))
+	}
+	return objs, top
+}
+
+func (e *extractor) annotationAt(pos token.Pos) ([]model.Obj, bool) {
+	p := e.pkg.Fset.Position(pos)
+	lines := e.annots[p.Filename]
+	if lines == nil {
+		return nil, false
+	}
+	if objs, ok := lines[p.Line]; ok {
+		return objs, true
+	}
+	if objs, ok := lines[p.Line-1]; ok {
+		return objs, true
+	}
+	return nil, false
+}
+
+func (e *extractor) resolveExpr(x ast.Expr, visited map[types.Object]bool) ([]model.Obj, bool) {
+	x = unparen(x)
+	if s := e.constString(x); s != "" {
+		return []model.Obj{model.Obj(s)}, false
+	}
+	switch v := x.(type) {
+	case *ast.Ident:
+		obj := e.pkg.Info.Uses[v]
+		vr, ok := obj.(*types.Var)
+		if !ok || visited[vr] || e.assigns[vr] != 1 || e.addrTaken[vr] {
+			return nil, true
+		}
+		rhs, ok := e.assignRHS[vr]
+		if !ok {
+			return nil, true
+		}
+		visited[vr] = true
+		return e.resolveExpr(rhs, visited)
+	case *ast.CallExpr:
+		// A conversion like model.Obj(k): resolve the operand.
+		if len(v.Args) == 1 {
+			if tv, ok := e.pkg.Info.Types[v.Fun]; ok && tv.IsType() {
+				return e.resolveExpr(v.Args[0], visited)
+			}
+		}
+	}
+	return nil, true
+}
+
+// exprText renders a short source-like description of an expression.
+func exprText(x ast.Expr) string {
+	switch v := unparen(x).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "(…)"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[…]"
+	default:
+		return fmt.Sprintf("<%T>", x)
+	}
+}
+
+// sessionFor returns the session for a Transact/Begin receiver
+// expression: calls through the same never-reassigned variable share a
+// session (giving session order between their transactions); anything
+// else gets a fresh per-call-site session, which conservatively treats
+// the transactions as concurrent.
+func (e *extractor) sessionFor(recv ast.Expr, call *ast.CallExpr) *Session {
+	recv = unparen(recv)
+	var obj types.Object
+	name := exprText(recv)
+	if !e.inMain && e.fnName != "" {
+		// Qualify by function so sessions of different helpers do not
+		// share a display name (e.g. "TransferChopped.s").
+		name = e.fnName + "." + name
+	}
+	switch r := recv.(type) {
+	case *ast.Ident:
+		obj = e.pkg.Info.Uses[r]
+	case *ast.SelectorExpr:
+		obj = e.pkg.Info.Uses[r.Sel]
+	}
+	multi := !e.inMain
+	if vr, ok := obj.(*types.Var); ok && e.assigns[vr] <= 1 && !e.addrTaken[vr] {
+		if e.inLoop(vr.Pos()) {
+			// A session created per loop iteration is many sessions.
+			multi = true
+		}
+		if s, found := e.sessionByObj[obj]; found {
+			if multi {
+				s.MultiInstance = true
+			}
+			return s
+		}
+		s := &Session{Name: name, MultiInstance: multi}
+		e.sessionByObj[obj] = s
+		e.sessions = append(e.sessions, s)
+		return s
+	}
+	if obj != nil {
+		e.note(call.Pos(), "session %s has no stable identity (reassigned or aliased); treating this call site as its own session — chopping conclusions may be incomplete", name)
+	}
+	s := &Session{Name: name + "@" + e.position(call.Pos()), MultiInstance: multi}
+	e.sessions = append(e.sessions, s)
+	return s
+}

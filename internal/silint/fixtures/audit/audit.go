@@ -1,0 +1,43 @@
+// Package audit is a silint fixture exercising ⊤-widening: the sum
+// below reads a caller-supplied account list in a loop, so the key is
+// not statically resolvable and the read set widens to ⊤. On its own
+// the package is still clean (a lone read-only session violates
+// nothing), which also makes it a CI exit-0 target; the differential
+// test checks the dynamic read set is a subset of the widened one.
+package audit
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// SumAll atomically reads every listed account and returns the total —
+// the lookupAll of Figure 5, over a dynamic account set.
+func SumAll(s *engine.Session, accounts []model.Obj) (model.Value, error) {
+	var total model.Value
+	err := s.TransactNamed("sumAll", func(tx *engine.Tx) error {
+		total = 0
+		for _, a := range accounts {
+			v, err := tx.Read(a)
+			if err != nil {
+				return err
+			}
+			total += v
+		}
+		return nil
+	})
+	return total, err
+}
+
+// AuditNamed reads a caller-supplied account plus the ledger header;
+// the caller guarantees the account is one of the two known ones and
+// asserts it with the annotation escape hatch, so the set stays exact.
+func AuditNamed(s *engine.Session, acct model.Obj) (model.Value, error) {
+	var v model.Value
+	err := s.TransactNamed("audit", func(tx *engine.Tx) error {
+		var err error
+		v, err = tx.Read(acct) // silint:obj=acct1,acct2
+		return err
+	})
+	return v, err
+}

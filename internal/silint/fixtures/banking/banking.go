@@ -1,0 +1,62 @@
+// Package banking is a silint end-to-end fixture: the §5 running
+// example (Figure 6) written as real code against the engine API. The
+// transfer is chopped into two small transactions and the lookups read
+// single accounts, so the package is robust and a correct chopping —
+// silint over this package must report nothing.
+package banking
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// The two accounts, as compile-time constants the analyser resolves.
+const (
+	Acct1 = "acct1"
+	Acct2 = "acct2"
+)
+
+// TransferChopped moves amount from Acct1 to Acct2 as two small
+// transactions: the chopping of Figure 4's transfer.
+func TransferChopped(s *engine.Session, amount model.Value) error {
+	if err := s.TransactNamed("debit", func(tx *engine.Tx) error {
+		v, err := tx.Read(Acct1)
+		if err != nil {
+			return err
+		}
+		return tx.Write(Acct1, v-amount)
+	}); err != nil {
+		return err
+	}
+	return s.TransactNamed("credit", func(tx *engine.Tx) error {
+		v, err := tx.Read(Acct2)
+		if err != nil {
+			return err
+		}
+		return tx.Write(Acct2, v+amount)
+	})
+}
+
+// Lookup1 returns the balance of the first account. The key reaches
+// the read through a propagated single-assignment local.
+func Lookup1(s *engine.Session) (model.Value, error) {
+	var v model.Value
+	acct := Acct1
+	err := s.TransactNamed("lookup1", func(tx *engine.Tx) error {
+		var err error
+		v, err = tx.Read(model.Obj(acct))
+		return err
+	})
+	return v, err
+}
+
+// Lookup2 returns the balance of the second account.
+func Lookup2(s *engine.Session) (model.Value, error) {
+	var v model.Value
+	err := s.TransactNamed("lookup2", func(tx *engine.Tx) error {
+		var err error
+		v, err = tx.Read(Acct2)
+		return err
+	})
+	return v, err
+}

@@ -1,0 +1,187 @@
+package silint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/model"
+)
+
+// wantRE matches golden expectations: // want "regexp".
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the testdata tree for // want comments, keyed by
+// absolute file path and line.
+func collectWants(t *testing.T, root string) map[string]map[int][]*want {
+	t.Helper()
+	wants := make(map[string]map[int][]*want)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", p, i+1, m[1], err)
+				}
+				if wants[abs] == nil {
+					wants[abs] = make(map[int][]*want)
+				}
+				wants[abs][i+1] = append(wants[abs][i+1], &want{re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// analyzeTestdata runs one shared Analyze over every golden package
+// (the loader caches type-checked dependencies across them).
+func analyzeTestdata(t *testing.T) *Report {
+	t.Helper()
+	report, err := Analyze([]string{"testdata/src/..."}, Options{
+		Models: []depgraph.Model{depgraph.SI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	report := analyzeTestdata(t)
+	wants := collectWants(t, "testdata/src")
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found under testdata/src")
+	}
+	for _, pkg := range report.Packages {
+		for _, d := range pkg.Diagnostics {
+			matched := false
+			for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic at %s", d)
+			}
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// findTx locates an extracted transaction by package import-path
+// suffix and transaction name prefix.
+func findTx(t *testing.T, report *Report, pkgSuffix, txPrefix string) *Tx {
+	t.Helper()
+	for _, pkg := range report.Packages {
+		if !strings.HasSuffix(pkg.Path, pkgSuffix) {
+			continue
+		}
+		for _, s := range pkg.Sessions {
+			for _, tx := range s.Txs {
+				if strings.HasPrefix(tx.Name, txPrefix) {
+					return tx
+				}
+			}
+		}
+		t.Fatalf("package %s: no transaction named %s*", pkg.Path, txPrefix)
+	}
+	t.Fatalf("no package with suffix %s in report", pkgSuffix)
+	return nil
+}
+
+func objs(xs ...model.Obj) []model.Obj { return xs }
+
+func checkSet(t *testing.T, what string, s *ObjSet, top bool, named []model.Obj) {
+	t.Helper()
+	if s.Top != top {
+		t.Errorf("%s: Top = %v, want %v", what, s.Top, top)
+	}
+	got := s.Objects()
+	if len(got) != len(named) {
+		t.Errorf("%s: objects = %v, want %v", what, got, named)
+		return
+	}
+	for i := range got {
+		if got[i] != named[i] {
+			t.Errorf("%s: objects = %v, want %v", what, got, named)
+			return
+		}
+	}
+}
+
+// TestGoldenExtraction pins the abstract sets themselves: robust
+// fixtures produce no diagnostics, so precision there is asserted
+// directly on the extracted transactions.
+func TestGoldenExtraction(t *testing.T) {
+	report := analyzeTestdata(t)
+
+	w1 := findTx(t, report, "/propagated", "withdraw1")
+	checkSet(t, "propagated/withdraw1 reads", w1.Reads, false, objs("acct1", "acct2", "total"))
+	checkSet(t, "propagated/withdraw1 writes", w1.Writes, false, objs("acct1", "total"))
+
+	refill := findTx(t, report, "/propagated", "refill")
+	if !refill.InLoop {
+		t.Error("propagated/refill: InLoop = false, want true")
+	}
+	checkSet(t, "propagated/refill reads", refill.Reads, false, objs("reserve"))
+	checkSet(t, "propagated/refill writes", refill.Writes, false, objs("reserve"))
+
+	a1 := findTx(t, report, "/annotated", "withdraw1")
+	checkSet(t, "annotated/withdraw1 reads", a1.Reads, false, objs("acct1", "acct2", "total"))
+	checkSet(t, "annotated/withdraw1 writes", a1.Writes, false, objs("acct1", "total"))
+
+	audit := findTx(t, report, "/loops", "audit")
+	checkSet(t, "loops/audit reads", audit.Reads, true, nil)
+	checkSet(t, "loops/audit writes", audit.Writes, false, objs("auditlog"))
+
+	sweep := findTx(t, report, "/widenwrites", "sweep")
+	checkSet(t, "widenwrites/sweep reads", sweep.Reads, false, objs("x", "y"))
+	checkSet(t, "widenwrites/sweep writes", sweep.Writes, true, nil)
+
+	logic := findTx(t, report, "/escape", "tx@")
+	checkSet(t, "escape/logic reads", logic.Reads, false, objs("x", "y"))
+	checkSet(t, "escape/logic writes", logic.Writes, false, objs("y"))
+	leak := findTx(t, report, "/escape", "leak")
+	checkSet(t, "escape/leak reads", leak.Reads, true, nil)
+	checkSet(t, "escape/leak writes", leak.Writes, true, nil)
+
+	manual := findTx(t, report, "/manualtx", "withdraw1")
+	if manual.Kind != TxManual {
+		t.Errorf("manualtx/withdraw1: Kind = %v, want TxManual", manual.Kind)
+	}
+	checkSet(t, "manualtx/withdraw1 reads", manual.Reads, false, objs("acct1", "acct2"))
+	checkSet(t, "manualtx/withdraw1 writes", manual.Writes, false, objs("acct1"))
+}

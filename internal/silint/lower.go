@@ -1,0 +1,121 @@
+package silint
+
+import (
+	"sian/internal/chopping"
+	"sian/internal/model"
+	"sian/internal/robustness"
+)
+
+// TopObj is the materialisation of ⊤: a distinguished object that is a
+// member of every widened set. Together with the package universe it
+// makes plain set intersection implement abstract intersection: two ⊤
+// sets meet on TopObj, and a ⊤ set meets every named set on the
+// universe.
+const TopObj = model.Obj("⊤")
+
+// txEntry is one lowered transaction occurrence with its display label
+// (loop iterations and session instances get suffixed labels).
+type txEntry struct {
+	tx    *Tx
+	label string
+}
+
+// loweredSession is one concrete session instance fed to the static
+// analyses.
+type loweredSession struct {
+	name string
+	txs  []txEntry
+}
+
+// expandSessions turns extracted sessions into the concrete instances
+// the analyses see: a transaction called inside a loop is listed twice
+// in its session (modelling repeated sequential execution — two copies
+// suffice for the pairwise intersections the analyses compute). Each
+// session is analysed as a single instance, matching the library
+// convention that a transaction running concurrently with itself must
+// be listed in two sessions; extraction emits a note for sessions that
+// may be multiply instantiated (see Session.MultiInstance).
+func expandSessions(sessions []*Session) []loweredSession {
+	var out []loweredSession
+	for _, s := range sessions {
+		var base []txEntry
+		for _, t := range s.Txs {
+			base = append(base, txEntry{t, t.Name})
+			if t.InLoop {
+				base = append(base, txEntry{t, t.Name + "@it2"})
+			}
+		}
+		if len(base) == 0 {
+			continue
+		}
+		out = append(out, loweredSession{s.Name, base})
+	}
+	return out
+}
+
+// universeOf collects every named object mentioned by any set, plus
+// TopObj: the concrete domain widened sets materialise to.
+func universeOf(expanded []loweredSession) []model.Obj {
+	all := []model.Obj{TopObj}
+	for _, s := range expanded {
+		for _, e := range s.txs {
+			all = append(all, e.tx.Reads.Objects()...)
+			all = append(all, e.tx.Writes.Objects()...)
+		}
+	}
+	return model.NormalizeObjs(all)
+}
+
+// materialize lowers an abstract set to a concrete object slice over
+// the universe.
+func materialize(s *ObjSet, universe []model.Obj) []model.Obj {
+	if s.Top {
+		return universe
+	}
+	return s.Objects()
+}
+
+// lowerApp lowers the expanded sessions to a robustness.App. The
+// returned slice maps the App's static-graph vertices (session-major
+// order, as BuildStatic flattens them) back to extracted transactions.
+// A ⊤-widened write set is marked WritesWidened so the vulnerability
+// refinement of §6 is disabled for its anti-dependencies: the
+// materialised universe would otherwise intersect every write set and
+// unsoundly defuse dangerous structures.
+func lowerApp(expanded []loweredSession, universe []model.Obj) (robustness.App, []*Tx) {
+	var sessions []robustness.SessionSpec
+	var flat []*Tx
+	for _, s := range expanded {
+		spec := robustness.SessionSpec{Name: s.name}
+		for _, e := range s.txs {
+			ts := robustness.NewTxSpec(e.label,
+				materialize(e.tx.Reads, universe),
+				materialize(e.tx.Writes, universe))
+			ts.WritesWidened = e.tx.Writes.Top
+			spec.Txs = append(spec.Txs, ts)
+			flat = append(flat, e.tx)
+		}
+		sessions = append(sessions, spec)
+	}
+	return robustness.NewApp(sessions...), flat
+}
+
+// lowerPrograms lowers the expanded sessions to chopping programs: a
+// session whose transactions arose from chopping a single logical
+// transaction is exactly a program, with one piece per transaction.
+// Vertex order of SCG (program-major) matches the flat slice returned
+// by lowerApp. Chopping has no vulnerability refinement, so ⊤
+// materialisation alone is conservative there.
+func lowerPrograms(expanded []loweredSession, universe []model.Obj) []chopping.Program {
+	progs := make([]chopping.Program, 0, len(expanded))
+	for _, s := range expanded {
+		pieces := make([]chopping.Piece, 0, len(s.txs))
+		for _, e := range s.txs {
+			pieces = append(pieces, chopping.NewPiece(e.label,
+				materialize(e.tx.Reads, universe),
+				materialize(e.tx.Writes, universe)))
+		}
+		progs = append(progs, chopping.NewProgram(s.name, pieces...))
+	}
+	return progs
+}

@@ -1,0 +1,259 @@
+// Package silint statically analyses Go code written against the
+// engine's transaction API and applies the paper's static snapshot
+// isolation criteria at compile time.
+//
+// The pipeline has three stages. Extraction type-checks the target
+// packages (standard library only: go/parser + go/types) and finds
+// every Session.Transact/TransactNamed closure and Begin…Commit span,
+// computing a sound over-approximation of each transaction's read and
+// write sets: constant and constant-propagated keys resolve to named
+// objects, anything else widens to ⊤ (a silint:obj=<name> annotation
+// comment can assert the key instead). Lowering maps the extracted
+// sessions to the robustness.App and chopping.Program IRs, with ⊤
+// materialised over the package's object universe. Checking runs the
+// static robustness analyses of §6 (Theorems 19 and 22) and the
+// chopping analysis of §5 and Appendix B (Corollary 18, Theorems 29
+// and 31), reporting every violation as a diagnostic anchored at the
+// offending Transact/Begin call site with a witness cycle.
+package silint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"sian/internal/chopping"
+	"sian/internal/depgraph"
+	"sian/internal/obs"
+	"sian/internal/robustness"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Dir anchors module discovery and relative patterns (default ".").
+	Dir string
+	// Models selects the consistency models to check (default SI).
+	// SI runs Theorem 19 robustness and Corollary 18 chopping; PSI runs
+	// Theorem 22 robustness and Theorem 31 chopping; SER runs Theorem
+	// 29 chopping only.
+	Models []depgraph.Model
+	// Registry receives silint_* counters when non-nil.
+	Registry *obs.Registry
+	// Loader is reused when non-nil (sharing its type-check cache);
+	// otherwise a fresh loader is created for Dir.
+	Loader *Loader
+}
+
+// Diagnostic is one reported violation, anchored at a transaction's
+// call site.
+type Diagnostic struct {
+	// Pos is the Transact/TransactNamed/Begin call position of the
+	// first transaction on the witness cycle.
+	Pos token.Position `json:"pos"`
+	// Package is the import path of the analysed package.
+	Package string `json:"package"`
+	// Tx is the label of the anchoring transaction.
+	Tx string `json:"tx"`
+	// Check identifies the analysis, e.g. "robustness-si".
+	Check string `json:"check"`
+	// Category classifies the anomaly, e.g. "write-skew".
+	Category string `json:"category"`
+	// Theorem cites the paper result the check implements.
+	Theorem string `json:"theorem"`
+	// Witness renders the dangerous or critical cycle.
+	Witness string `json:"witness"`
+	// Message is the full human-readable diagnostic (without the
+	// position prefix).
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in file:line:col: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+}
+
+// PackageReport is the analysis result for one package.
+type PackageReport struct {
+	// Path is the package import path.
+	Path string
+	// Sessions are the extracted sessions (exposed for differential
+	// soundness testing against recorded engine histories).
+	Sessions []*Session
+	// Diagnostics are the violations found, in check order.
+	Diagnostics []Diagnostic
+	// Notes are informational messages: ⊤-widenings, session identity
+	// losses, and similar precision events.
+	Notes []string
+}
+
+// Report is the result of one Analyze call.
+type Report struct {
+	Packages []*PackageReport
+}
+
+// Anomalies counts diagnostics across all packages.
+func (r *Report) Anomalies() int {
+	n := 0
+	for _, p := range r.Packages {
+		n += len(p.Diagnostics)
+	}
+	return n
+}
+
+// Diagnostics flattens all package diagnostics in package order.
+func (r *Report) Diagnostics() []Diagnostic {
+	var out []Diagnostic
+	for _, p := range r.Packages {
+		out = append(out, p.Diagnostics...)
+	}
+	return out
+}
+
+// Analyze loads the packages matching the patterns and runs the
+// selected static checks over every transaction session found.
+func Analyze(patterns []string, opts Options) (*Report, error) {
+	models := opts.Models
+	if len(models) == 0 {
+		models = []depgraph.Model{depgraph.SI}
+	}
+	for _, m := range models {
+		switch m {
+		case depgraph.SER, depgraph.SI, depgraph.PSI:
+		default:
+			return nil, fmt.Errorf("silint: unsupported model %v", m)
+		}
+	}
+	l := opts.Loader
+	if l == nil {
+		dir := opts.Dir
+		if dir == "" {
+			dir = "."
+		}
+		var err error
+		if l, err = NewLoader(dir); err != nil {
+			return nil, err
+		}
+	}
+	pkgs, err := l.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	report := &Report{}
+	for _, pkg := range pkgs {
+		e := newExtractor(pkg)
+		e.extract()
+		pr := &PackageReport{Path: pkg.ImportPath, Sessions: e.sessions, Notes: e.notes}
+		if err := diagnose(pkg, pr, models); err != nil {
+			return nil, fmt.Errorf("silint: %s: %w", pkg.ImportPath, err)
+		}
+		report.Packages = append(report.Packages, pr)
+		reg.Counter("silint_packages_total").Inc()
+		reg.Counter("silint_sessions_total").Add(int64(len(e.sessions)))
+		for _, s := range e.sessions {
+			reg.Counter("silint_txs_total").Add(int64(len(s.Txs)))
+		}
+		reg.Counter("silint_widened_sets_total").Add(int64(e.widenings))
+		reg.Counter("silint_notes_total").Add(int64(len(e.notes)))
+		reg.Counter("silint_anomalies_total").Add(int64(len(pr.Diagnostics)))
+	}
+	return report, nil
+}
+
+// diagnose lowers a package's sessions and runs every selected check,
+// appending diagnostics to the report.
+func diagnose(pkg *Package, pr *PackageReport, models []depgraph.Model) error {
+	expanded := expandSessions(pr.Sessions)
+	if len(expanded) == 0 {
+		return nil
+	}
+	universe := universeOf(expanded)
+	app, flat := lowerApp(expanded, universe)
+	programs := lowerPrograms(expanded, universe)
+
+	robust := func(check, category, theorem, against string, w *robustness.Witness) {
+		anchor := flat[w.Steps[0].From]
+		label := w.Labels[w.Steps[0].From]
+		d := Diagnostic{
+			Pos:      pkg.Fset.Position(anchor.Pos),
+			Package:  pkg.ImportPath,
+			Tx:       label,
+			Check:    check,
+			Category: category,
+			Theorem:  theorem,
+			Witness:  w.String(),
+		}
+		d.Message = fmt.Sprintf("%s: dangerous cycle %s — tx %s is not robust against %s (%s)",
+			category, d.Witness, label, against, theorem)
+		pr.Diagnostics = append(pr.Diagnostics, d)
+	}
+	chop := func(level chopping.Criticality, check, theorem, under string) error {
+		v, err := chopping.CheckStatic(programs, level)
+		if err != nil {
+			return err
+		}
+		if v.OK {
+			return nil
+		}
+		id := v.IDs[v.Witness[0].From]
+		anchor := flatIndex(programs, id)
+		d := Diagnostic{
+			Pos:      pkg.Fset.Position(flat[anchor].Pos),
+			Package:  pkg.ImportPath,
+			Tx:       v.Graph.Label(v.Witness[0].From),
+			Check:    check,
+			Category: "incorrect-chopping",
+			Theorem:  theorem,
+			Witness:  v.Graph.DescribeCycle(v.Witness),
+		}
+		d.Message = fmt.Sprintf("incorrect-chopping: critical cycle %s — session is not a correct chopping under %s (%s)",
+			d.Witness, under, theorem)
+		pr.Diagnostics = append(pr.Diagnostics, d)
+		return nil
+	}
+
+	for _, m := range models {
+		switch m {
+		case depgraph.SI:
+			// Every SI-dangerous structure is a pair of adjacent
+			// vulnerable anti-dependencies — the (generalised) write
+			// skew pattern of §2 — so the category is uniform.
+			if w, ok := robustness.CheckSIRobust(app); !ok {
+				robust("robustness-si", "write-skew", "Theorem 19, §6.1", "SI", w)
+			}
+			if err := chop(chopping.SICritical, "chopping-si", "Corollary 18, §5", "SI"); err != nil {
+				return err
+			}
+		case depgraph.PSI:
+			if w, ok := robustness.CheckPSIRobust(app); !ok {
+				robust("robustness-psi", "long-fork", "Theorem 22, §6.2", "PSI (towards SI)", w)
+			}
+			if err := chop(chopping.PSICritical, "chopping-psi", "Theorem 31, Appendix B", "PSI"); err != nil {
+				return err
+			}
+		case depgraph.SER:
+			if err := chop(chopping.SERCritical, "chopping-ser", "Theorem 29, Appendix B", "serialisability"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flatIndex maps a chopping PieceID back to the session-major flat
+// transaction index shared with lowerApp.
+func flatIndex(programs []chopping.Program, id chopping.PieceID) int {
+	n := 0
+	for i := 0; i < id.Program; i++ {
+		n += len(programs[i].Pieces)
+	}
+	return n + id.Piece
+}
+
+// FormatNotes renders a package's notes one per line, for CLI output.
+func (p *PackageReport) FormatNotes() string {
+	if len(p.Notes) == 0 {
+		return ""
+	}
+	return "note: " + strings.Join(p.Notes, "\nnote: ")
+}

@@ -1,0 +1,65 @@
+// Golden fixture: the annotation escape hatch. The shared conflict key
+// is computed at run time, which would widen the write sets to ⊤ and
+// (soundly but imprecisely) flag the app; the silint:obj annotations
+// assert the key, keeping the sets exact — and the materialised
+// conflict then proves the app robust, so any diagnostic here means
+// the annotation was ignored.
+package main
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+func conflictKey(n int) string {
+	if n > 0 {
+		return "total"
+	}
+	return "total"
+}
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	key := conflictKey(1)
+	_ = alice.TransactNamed("withdraw1", func(tx *engine.Tx) error {
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Read("acct2"); err != nil {
+			return err
+		}
+		// silint:obj=total
+		t, err := tx.Read(model.Obj(key))
+		if err != nil {
+			return err
+		}
+		if err := tx.Write("acct1", v1-100); err != nil {
+			return err
+		}
+		return tx.Write(model.Obj(key), t-100) // silint:obj=total
+	})
+	_ = bob.TransactNamed("withdraw2", func(tx *engine.Tx) error {
+		if _, err := tx.Read("acct1"); err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		t, err := tx.Read(model.Obj(key)) // silint:obj=total
+		if err != nil {
+			return err
+		}
+		if err := tx.Write("acct2", v2-100); err != nil {
+			return err
+		}
+		return tx.Write(model.Obj(key), t-100) // silint:obj=total
+	})
+}

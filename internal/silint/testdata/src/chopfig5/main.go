@@ -1,0 +1,41 @@
+// Golden fixture: Figure 5 as code. The transfer session chops the
+// logical transfer into debit and credit transactions; the lookupAll
+// session reads both accounts atomically, so the chopping is incorrect
+// under SI (Corollary 18) — the lookup can observe a half-completed
+// transfer.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	teller := db.Session("teller")
+	reporter := db.Session("reporter")
+	_ = teller.TransactNamed("debit", func(tx *engine.Tx) error { // want "incorrect-chopping: critical cycle .*not a correct chopping under SI .*Corollary 18"
+		v, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		return tx.Write("acct1", v-100)
+	})
+	_ = teller.TransactNamed("credit", func(tx *engine.Tx) error {
+		v, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		return tx.Write("acct2", v+100)
+	})
+	_ = reporter.TransactNamed("lookupAll", func(tx *engine.Tx) error {
+		if _, err := tx.Read("acct1"); err != nil {
+			return err
+		}
+		_, err := tx.Read("acct2")
+		return err
+	})
+}

@@ -1,0 +1,40 @@
+// Golden fixture: handler functions and handle escape. The first
+// session passes a same-package top-level function to Transact, whose
+// body is extracted precisely; the second leaks its transaction handle
+// into a helper, which widens both of its sets to ⊤.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	_ = alice.Transact(logic) // want "write-skew: dangerous cycle tx@main\.go.*not robust against SI"
+	_ = bob.TransactNamed("leak", func(tx *engine.Tx) error {
+		return helper(tx)
+	})
+}
+
+func logic(tx *engine.Tx) error {
+	if _, err := tx.Read("x"); err != nil {
+		return err
+	}
+	if _, err := tx.Read("y"); err != nil {
+		return err
+	}
+	return tx.Write("y", 1)
+}
+
+func helper(tx *engine.Tx) error {
+	if _, err := tx.Read("hidden"); err != nil {
+		return err
+	}
+	return tx.Write("hidden", 1)
+}

@@ -1,0 +1,34 @@
+// Golden fixture: loop widening. The audit transaction reads a
+// computed key in a range loop, so its read set widens to ⊤; the write
+// skew against the poster is only found through that widening.
+package main
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	keys := []string{"a", "b"}
+	auditor := db.Session("auditor")
+	poster := db.Session("poster")
+	_ = auditor.TransactNamed("audit", func(tx *engine.Tx) error { // want "write-skew: dangerous cycle audit -RW\*-> post -RW\*-> audit .*not robust against SI"
+		for _, k := range keys {
+			if _, err := tx.Read(model.Obj(k)); err != nil {
+				return err
+			}
+		}
+		return tx.Write("auditlog", 1)
+	})
+	_ = poster.TransactNamed("post", func(tx *engine.Tx) error {
+		if _, err := tx.Read("auditlog"); err != nil {
+			return err
+		}
+		return tx.Write("b", 2)
+	})
+}

@@ -1,0 +1,76 @@
+// Golden fixture: constant propagation. The materialised-conflict
+// application is robust exactly when every key resolves to its named
+// object — if any of the propagation chains below fell back to ⊤ the
+// widened write sets would make the analysis report a write skew, so
+// the absence of diagnostics pins the propagation.
+package main
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+const prefix = "acct"
+
+// sharedKey reaches the reads through a package-level single-assignment
+// variable.
+var sharedKey = "total"
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	// Constant concatenation folds at compile time.
+	first := prefix + "1"
+	second := prefix + "2"
+	_ = alice.TransactNamed("withdraw1", func(tx *engine.Tx) error {
+		v1, err := tx.Read(model.Obj(first))
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Read(model.Obj(second)); err != nil {
+			return err
+		}
+		t, err := tx.Read(model.Obj(sharedKey))
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(model.Obj(first), v1-100); err != nil {
+			return err
+		}
+		return tx.Write(model.Obj(sharedKey), t-100)
+	})
+	_ = bob.TransactNamed("withdraw2", func(tx *engine.Tx) error {
+		if _, err := tx.Read(model.Obj(first)); err != nil {
+			return err
+		}
+		v2, err := tx.Read(model.Obj(second))
+		if err != nil {
+			return err
+		}
+		t, err := tx.Read(model.Obj(sharedKey))
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(model.Obj(second), v2-100); err != nil {
+			return err
+		}
+		return tx.Write(model.Obj(sharedKey), t-100)
+	})
+	// A constant key inside a loop stays precise (set semantics): the
+	// span is marked for in-session duplication but must not widen.
+	refiller := db.Session("refiller")
+	for i := 0; i < 3; i++ {
+		_ = refiller.TransactNamed("refill", func(tx *engine.Tx) error {
+			v, err := tx.Read("reserve")
+			if err != nil {
+				return err
+			}
+			return tx.Write("reserve", v+1)
+		})
+	}
+}

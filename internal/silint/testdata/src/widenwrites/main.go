@@ -1,0 +1,46 @@
+// Golden fixture: the WritesWidened soundness guard. The sweeper's
+// write keys are computed, so its write set is only a may-write ⊤
+// over-approximation; if the §6 vulnerability refinement were applied
+// to the materialised ⊤ set it would intersect every other write set
+// and wrongly defuse the anti-dependencies below. The diagnostic pins
+// that the refinement is disabled for widened writers.
+package main
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	keys := []string{"x", "y"}
+	sweeper := db.Session("sweeper")
+	writer := db.Session("writer")
+	_ = sweeper.TransactNamed("sweep", func(tx *engine.Tx) error { // want "write-skew: dangerous cycle sweep -RW\*-> put -RW\*-> sweep .*not robust against SI"
+		if _, err := tx.Read("x"); err != nil {
+			return err
+		}
+		if _, err := tx.Read("y"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if err := tx.Write(model.Obj(k), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	_ = writer.TransactNamed("put", func(tx *engine.Tx) error {
+		if _, err := tx.Read("x"); err != nil {
+			return err
+		}
+		if _, err := tx.Read("y"); err != nil {
+			return err
+		}
+		return tx.Write("y", 1)
+	})
+}

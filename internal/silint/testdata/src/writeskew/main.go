@@ -1,0 +1,45 @@
+// Golden fixture: the Figure 2(d) write-skew application with
+// constant object keys in Transact closures.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	_ = alice.TransactNamed("withdraw1", func(tx *engine.Tx) error { // want "write-skew: dangerous cycle withdraw1 .*not robust against SI .*Theorem 19"
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			return tx.Write("acct1", v1-100)
+		}
+		return nil
+	})
+	_ = bob.TransactNamed("withdraw2", func(tx *engine.Tx) error {
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			return tx.Write("acct2", v2-100)
+		}
+		return nil
+	})
+}
