@@ -129,7 +129,8 @@ type extractor struct {
 	// walk state
 	sessions     []*Session
 	sessionByObj map[types.Object]*Session
-	manual       map[types.Object]*Tx
+	manual       map[types.Object]*Tx   // current binding, for Read/Write dispatch
+	manualAll    map[types.Object][]*Tx // every tx ever bound, for escape widening
 	okIdent      map[*ast.Ident]bool
 	beginDone    map[*ast.CallExpr]bool
 	inMain       bool
@@ -150,6 +151,7 @@ func newExtractor(pkg *Package) *extractor {
 		addrTaken:    make(map[types.Object]bool),
 		sessionByObj: make(map[types.Object]*Session),
 		manual:       make(map[types.Object]*Tx),
+		manualAll:    make(map[types.Object][]*Tx),
 		okIdent:      make(map[*ast.Ident]bool),
 		beginDone:    make(map[*ast.CallExpr]bool),
 	}
@@ -170,6 +172,10 @@ func (e *extractor) extract() {
 				switch s := n.(type) {
 				case *ast.AssignStmt:
 					e.handleAssign(s)
+				case *ast.ValueSpec:
+					e.handleValueSpec(s)
+				case *ast.ExprStmt:
+					e.handleBareBegin(s)
 				case *ast.CallExpr:
 					e.handleCall(s)
 				}
@@ -344,31 +350,88 @@ func (e *extractor) methodCall(call *ast.CallExpr) (recv ast.Expr, typeName, met
 	return nil, "", "", false
 }
 
+// beginCall recognises x as a Session.Begin call and returns its
+// receiver expression.
+func (e *extractor) beginCall(x ast.Expr) (recv ast.Expr, call *ast.CallExpr, ok bool) {
+	call, isCall := unparen(x).(*ast.CallExpr)
+	if !isCall {
+		return nil, nil, false
+	}
+	recv, typeName, method, ok := e.methodCall(call)
+	if !ok || typeName != "Session" || method != "Begin" {
+		return nil, nil, false
+	}
+	return recv, call, true
+}
+
 // handleAssign registers manual transactions: tx, err := sess.Begin(…).
 func (e *extractor) handleAssign(s *ast.AssignStmt) {
 	if len(s.Rhs) != 1 {
 		return
 	}
-	call, ok := unparen(s.Rhs[0]).(*ast.CallExpr)
+	recv, call, ok := e.beginCall(s.Rhs[0])
 	if !ok {
 		return
 	}
-	recv, typeName, method, ok := e.methodCall(call)
-	if !ok || typeName != "Session" || method != "Begin" {
+	e.bindBegin(s.Lhs, recv, call)
+}
+
+// handleValueSpec registers manual transactions declared with var:
+// var tx, err = sess.Begin(…).
+func (e *extractor) handleValueSpec(s *ast.ValueSpec) {
+	if len(s.Values) != 1 {
+		return
+	}
+	recv, call, ok := e.beginCall(s.Values[0])
+	if !ok {
+		return
+	}
+	lhs := make([]ast.Expr, len(s.Names))
+	for i, id := range s.Names {
+		lhs[i] = id
+	}
+	e.bindBegin(lhs, recv, call)
+}
+
+// handleBareBegin recognises a Begin used as a bare expression
+// statement: both results are discarded, so the span can never perform
+// a read or write and soundly keeps empty sets.
+func (e *extractor) handleBareBegin(s *ast.ExprStmt) {
+	recv, call, ok := e.beginCall(s.X)
+	if !ok {
 		return
 	}
 	e.beginDone[call] = true
+	e.beginTx(recv, call)
+}
+
+// bindBegin registers the manual transaction produced by a Begin call
+// whose results are bound to lhs. A handle bound to a plain variable
+// is tracked precisely; one discarded via _ keeps empty sets; anything
+// else (a field, a map entry, an unresolved name) escapes the
+// abstraction and is widened to ⊤.
+func (e *extractor) bindBegin(lhs []ast.Expr, recv ast.Expr, call *ast.CallExpr) {
+	e.beginDone[call] = true
 	tx := e.beginTx(recv, call)
-	if len(s.Lhs) == 0 {
+	if len(lhs) == 0 {
 		return
 	}
-	id, ok := s.Lhs[0].(*ast.Ident)
-	if !ok || id.Name == "_" {
+	id, isIdent := unparen(lhs[0]).(*ast.Ident)
+	if isIdent && id.Name == "_" {
+		return // handle discarded: the span cannot read or write
+	}
+	var obj types.Object
+	if isIdent {
+		obj = e.objectOf(id)
+	}
+	if obj == nil {
+		e.widen(tx, call.Pos(), "Begin result is not bound to a plain variable")
 		return
 	}
-	if obj := e.objectOf(id); obj != nil {
-		e.manual[obj] = tx
-	}
+	// Rebinding the variable is not an escape of the previous handle.
+	e.okIdent[id] = true
+	e.manual[obj] = tx
+	e.manualAll[obj] = append(e.manualAll[obj], tx)
 }
 
 // beginTx creates the manual transaction for a Begin call and appends
@@ -410,11 +473,14 @@ func (e *extractor) handleCall(call *ast.CallExpr) {
 			}
 		case "Begin":
 			if !e.beginDone[call] {
-				// Begin whose result is not bound to a variable: the
-				// span cannot perform reads or writes through a name we
-				// can see; record it with empty sets.
+				// Begin whose result is consumed by anything other than
+				// a plain variable binding or a bare expression
+				// statement — returned to a caller, passed to a helper,
+				// stored through a field — hands the handle to code we
+				// cannot see; only ⊤ is sound for its sets.
 				e.beginDone[call] = true
-				e.beginTx(recv, call)
+				tx := e.beginTx(recv, call)
+				e.widen(tx, call.Pos(), "Begin result escapes (not bound to a plain variable)")
 			}
 		}
 	case "ManualTx":
@@ -574,7 +640,10 @@ func (e *extractor) checkManualEscapes(fd *ast.FuncDecl) {
 		if obj == nil {
 			return true
 		}
-		if tx, tracked := e.manual[obj]; tracked {
+		// The variable may have been rebound across several Begin
+		// calls and the escaping use could refer to any of the bound
+		// handles, so every one of them is widened.
+		for _, tx := range e.manualAll[obj] {
 			e.widen(tx, id.Pos(), fmt.Sprintf("transaction handle %s escapes", id.Name))
 		}
 		return true
@@ -703,10 +772,11 @@ func exprText(x ast.Expr) string {
 }
 
 // sessionFor returns the session for a Transact/Begin receiver
-// expression: calls through the same never-reassigned variable share a
-// session (giving session order between their transactions); anything
-// else gets a fresh per-call-site session, which conservatively treats
-// the transactions as concurrent.
+// expression: calls through the same never-reassigned plain variable
+// share a session (giving session order between their transactions);
+// anything else — including struct fields, whose types.Var is shared
+// across instances — gets a fresh per-call-site session, which
+// conservatively treats the transactions as concurrent.
 func (e *extractor) sessionFor(recv ast.Expr, call *ast.CallExpr) *Session {
 	recv = unparen(recv)
 	var obj types.Object
@@ -716,31 +786,36 @@ func (e *extractor) sessionFor(recv ast.Expr, call *ast.CallExpr) *Session {
 		// share a display name (e.g. "TransferChopped.s").
 		name = e.fnName + "." + name
 	}
+	multi := !e.inMain
 	switch r := recv.(type) {
 	case *ast.Ident:
 		obj = e.pkg.Info.Uses[r]
-	case *ast.SelectorExpr:
-		obj = e.pkg.Info.Uses[r.Sel]
-	}
-	multi := !e.inMain
-	if vr, ok := obj.(*types.Var); ok && e.assigns[vr] <= 1 && !e.addrTaken[vr] {
-		if e.inLoop(vr.Pos()) {
-			// A session created per loop iteration is many sessions.
-			multi = true
-		}
-		if s, found := e.sessionByObj[obj]; found {
-			if multi {
-				s.MultiInstance = true
+		if vr, ok := obj.(*types.Var); ok && e.assigns[vr] <= 1 && !e.addrTaken[vr] {
+			if e.inLoop(vr.Pos()) {
+				// A session created per loop iteration is many sessions.
+				multi = true
 			}
+			if s, found := e.sessionByObj[obj]; found {
+				if multi {
+					s.MultiInstance = true
+				}
+				return s
+			}
+			s := &Session{Name: name, MultiInstance: multi}
+			e.sessionByObj[obj] = s
+			e.sessions = append(e.sessions, s)
 			return s
 		}
-		s := &Session{Name: name, MultiInstance: multi}
-		e.sessionByObj[obj] = s
-		e.sessions = append(e.sessions, s)
-		return s
-	}
-	if obj != nil {
-		e.note(call.Pos(), "session %s has no stable identity (reassigned or aliased); treating this call site as its own session — chopping conclusions may be incomplete", name)
+		if obj != nil {
+			e.note(call.Pos(), "session %s has no stable identity (reassigned or aliased); treating this call site as its own session — chopping conclusions may be incomplete", name)
+		}
+	case *ast.SelectorExpr:
+		// A field receiver (x.sess) resolves to the field's types.Var —
+		// one object shared by every instance of the struct — so calls
+		// through different instances would merge into a single session
+		// and fabricate session order between genuinely concurrent
+		// transactions. A field is therefore never a stable identity.
+		e.note(call.Pos(), "session %s is reached through a field and may denote a different instance at each call site; treating this call site as its own session — chopping conclusions may be incomplete", name)
 	}
 	s := &Session{Name: name + "@" + e.position(call.Pos()), MultiInstance: multi}
 	e.sessions = append(e.sessions, s)

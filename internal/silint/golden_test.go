@@ -184,4 +184,36 @@ func TestGoldenExtraction(t *testing.T) {
 	}
 	checkSet(t, "manualtx/withdraw1 reads", manual.Reads, false, objs("acct1", "acct2"))
 	checkSet(t, "manualtx/withdraw1 writes", manual.Writes, false, objs("acct1"))
+
+	bv := findTx(t, report, "/beginvar", "withdraw1")
+	if bv.Kind != TxManual {
+		t.Errorf("beginvar/withdraw1: Kind = %v, want TxManual", bv.Kind)
+	}
+	checkSet(t, "beginvar/withdraw1 reads", bv.Reads, false, objs("acct1", "acct2"))
+	checkSet(t, "beginvar/withdraw1 writes", bv.Writes, false, objs("acct1"))
+
+	leaked := findTx(t, report, "/beginescape", "leaked")
+	if leaked.Kind != TxManual {
+		t.Errorf("beginescape/leaked: Kind = %v, want TxManual", leaked.Kind)
+	}
+	checkSet(t, "beginescape/leaked reads", leaked.Reads, true, nil)
+	checkSet(t, "beginescape/leaked writes", leaked.Writes, true, nil)
+
+	first := findTx(t, report, "/beginrebind", "first")
+	checkSet(t, "beginrebind/first reads", first.Reads, true, nil)
+	checkSet(t, "beginrebind/first writes", first.Writes, true, nil)
+	second := findTx(t, report, "/beginrebind", "second")
+	checkSet(t, "beginrebind/second reads", second.Reads, true, objs("x"))
+	checkSet(t, "beginrebind/second writes", second.Writes, true, objs("x"))
+	noop := findTx(t, report, "/beginrebind", "noop")
+	checkSet(t, "beginrebind/noop reads", noop.Reads, false, nil)
+	checkSet(t, "beginrebind/noop writes", noop.Writes, false, nil)
+
+	for _, pkg := range report.Packages {
+		if strings.HasSuffix(pkg.Path, "/fieldsess") {
+			if n := len(pkg.Sessions); n != 2 {
+				t.Errorf("fieldsess: %d sessions, want 2 (field receivers must not merge across instances)", n)
+			}
+		}
+	}
 }

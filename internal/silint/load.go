@@ -38,6 +38,7 @@ type Package struct {
 // packages of one module type-checks shared dependencies once.
 type Loader struct {
 	fset       *token.FileSet
+	dir        string // absolute anchor for relative patterns
 	moduleRoot string
 	modulePath string
 	std        types.ImporterFrom
@@ -62,6 +63,7 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	return &Loader{
 		fset:       fset,
+		dir:        abs,
 		moduleRoot: root,
 		modulePath: path,
 		std:        std,
@@ -97,10 +99,10 @@ func findModule(dir string) (root, path string, err error) {
 
 // Load resolves the patterns to package directories and type-checks
 // each. A pattern is a directory path, absolute or relative to the
-// loader's module root's working directory, with an optional "/..."
-// suffix that walks subdirectories (skipping testdata, vendor, and
-// directories starting with "." or "_" — but an explicit pattern may
-// point inside them).
+// directory the loader was created for (Options.Dir), with an optional
+// "/..." suffix that walks subdirectories (skipping testdata, vendor,
+// and directories starting with "." or "_" — but an explicit pattern
+// may point inside them).
 func (l *Loader) Load(patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
@@ -122,10 +124,11 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 				pat = "."
 			}
 		}
-		abs, err := filepath.Abs(pat)
-		if err != nil {
-			return nil, err
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(l.dir, abs)
 		}
+		abs = filepath.Clean(abs)
 		if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
 			return nil, fmt.Errorf("silint: pattern %q is not a directory", pat)
 		}
@@ -133,7 +136,7 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 			add(abs)
 			continue
 		}
-		err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+		err := filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,29 @@
+package silint
+
+import (
+	"os"
+	"testing"
+
+	"sian/internal/depgraph"
+)
+
+// TestDirAnchorsRelativePatterns pins the Options.Dir contract:
+// relative patterns resolve against Dir, not the process working
+// directory.
+func TestDirAnchorsRelativePatterns(t *testing.T) {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(t.TempDir())
+	report, err := Analyze([]string{"testdata/src/writeskew"}, Options{
+		Dir:    dir,
+		Models: []depgraph.Model{depgraph.SI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := report.Anomalies(); n == 0 {
+		t.Fatal("expected the writeskew fixture to be flagged")
+	}
+}

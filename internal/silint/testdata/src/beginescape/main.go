@@ -1,0 +1,32 @@
+// Golden fixture: a Begin whose handle is handed straight to the
+// caller. The reads and writes performed through the returned handle
+// are invisible at the Begin site, so the span must widen to ⊤ — empty
+// sets would claim the span touches nothing.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func startLeak(s *engine.Session) (*engine.ManualTx, error) {
+	return s.Begin("leaked")
+}
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	s := db.Session("s")
+	t, err := startLeak(s)
+	if err != nil {
+		panic(err)
+	}
+	if err := t.Write("x", 1); err != nil {
+		panic(err)
+	}
+	if err := t.Commit(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,41 @@
+// Golden fixture: one variable rebound across two Begin spans, with
+// the handle escaping while the first span is current. The escape
+// could refer to either bound handle, so both spans must widen to ⊤.
+// The trailing bare Begin discards its results and soundly keeps empty
+// sets.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+var hold *engine.ManualTx
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	carol := db.Session("carol")
+	t, err := carol.Begin("first")
+	if err != nil {
+		panic(err)
+	}
+	hold = t // the handle escapes while the first span is current
+	t, err = carol.Begin("second")
+	if err != nil {
+		panic(err)
+	}
+	v, err := t.Read("x")
+	if err != nil {
+		panic(err)
+	}
+	if err := t.Write("x", v+1); err != nil {
+		panic(err)
+	}
+	if err := t.Commit(); err != nil {
+		panic(err)
+	}
+	carol.Begin("noop") // both results discarded: the span keeps empty sets
+}

@@ -1,0 +1,52 @@
+// Golden fixture: manual transactions whose handles are bound with a
+// var declaration (ValueSpec) rather than := — extraction must track
+// their reads and writes exactly like assignment-bound handles.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	var t1, err1 = alice.Begin("withdraw1") // want "write-skew: dangerous cycle withdraw1 .*not robust against SI"
+	if err1 != nil {
+		panic(err1)
+	}
+	var t2, err2 = bob.Begin("withdraw2")
+	if err2 != nil {
+		panic(err2)
+	}
+	v1, err := t1.Read("acct1")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := t1.Read("acct2"); err != nil {
+		panic(err)
+	}
+	if _, err := t2.Read("acct1"); err != nil {
+		panic(err)
+	}
+	v2, err := t2.Read("acct2")
+	if err != nil {
+		panic(err)
+	}
+	if err := t1.Write("acct1", v1-100); err != nil {
+		panic(err)
+	}
+	if err := t2.Write("acct2", v2-100); err != nil {
+		panic(err)
+	}
+	if err := t1.Commit(); err != nil {
+		panic(err)
+	}
+	if err := t2.Commit(); err != nil {
+		panic(err)
+	}
+}

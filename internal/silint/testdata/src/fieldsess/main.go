@@ -1,0 +1,52 @@
+// Golden fixture: sessions reached through struct fields. A field's
+// types.Var is one object shared by every instance of the struct, so
+// the two workers below must not merge into a single session — merging
+// would fabricate session order between their transactions and hide
+// the write skew.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+type worker struct {
+	sess *engine.Session
+}
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	a := worker{sess: db.Session("alice")}
+	b := worker{sess: db.Session("bob")}
+	_ = a.sess.TransactNamed("withdraw1", func(tx *engine.Tx) error { // want "write-skew: dangerous cycle withdraw1 .*not robust against SI"
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			return tx.Write("acct1", v1-100)
+		}
+		return nil
+	})
+	_ = b.sess.TransactNamed("withdraw2", func(tx *engine.Tx) error {
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			return tx.Write("acct2", v2-100)
+		}
+		return nil
+	})
+}
