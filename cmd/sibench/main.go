@@ -5,11 +5,21 @@
 //
 // Usage:
 //
-//	sibench -engine si|ser|psi|ssi -workload registers|writeskew|transfers|longfork|banking|smallbank
+//	sibench -engine si|ser|psi|ssi -workload registers|writeskew|transfers|longfork|banking|smallbank|closedloop
 //	        [-sessions N] [-txs N] [-ops N] [-objects N] [-rounds N]
 //	        [-accounts N] [-hops N] [-chopped] [-seed N] [-certify]
+//	        [-duration D] [-hotkeys N] [-disjoint] [-sweep 1,2,4]
 //	        [-parallel N] [-trace] [-metrics file|-] [-bench-json file]
 //	        [-pprof addr] [-record file.ndjson] [-timeline file.json]
+//
+// The closedloop workload is the concurrent benchmark driver: one
+// goroutine per session, each firing its next transaction the moment
+// the previous one finishes. -disjoint gives each session a private
+// object pool (the scaling workload); -hotkeys N skews accesses onto N
+// shared objects (the contention workload); -duration bounds the run
+// by wall clock instead of -txs. -sweep 1,2,4 repeats the workload at
+// each GOMAXPROCS value against a fresh database and reports the
+// scaling table (recorded under the sweep key of -bench-json).
 //
 // -metrics dumps the metrics registry (engine counters,
 // commit-latency and snapshot-age histograms, phase durations) on
@@ -83,6 +93,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	recordOut := fs.String("record", "", "dump the transactional event stream as NDJSON to this file on exit")
 	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file on exit")
 	recordCap := fs.Int("record-cap", 0, "flight-recorder ring capacity in events (0 = default)")
+	duration := fs.Duration("duration", 0, "closedloop: bound the run by wall clock instead of -txs")
+	hotkeys := fs.Int("hotkeys", 0, "closedloop: skew accesses onto the first N objects (contention)")
+	disjoint := fs.Bool("disjoint", false, "closedloop: give every session a private object pool (no conflicts)")
+	sweepFlag := fs.String("sweep", "", "run the closedloop workload once per GOMAXPROCS value (e.g. 1,2,4) and report scaling")
 	startPprof := cliutil.PprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -91,6 +105,18 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	kind, m, err := selectEngine(*engineFlag)
 	if err != nil {
 		return 2, err
+	}
+	if *sweepFlag != "" {
+		if *workloadFlag != "closedloop" {
+			return 2, fmt.Errorf("-sweep requires -workload closedloop")
+		}
+		return runSweep(sweepConfig{
+			spec: *sweepFlag, engine: *engineFlag, kind: kind, model: m,
+			sessions: *sessions, txs: *txs, ops: *ops, objects: *objects,
+			duration: *duration, hotkeys: *hotkeys, disjoint: *disjoint,
+			seed: *seed, certify: *certify, parallel: *parallel,
+			benchJSON: *benchJSON,
+		}, stdout)
 	}
 	reg := obs.NewRegistry()
 	var tr *obs.Tracer
@@ -149,6 +175,18 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			return 2, fmt.Errorf("workload longfork requires -engine psi")
 		}
 		h, err = workload.StageLongFork(db)
+	case "closedloop":
+		var out *workload.ClosedLoopOutcome
+		out, err = workload.RunClosedLoop(db, workload.ClosedLoopConfig{
+			Sessions: *sessions, Ops: *txs, OpsPerTx: *ops, Objects: *objects,
+			Duration: *duration, HotKeys: *hotkeys, Disjoint: *disjoint, Seed: *seed,
+		})
+		if err == nil {
+			fmt.Fprintf(stdout, "closedloop: %d commits, %d conflicts, %d retries in %v\n",
+				out.Commits, out.Conflicts, out.Retries, out.Elapsed.Round(time.Microsecond))
+			db.Flush()
+			h = db.History()
+		}
 	case "smallbank":
 		var out *workload.SmallBankOutcome
 		out, err = workload.RunSmallBank(db, workload.SmallBankConfig{
@@ -261,6 +299,10 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 	return f.Close()
 }
 
+// benchSchema versions the -bench-json format. v2 added GOMAXPROCS
+// and the Sweep scaling table.
+const benchSchema = "sibench/v2"
+
 // benchReport is the machine-readable benchmark summary emitted by
 // -bench-json, one JSON object per run. Latency quantiles come from
 // the engine's log-scale commit-latency histogram.
@@ -270,6 +312,7 @@ type benchReport struct {
 	Workload           string  `json:"workload"`
 	Sessions           int     `json:"sessions"`
 	CPUs               int     `json:"cpus"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
 	ElapsedNS          int64   `json:"elapsed_ns"`
 	Commits            int64   `json:"commits"`
 	Conflicts          int64   `json:"conflicts"`
@@ -291,6 +334,15 @@ type benchReport struct {
 	// internal/check/search_bench_test.go); sibench itself does not
 	// populate it, but round-trips it for the committed artifact.
 	CheckerBench *checkerBenchRecord `json:"checker_bench,omitempty"`
+
+	// Sweep holds the -sweep scaling table: the closed-loop workload
+	// repeated at each GOMAXPROCS value. The top-level throughput
+	// fields then reflect the best point.
+	Sweep []sweepPoint `json:"sweep,omitempty"`
+
+	// Note carries free-form provenance for recorded artifacts (for
+	// example the host's core count); sibench round-trips it.
+	Note string `json:"note,omitempty"`
 }
 
 // checkerBenchRecord is a hand-recorded result of
@@ -314,11 +366,12 @@ func writeBenchJSON(path, engineName, workloadName string, sessions, parallel in
 	commitLat := reg.Histogram("engine_commit_latency_ns", lbl)
 	snapAge := reg.Histogram("engine_snapshot_age_ns", lbl)
 	rep := benchReport{
-		Schema:             "sibench/v1",
+		Schema:             benchSchema,
 		Engine:             engineName,
 		Workload:           workloadName,
 		Sessions:           sessions,
 		CPUs:               runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		ElapsedNS:          elapsed.Nanoseconds(),
 		Commits:            stats.Commits,
 		Conflicts:          stats.Conflicts,
@@ -340,6 +393,11 @@ func writeBenchJSON(path, engineName, workloadName string, sessions, parallel in
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.TxsPerSec = float64(stats.Commits) / secs
 	}
+	return encodeBenchReport(path, rep)
+}
+
+// encodeBenchReport writes a benchReport as indented JSON.
+func encodeBenchReport(path string, rep benchReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -85,8 +85,11 @@ func TestRunBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("bench JSON does not parse: %v\n%s", err, raw)
 	}
-	if rep.Schema != "sibench/v1" {
-		t.Errorf("schema = %q, want sibench/v1", rep.Schema)
+	if rep.Schema != benchSchema {
+		t.Errorf("schema = %q, want %s", rep.Schema, benchSchema)
+	}
+	if rep.GOMAXPROCS <= 0 {
+		t.Errorf("gomaxprocs = %d, want > 0", rep.GOMAXPROCS)
 	}
 	if rep.Engine != "si" || rep.Workload != "smallbank" {
 		t.Errorf("identity = %s/%s, want si/smallbank", rep.Engine, rep.Workload)

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"sian/internal/check"
+	"sian/internal/depgraph"
+	"sian/internal/engine"
+	"sian/internal/obs"
+	"sian/internal/workload"
+)
+
+// sweepPoint is one entry of a -sweep run: the closed-loop workload
+// executed from scratch at a given GOMAXPROCS.
+type sweepPoint struct {
+	Procs              int     `json:"procs"`
+	Sessions           int     `json:"sessions"`
+	ElapsedNS          int64   `json:"elapsed_ns"`
+	Commits            int64   `json:"commits"`
+	Conflicts          int64   `json:"conflicts"`
+	Retries            int64   `json:"retries"`
+	TxsPerSec          float64 `json:"txs_per_sec"`
+	P50CommitLatencyNS float64 `json:"p50_commit_latency_ns"`
+	P99CommitLatencyNS float64 `json:"p99_commit_latency_ns"`
+}
+
+// parseSweep parses a comma-separated GOMAXPROCS list like "1,2,4".
+func parseSweep(spec string) ([]int, error) {
+	var procs []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sweep entry %q (want positive integers, e.g. 1,2,4)", f)
+		}
+		procs = append(procs, n)
+	}
+	return procs, nil
+}
+
+// sweepConfig carries the flag values a sweep run needs.
+type sweepConfig struct {
+	spec      string
+	engine    string
+	kind      engine.Kind
+	model     depgraph.Model
+	sessions  int
+	txs       int
+	ops       int
+	objects   int
+	duration  time.Duration
+	hotkeys   int
+	disjoint  bool
+	seed      int64
+	certify   bool
+	parallel  int
+	benchJSON string
+}
+
+// runSweep executes the closed-loop workload once per GOMAXPROCS value
+// in the sweep, each against a fresh database and metrics registry, and
+// reports a scaling table (optionally as a sibench/v2 JSON artifact).
+// With -certify every swept run's recorded history is certified against
+// the engine's model; a non-member history fails the sweep.
+func runSweep(cfg sweepConfig, stdout io.Writer) (int, error) {
+	procsList, err := parseSweep(cfg.spec)
+	if err != nil {
+		return 2, err
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	exit := 0
+	points := make([]sweepPoint, 0, len(procsList))
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		reg := obs.NewRegistry()
+		db, err := engine.New(cfg.kind, engine.Config{Metrics: reg})
+		if err != nil {
+			return 2, err
+		}
+		out, err := workload.RunClosedLoop(db, workload.ClosedLoopConfig{
+			Sessions: cfg.sessions, Ops: cfg.txs, OpsPerTx: cfg.ops,
+			Objects: cfg.objects, Duration: cfg.duration,
+			HotKeys: cfg.hotkeys, Disjoint: cfg.disjoint, Seed: cfg.seed,
+		})
+		if err != nil {
+			db.Close()
+			return 2, fmt.Errorf("sweep procs=%d: %w", procs, err)
+		}
+		commitLat := reg.Histogram("engine_commit_latency_ns", obs.L("engine", cfg.kind.String()))
+		pt := sweepPoint{
+			Procs:              procs,
+			Sessions:           cfg.sessions,
+			ElapsedNS:          out.Elapsed.Nanoseconds(),
+			Commits:            out.Commits,
+			Conflicts:          out.Conflicts,
+			Retries:            out.Retries,
+			P50CommitLatencyNS: commitLat.Quantile(0.50),
+			P99CommitLatencyNS: commitLat.Quantile(0.99),
+		}
+		if secs := out.Elapsed.Seconds(); secs > 0 {
+			pt.TxsPerSec = float64(out.Commits) / secs
+		}
+		points = append(points, pt)
+		fmt.Fprintf(stdout, "sweep procs=%d sessions=%d commits=%d conflicts=%d retries=%d elapsed=%v txs/sec=%.0f\n",
+			procs, cfg.sessions, out.Commits, out.Conflicts, out.Retries,
+			out.Elapsed.Round(time.Microsecond), pt.TxsPerSec)
+		if cfg.certify {
+			db.Flush()
+			res, cerr := check.Certify(db.History(), cfg.model, check.Options{
+				NoInit: true, PinInit: true, Budget: 10_000_000, Parallelism: cfg.parallel,
+			})
+			if cerr != nil {
+				db.Close()
+				return 2, fmt.Errorf("sweep procs=%d certify: %w", procs, cerr)
+			}
+			if !res.Member {
+				fmt.Fprintf(stdout, "CERTIFICATION FAILED at procs=%d: history not allowed by %v\n", procs, cfg.model)
+				if res.Explain != nil {
+					fmt.Fprintf(stdout, "  explain: %s\n", res.Explain)
+				}
+				exit = 1
+			} else {
+				fmt.Fprintf(stdout, "  history certified %v (%d candidate graphs examined)\n", cfg.model, res.Examined)
+			}
+		}
+		if err := db.Close(); err != nil {
+			return 2, err
+		}
+	}
+	if len(points) > 1 {
+		base := points[0]
+		for _, pt := range points[1:] {
+			if base.TxsPerSec > 0 {
+				fmt.Fprintf(stdout, "scaling: procs=%d is %.2fx procs=%d\n",
+					pt.Procs, pt.TxsPerSec/base.TxsPerSec, base.Procs)
+			}
+		}
+	}
+	if cfg.benchJSON != "" {
+		rep := benchReport{
+			Schema:     benchSchema,
+			Engine:     cfg.engine,
+			Workload:   "closedloop",
+			Sessions:   cfg.sessions,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: orig,
+			Sweep:      points,
+		}
+		// Headline the best point so single-run consumers of the
+		// schema still see throughput fields.
+		best := points[0]
+		for _, pt := range points[1:] {
+			if pt.TxsPerSec > best.TxsPerSec {
+				best = pt
+			}
+		}
+		rep.ElapsedNS = best.ElapsedNS
+		rep.Commits = best.Commits
+		rep.Conflicts = best.Conflicts
+		rep.Retries = best.Retries
+		rep.TxsPerSec = best.TxsPerSec
+		rep.P50CommitLatencyNS = best.P50CommitLatencyNS
+		rep.P99CommitLatencyNS = best.P99CommitLatencyNS
+		if err := encodeBenchReport(cfg.benchJSON, rep); err != nil {
+			return 2, err
+		}
+	}
+	return exit, nil
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sian/internal/check"
+	"sian/internal/depgraph"
+	"sian/internal/engine"
+	"sian/internal/monitor"
+	"sian/internal/obs/eventlog"
+	"sian/internal/workload"
+)
+
+// TestRunSweep is the -sweep acceptance path: the closed-loop workload
+// repeated at each GOMAXPROCS value, certified, with a sibench/v2
+// scaling table in the JSON artifact.
+func TestRunSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	code, err := run([]string{
+		"-engine", "si", "-workload", "closedloop",
+		"-sweep", "1,2", "-sessions", "4", "-txs", "15", "-objects", "8",
+		"-certify", "-bench-json", path,
+	}, &out, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"sweep procs=1", "sweep procs=2", "scaling: procs=2", "history certified"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bench JSON does not parse: %v\n%s", err, raw)
+	}
+	if rep.Schema != benchSchema {
+		t.Errorf("schema = %q, want %s", rep.Schema, benchSchema)
+	}
+	if len(rep.Sweep) != 2 {
+		t.Fatalf("sweep points = %d, want 2", len(rep.Sweep))
+	}
+	for _, pt := range rep.Sweep {
+		if pt.Commits != 4*15 {
+			t.Errorf("procs=%d commits = %d, want %d", pt.Procs, pt.Commits, 4*15)
+		}
+		if pt.TxsPerSec <= 0 {
+			t.Errorf("procs=%d txs/sec = %v", pt.Procs, pt.TxsPerSec)
+		}
+	}
+	if rep.TxsPerSec <= 0 || rep.Commits <= 0 {
+		t.Errorf("headline fields not populated: %+v", rep)
+	}
+}
+
+func TestRunSweepRequiresClosedloop(t *testing.T) {
+	_, err := run([]string{
+		"-engine", "si", "-workload", "registers", "-sweep", "1,2",
+	}, new(bytes.Buffer), new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "closedloop") {
+		t.Fatalf("err = %v, want closedloop requirement", err)
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	t.Parallel()
+	got, err := parseSweep("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Errorf("parseSweep = %v", got)
+	}
+	for _, bad := range []string{"", "0", "a", "1,,2", "-3"} {
+		if _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentDifferentialCertification is the safety net for the
+// multicore engine: every concurrent benchmark configuration must emit
+// histories the offline checker certifies as SI *and* event streams
+// the online monitor agrees on. Run under -race in CI, this pins the
+// sharded-store/lock-free-begin engine to the paper's SI definition on
+// real concurrent executions, not just the deterministic fixtures.
+func TestConcurrentDifferentialCertification(t *testing.T) {
+	t.Parallel()
+	configs := []struct {
+		name string
+		cfg  workload.ClosedLoopConfig
+	}{
+		{"disjoint", workload.ClosedLoopConfig{Sessions: 4, Ops: 20, Objects: 4, Disjoint: true, Seed: 1}},
+		{"shared", workload.ClosedLoopConfig{Sessions: 4, Ops: 20, Objects: 8, Seed: 2}},
+		{"hotkeys", workload.ClosedLoopConfig{Sessions: 6, Ops: 15, Objects: 32, HotKeys: 2, Seed: 3}},
+		{"writeheavy", workload.ClosedLoopConfig{Sessions: 4, Ops: 20, Objects: 6, ReadFraction: 100, Seed: 4}},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rec := eventlog.NewRecorder(1 << 17)
+			db, err := engine.New(engine.SI, engine.Config{Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			out, err := workload.RunClosedLoop(db, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Commits == 0 {
+				t.Fatal("workload committed nothing")
+			}
+			db.Flush()
+
+			// Offline: the complete recorded history must be SI.
+			res, err := check.Certify(db.History(), depgraph.SI, check.Options{
+				NoInit: true, PinInit: true, Budget: 5_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Member {
+				t.Fatalf("history not allowed by SI: %v", res.Explain)
+			}
+
+			// Online: the monitor over the recorded event stream must
+			// agree, definitively (no window, so verdicts are exact).
+			if dropped := rec.Dropped(); dropped > 0 {
+				t.Fatalf("recorder dropped %d events; raise the ring capacity", dropped)
+			}
+			mon := monitor.New(monitor.Config{Model: depgraph.SI})
+			for _, ev := range rec.Events() {
+				mon.Ingest(ev)
+			}
+			rep, err := mon.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Member {
+				for _, v := range rep.Violations {
+					t.Logf("violation: %v", v)
+				}
+				t.Fatalf("monitor rejects the stream the checker certified (%d events, %d commits)",
+					rep.Events, rep.Commits)
+			}
+			if !rep.Definitive {
+				t.Error("unwindowed monitor verdict should be definitive")
+			}
+			if int64(rep.Commits) != out.Commits+1 {
+				t.Errorf("monitor saw %d commits, engine counted %d (+1 init = %d)",
+					rep.Commits, out.Commits, out.Commits+1)
+			}
+		})
+	}
+}
+
+// TestSweepDisjointScalesConflictFree checks the scaling workload's
+// defining property end to end through the CLI: disjoint pools must
+// produce zero conflicts and zero retries at every sweep point.
+func TestSweepDisjointScalesConflictFree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	code, err := run([]string{
+		"-engine", "si", "-workload", "closedloop",
+		"-sweep", "1,2", "-sessions", "4", "-txs", "25", "-objects", "4",
+		"-disjoint", "-bench-json", path,
+	}, &out, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range rep.Sweep {
+		if pt.Conflicts != 0 || pt.Retries != 0 {
+			t.Errorf("procs=%d: conflicts=%d retries=%d on disjoint pools",
+				pt.Procs, pt.Conflicts, pt.Retries)
+		}
+	}
+}

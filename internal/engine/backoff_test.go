@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"sian/internal/model"
+)
+
+// mkDB is the in-package twin of engine_test's newDB helper.
+func mkDB(t *testing.T, kind Kind, cfg Config) *DB {
+	t.Helper()
+	db, err := New(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return db
+}
+
+// fixedRand returns the midpoint of every jitter interval, making
+// backoffDelay deterministic for the shape assertions.
+func midRand(k int64) int64 { return k / 2 }
+
+func TestBackoffDelayShape(t *testing.T) {
+	t.Parallel()
+	base := time.Microsecond
+	max := time.Millisecond
+	var prev time.Duration
+	for n := 1; n <= 24; n++ {
+		d := backoffDelay(n, base, max, midRand)
+		if d < base/2 {
+			t.Errorf("n=%d: delay %v below base/2", n, d)
+		}
+		if d > max {
+			t.Errorf("n=%d: delay %v above cap %v", n, d, max)
+		}
+		if d < prev && prev < max/2 {
+			t.Errorf("n=%d: delay %v shrank from %v before reaching the cap", n, d, prev)
+		}
+		prev = d
+	}
+	// The cap binds: far-out attempts are exactly capped (mid jitter
+	// puts them at 3/4 max).
+	if d := backoffDelay(40, base, max, midRand); d > max {
+		t.Errorf("capped delay %v exceeds max", d)
+	}
+}
+
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	t.Parallel()
+	base := 16 * time.Microsecond
+	max := time.Millisecond
+	// Full-range jitter: extremes of randn map to [d/2, d].
+	lo := backoffDelay(1, base, max, func(int64) int64 { return 0 })
+	hi := backoffDelay(1, base, max, func(k int64) int64 { return k - 1 })
+	if lo != base/2 {
+		t.Errorf("low jitter = %v, want %v", lo, base/2)
+	}
+	if hi != base {
+		t.Errorf("high jitter = %v, want %v", hi, base)
+	}
+}
+
+// TestRetryStormBounded is the retry-storm regression test: many
+// sessions hammering one object must all commit, with conflict and
+// retry counters bounded — the capped backoff de-synchronises the
+// storm instead of letting sessions re-collide in lockstep until
+// MaxRetries.
+func TestRetryStormBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention storm")
+	}
+	db := mkDB(t, SI, Config{})
+	if err := db.Initialize(map[model.Obj]model.Value{"hot": 0}); err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 8
+	const perSession = 25
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		sess := db.Session(string(rune('a' + i)))
+		go func() {
+			var err error
+			for n := 0; n < perSession && err == nil; n++ {
+				err = sess.Transact(func(tx *Tx) error {
+					v, rerr := tx.Read("hot")
+					if rerr != nil {
+						return rerr
+					}
+					return tx.Write("hot", v+1)
+				})
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < sessions; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("storm transaction failed: %v", err)
+		}
+	}
+	stats := db.Stats()
+	wantCommits := int64(sessions*perSession) + 1 // + init
+	if stats.Commits != wantCommits {
+		t.Fatalf("commits = %d, want %d", stats.Commits, wantCommits)
+	}
+	// Every retry stems from a first-committer-wins loss; with
+	// backoff, the conflict count stays within a small multiple of
+	// the commit count instead of exploding towards MaxRetries.
+	if limit := wantCommits * 40; stats.Conflicts > limit {
+		t.Errorf("conflicts = %d for %d commits; retry storm not bounded (limit %d)",
+			stats.Conflicts, stats.Commits, limit)
+	}
+	final := readHot(t, db)
+	if final != sessions*perSession {
+		t.Errorf("hot = %d, want %d", final, sessions*perSession)
+	}
+}
+
+func readHot(t *testing.T, db *DB) model.Value {
+	t.Helper()
+	var v model.Value
+	err := db.Session("audit").Transact(func(tx *Tx) error {
+		var err error
+		v, err = tx.Read("hot")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -20,6 +20,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -102,11 +103,27 @@ type Config struct {
 	// renders as a timeline. Recording is lock-light and never blocks
 	// commits; nil keeps the hot path free of event appends.
 	Recorder *eventlog.Recorder
+	// RetryBackoffBase and RetryBackoffMax shape the capped
+	// exponential backoff (with jitter) Transact applies between
+	// conflict retries, after a few initial pure yields. Zero values
+	// default to 1µs base and 1ms cap; a negative RetryBackoffMax
+	// disables sleeping entirely (every retry just yields, the seed
+	// behaviour). Backoff de-synchronises retry storms: without it,
+	// contending sessions re-collide in lockstep and the conflict
+	// counters grow superlinearly with the session count.
+	RetryBackoffBase time.Duration
+	RetryBackoffMax  time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 10000
+	}
+	if c.RetryBackoffBase <= 0 {
+		c.RetryBackoffBase = time.Microsecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = time.Millisecond
 	}
 	return c
 }
@@ -329,6 +346,10 @@ type Session struct {
 	id   string
 	site int
 
+	// rng drives retry-backoff jitter; created lazily on the first
+	// backed-off retry and used only from the session's goroutine.
+	rng *rand.Rand
+
 	mu       sync.Mutex
 	txs      []model.Transaction
 	seq      int
@@ -395,9 +416,7 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 			return fmt.Errorf("%w (transaction %q, %d attempts)", ErrTooManyRetries, name, attempt)
 		}
 		if attempt > 0 {
-			// Yield between conflict retries so competing sessions and
-			// the PSI propagator make progress instead of livelocking.
-			runtime.Gosched()
+			s.backoff(attempt)
 		}
 		inner, err := s.db.impl.begin(s.site)
 		if err != nil {
@@ -436,6 +455,49 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 		s.event(eventlog.Commit, txid, id)
 		return nil
 	}
+}
+
+// yieldRetries is the number of initial conflict retries that only
+// yield the processor: a couple of immediate re-runs resolve most
+// transient races cheaper than any sleep would.
+const yieldRetries = 3
+
+// backoff delays the attempt-th conflict retry: pure yields first,
+// then capped exponential backoff with jitter so contending sessions
+// spread out instead of re-colliding in lockstep.
+func (s *Session) backoff(attempt int) {
+	cfg := s.db.cfg
+	if attempt <= yieldRetries || cfg.RetryBackoffMax < 0 {
+		// Yield so competing sessions and the PSI propagator make
+		// progress instead of livelocking.
+		runtime.Gosched()
+		return
+	}
+	if s.rng == nil {
+		// Sessions run on one goroutine each, so an unlocked
+		// per-session source is safe; seeding from the global source
+		// de-correlates sessions created in the same nanosecond.
+		s.rng = rand.New(rand.NewSource(time.Now().UnixNano() ^ rand.Int63()))
+	}
+	time.Sleep(backoffDelay(attempt-yieldRetries, cfg.RetryBackoffBase, cfg.RetryBackoffMax, s.rng.Int63n))
+}
+
+// backoffDelay computes the n-th (1-based) backoff delay: base·2ⁿ⁻¹
+// capped at max, with full jitter drawn from [d/2, d] so the expected
+// delay keeps growing while synchronised storms decorrelate. randn
+// samples uniformly from [0, k).
+func backoffDelay(n int, base, max time.Duration, randn func(int64) int64) time.Duration {
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if half := int64(d / 2); half > 0 {
+		d = d/2 + time.Duration(randn(half+1))
+	}
+	return d
 }
 
 // record appends the committed transaction to the session's history

@@ -59,6 +59,9 @@ type replica struct {
 	// active counts live local transactions per snapshot sequence,
 	// for garbage collection.
 	active map[uint64]int
+	// scratch is the reusable batch buffer for applyLocked, so the
+	// apply loop does not allocate per commit.
+	scratch []kvstore.Write
 }
 
 // releaseLocked drops a snapshot registration. Callers hold r.mu.
@@ -250,20 +253,23 @@ func (r *replica) depSatisfiedLocked(dep []int) bool {
 }
 
 // applyLocked installs the commit's writes into the replica's version
-// chains. Callers hold r.mu and guarantee the commit is the next entry
-// of its origin with satisfied dependencies.
+// chains, taking each store shard lock once for the whole write set
+// rather than once per object. Callers hold r.mu and guarantee the
+// commit is the next entry of its origin with satisfied dependencies.
 func (r *replica) applyLocked(c psiCommit) {
 	r.applySeq++
+	r.scratch = r.scratch[:0]
 	for _, x := range c.order {
-		// Install can only fail on non-monotonic timestamps, which the
-		// per-replica applySeq precludes.
-		if err := r.store.Install(x, kvstore.Version{
+		r.scratch = append(r.scratch, kvstore.Write{Obj: x, Version: kvstore.Version{
 			Val:  c.writes[x],
 			TS:   r.applySeq,
 			Meta: c.stamps[x],
-		}); err != nil {
-			panic(fmt.Sprintf("engine: psi replica install: %v", err))
-		}
+		}})
+	}
+	// InstallBatch can only fail on non-monotonic timestamps, which
+	// the per-replica applySeq precludes.
+	if err := r.store.InstallBatch(r.scratch); err != nil {
+		panic(fmt.Sprintf("engine: psi replica install: %v", err))
 	}
 	for len(r.applied) <= c.origin {
 		r.applied = append(r.applied, 0)

@@ -1,7 +1,8 @@
 package engine
 
 import (
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"sian/internal/kvstore"
 	"sian/internal/model"
@@ -12,19 +13,50 @@ import (
 // taken at its start, and commits only if no other committed
 // transaction has written any object it also wrote since that
 // snapshot (first-committer-wins).
+//
+// The implementation is built for multicore parallelism — no global
+// mutex anywhere on the transaction path:
+//
+//   - begin is lock-free: one atomic load of the published commit
+//     timestamp plus a slot registration in snapRegistry (see
+//     snapreg.go for the begin/GC handshake);
+//   - reads take only the read-lock of the one store shard holding
+//     the object;
+//   - commit locks only the shards covering its write set, in
+//     canonical shard order (kvstore.LockObjs), validates
+//     first-committer-wins per shard and installs under that one
+//     multi-shard critical section, so transactions with disjoint
+//     write sets commit fully in parallel;
+//   - read-only transactions touch no lock at all: their commit is a
+//     single atomic slot release.
+//
+// Timestamps are split in two atomics. nextTS allocates commit
+// timestamps; commitTS publishes them, strictly in order, once the
+// writes are installed. A snapshot is always a published timestamp,
+// so every version at or below it is fully installed — the short
+// install window between allocation and publication is invisible to
+// snapshots. First-committer-wins stays sound because validation and
+// installation happen while holding every write-set shard: two
+// commits writing a common object serialize on its shard, and the
+// second sees the first's installed version (necessarily newer than
+// its snapshot — a published snapshot can never be at or above an
+// unpublished timestamp) and aborts. See DESIGN.md §10 for the full
+// argument.
 type siProtocol struct {
 	store *kvstore.Store
 
-	mu       sync.Mutex
-	commitTS uint64
-	// active counts live transactions per snapshot timestamp, so that
-	// garbage collection never discards a version some open snapshot
-	// can still read.
-	active map[uint64]int
+	// nextTS is the commit-timestamp allocation sequence.
+	nextTS atomic.Uint64
+	// commitTS is the published watermark: every version with a
+	// timestamp at or below it is fully installed. Begins snapshot
+	// this value.
+	commitTS atomic.Uint64
+	// snaps registers live snapshots for the GC watermark.
+	snaps snapRegistry
 }
 
 func newSIProtocol() *siProtocol {
-	return &siProtocol{store: kvstore.New(), active: make(map[uint64]int)}
+	return &siProtocol{store: kvstore.New()}
 }
 
 func (p *siProtocol) ensureSite(int) {}
@@ -32,53 +64,24 @@ func (p *siProtocol) ensureSite(int) {}
 func (p *siProtocol) close() error { return nil }
 
 func (p *siProtocol) begin(int) (txProtocol, error) {
-	p.mu.Lock()
-	snap := p.commitTS
-	p.active[snap]++
-	p.mu.Unlock()
-	return &siTx{p: p, snap: snap}, nil
-}
-
-// release drops a transaction's snapshot registration. Callers hold
-// p.mu.
-func (p *siProtocol) releaseLocked(snap uint64) {
-	if n := p.active[snap]; n > 1 {
-		p.active[snap] = n - 1
-	} else {
-		delete(p.active, snap)
-	}
-}
-
-// gcWatermark returns the oldest snapshot any live transaction may
-// read at (or the current commit timestamp when idle). Callers hold
-// p.mu.
-func (p *siProtocol) gcWatermarkLocked() uint64 {
-	min := p.commitTS
-	for snap := range p.active {
-		if snap < min {
-			min = snap
-		}
-	}
-	return min
+	ticket := p.snaps.acquire(p.commitTS.Load)
+	return &siTx{p: p, ticket: ticket}, nil
 }
 
 // gc truncates version chains below the oldest live snapshot and
 // returns the number of versions discarded.
 func (p *siProtocol) gc() int {
-	p.mu.Lock()
-	watermark := p.gcWatermarkLocked()
-	p.mu.Unlock()
-	return p.store.GC(watermark)
+	return p.store.GC(p.snaps.watermark(p.commitTS.Load()))
 }
 
 type siTx struct {
-	p    *siProtocol
-	snap uint64
-	done bool
+	p      *siProtocol
+	ticket snapTicket
+	done   bool
 }
 
 func (t *siTx) read(x model.Obj) (model.Value, error) {
-	v, ok := t.p.store.ReadAt(x, t.snap)
+	v, ok := t.p.store.ReadAt(x, t.ticket.snap)
 	if !ok {
 		return 0, ErrUninitialized
 	}
@@ -87,42 +90,53 @@ func (t *siTx) read(x model.Obj) (model.Value, error) {
 
 func (t *siTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
 	p := t.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t.finishLocked()
+	defer t.finish()
 	if len(writes) == 0 {
 		return nil // read-only transactions always commit under SI
 	}
+	snap := t.ticket.snap
+	lock := p.store.LockObjs(order)
 	// Write-conflict detection: any object we wrote that gained a
-	// committed version after our snapshot aborts us.
+	// committed version after our snapshot aborts us. Holding every
+	// write-set shard makes validate-then-install atomic against any
+	// commit overlapping our write set.
 	for _, x := range order {
-		if p.store.LatestTS(x) > t.snap {
+		if lock.LatestTS(x) > snap {
+			lock.Unlock()
 			return ErrConflict
 		}
 	}
-	p.commitTS++
+	ts := p.nextTS.Add(1)
+	var installErr error
 	for _, x := range order {
-		if err := p.store.Install(x, kvstore.Version{Val: writes[x], TS: p.commitTS}); err != nil {
-			// Unreachable while the commit lock is held; surface it
-			// rather than panic per the no-panic guideline.
-			return err
+		if err := lock.Install(x, kvstore.Version{Val: writes[x], TS: ts}); err != nil {
+			// Unreachable while the write-set shards are held (the
+			// allocation order argument above); surface it rather than
+			// panic per the no-panic guideline — but only after the
+			// timestamp is published, or the pipeline would stall.
+			if installErr == nil {
+				installErr = err
+			}
 		}
 	}
-	return nil
+	lock.Unlock()
+	// Publish, strictly in allocation order: timestamp ts becomes
+	// visible to snapshots only when everything at or below it is
+	// installed. The wait is the short install window of the (at most
+	// one) predecessor still installing.
+	for !p.commitTS.CompareAndSwap(ts-1, ts) {
+		runtime.Gosched()
+	}
+	return installErr
 }
 
-func (t *siTx) abort() {
-	t.p.mu.Lock()
-	defer t.p.mu.Unlock()
-	t.finishLocked()
-}
+func (t *siTx) abort() { t.finish() }
 
-// finishLocked releases the snapshot registration exactly once.
-// Callers hold p.mu.
-func (t *siTx) finishLocked() {
+// finish releases the snapshot registration exactly once.
+func (t *siTx) finish() {
 	if t.done {
 		return
 	}
 	t.done = true
-	t.p.releaseLocked(t.snap)
+	t.p.snaps.release(t.ticket)
 }

@@ -1,0 +1,279 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"sian/internal/model"
+)
+
+// refStore is the seed engine's single-lock store: one RWMutex around
+// one chain map. It is the reference implementation the sharded store
+// is differentially pinned against.
+type refStore struct {
+	mu     sync.RWMutex
+	chains map[model.Obj][]Version
+}
+
+func (s *refStore) install(x model.Obj, v Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.chains == nil {
+		s.chains = make(map[model.Obj][]Version)
+	}
+	chain := s.chains[x]
+	if len(chain) > 0 && chain[len(chain)-1].TS >= v.TS {
+		return fmt.Errorf("ref: non-monotonic install on %q", x)
+	}
+	s.chains[x] = append(chain, v)
+	return nil
+}
+
+func (s *refStore) readAt(x model.Obj, ts uint64) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[x]
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > ts })
+	if i == 0 {
+		return Version{}, false
+	}
+	return chain[i-1], true
+}
+
+func (s *refStore) gc(watermark uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for x, chain := range s.chains {
+		i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > watermark })
+		if i > 1 {
+			keep := make([]Version, len(chain)-(i-1))
+			copy(keep, chain[i-1:])
+			s.chains[x] = keep
+			dropped += i - 1
+		}
+	}
+	return dropped
+}
+
+// hammerOp is one entry of a randomized op log: an install of version
+// ts onto obj, or (install=false) a read probe at ts.
+type hammerOp struct {
+	obj     model.Obj
+	ts      uint64
+	install bool
+}
+
+// TestHammerDifferential pins the sharded store to the seed
+// single-lock store on a randomized op log. The log is generated with
+// per-object monotonically increasing install timestamps, partitioned
+// across goroutines by object (so concurrent application is
+// deterministic per chain), applied concurrently to the sharded store
+// while readers probe it, then replayed sequentially into the
+// reference store; every chain and every read probe must agree.
+// Run under -race in CI.
+func TestHammerDifferential(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			const objects = 24
+			const opsPerObj = 60
+
+			// Per-object op logs with strictly increasing timestamps.
+			logs := make([][]hammerOp, objects)
+			for o := range logs {
+				obj := model.Obj(fmt.Sprintf("h%d", o))
+				ts := uint64(0)
+				for i := 0; i < opsPerObj; i++ {
+					ts += 1 + uint64(rng.Intn(5))
+					logs[o] = append(logs[o], hammerOp{obj: obj, ts: ts, install: rng.Intn(4) != 0})
+				}
+			}
+
+			sharded := New()
+			var wg sync.WaitGroup
+			for o := range logs {
+				wg.Add(1)
+				go func(log []hammerOp) {
+					defer wg.Done()
+					for _, op := range log {
+						if op.install {
+							if err := sharded.Install(op.obj, Version{Val: model.Value(op.ts), TS: op.ts}); err != nil {
+								t.Errorf("Install(%s,%d): %v", op.obj, op.ts, err)
+								return
+							}
+						} else {
+							// Probe concurrently; the value, if present, must
+							// be the timestamp it was installed with.
+							if v, ok := sharded.ReadAt(op.obj, op.ts); ok && uint64(v.Val) != v.TS {
+								t.Errorf("ReadAt(%s,%d) returned torn version %+v", op.obj, op.ts, v)
+								return
+							}
+						}
+					}
+				}(logs[o])
+			}
+			// Cross-object readers exercising the batch paths while
+			// installs run.
+			stop := make(chan struct{})
+			var readers sync.WaitGroup
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				probe := make([]model.Obj, objects)
+				for o := range probe {
+					probe[o] = model.Obj(fmt.Sprintf("h%d", o))
+				}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					vs, oks := sharded.ReadAtBatch(probe, uint64(1+rng.Intn(200)))
+					for i := range vs {
+						if oks[i] && uint64(vs[i].Val) != vs[i].TS {
+							t.Errorf("ReadAtBatch returned torn version %+v", vs[i])
+							return
+						}
+					}
+					sharded.LatestTSBatch(probe)
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			readers.Wait()
+
+			// Sequential replay into the reference store.
+			ref := &refStore{}
+			for _, log := range logs {
+				for _, op := range log {
+					if op.install {
+						if err := ref.install(op.obj, Version{Val: model.Value(op.ts), TS: op.ts}); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+
+			// Differential read sweep over every object and timestamp.
+			compare := func() {
+				for _, log := range logs {
+					for ts := uint64(0); ts <= log[len(log)-1].ts+1; ts++ {
+						got, gok := sharded.ReadAt(log[0].obj, ts)
+						want, wok := ref.readAt(log[0].obj, ts)
+						if gok != wok || got != want {
+							t.Fatalf("ReadAt(%s,%d): sharded (%+v,%v) != ref (%+v,%v)",
+								log[0].obj, ts, got, gok, want, wok)
+						}
+					}
+				}
+			}
+			compare()
+
+			// GC both at the same watermark; drop counts and post-GC
+			// reads must agree.
+			watermark := uint64(rng.Intn(200))
+			if g, w := sharded.GC(watermark), ref.gc(watermark); g != w {
+				t.Fatalf("GC(%d): sharded dropped %d, ref dropped %d", watermark, g, w)
+			}
+			compare()
+		})
+	}
+}
+
+// TestInstallBatchMatchesSequential pins InstallBatch to the
+// semantics of per-object Install calls.
+func TestInstallBatchMatchesSequential(t *testing.T) {
+	t.Parallel()
+	batch := New()
+	seq := New()
+	var ws []Write
+	for i := 0; i < 50; i++ {
+		obj := model.Obj(fmt.Sprintf("b%d", i%7))
+		v := Version{Val: model.Value(i), TS: uint64(i + 1), Meta: uint64(i)}
+		ws = append(ws, Write{Obj: obj, Version: v})
+		if err := seq.Install(obj, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.InstallBatch(ws); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range seq.Objects() {
+		if batch.VersionCount(obj) != seq.VersionCount(obj) {
+			t.Errorf("%s: batch %d versions, seq %d", obj, batch.VersionCount(obj), seq.VersionCount(obj))
+		}
+		for ts := uint64(0); ts <= 51; ts++ {
+			got, gok := batch.ReadAt(obj, ts)
+			want, wok := seq.ReadAt(obj, ts)
+			if gok != wok || got != want {
+				t.Fatalf("ReadAt(%s,%d) mismatch", obj, ts)
+			}
+		}
+	}
+	// A non-monotonic batch write surfaces the install error.
+	if err := batch.InstallBatch([]Write{{Obj: "b0", Version: Version{TS: 1}}}); err == nil {
+		t.Error("non-monotonic batch accepted")
+	}
+}
+
+// TestLockObjsWindow exercises the commit-window lock: validation and
+// installation under LockObjs must be atomic against a concurrent
+// commit of an overlapping write set.
+func TestLockObjsWindow(t *testing.T) {
+	t.Parallel()
+	s := New()
+	objs := []model.Obj{"x", "y"}
+	const rounds = 200
+	var wins [2]int
+	var wg sync.WaitGroup
+	start := make(chan int, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := range start {
+				l := s.LockObjs(objs)
+				ok := true
+				for _, x := range objs {
+					if l.LatestTS(x) > uint64(round) {
+						ok = false
+					}
+				}
+				if ok {
+					for _, x := range objs {
+						if err := l.Install(x, Version{Val: model.Value(w), TS: uint64(round + 1)}); err != nil {
+							t.Errorf("install: %v", err)
+						}
+					}
+					wins[w]++ // guarded: only one goroutine can win a round
+				}
+				l.Unlock()
+			}
+		}(w)
+	}
+	// Feed each round to both workers; first-committer-wins must hold
+	// per round, so total installs per object equal total won rounds.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for r := 0; r < rounds; r += 1 {
+		start <- r
+		start <- r
+	}
+	close(start)
+	<-done
+	total := wins[0] + wins[1]
+	if got := s.VersionCount("x"); got != total || got != s.VersionCount("y") {
+		t.Errorf("versions x=%d y=%d, want both %d (wins %v)", s.VersionCount("x"), s.VersionCount("y"), total, wins)
+	}
+}

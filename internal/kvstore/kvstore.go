@@ -10,11 +10,21 @@
 // local snapshots. Garbage collection truncates chains below a
 // caller-chosen watermark.
 //
-// The store is safe for concurrent use.
+// The store is lock-striped: objects hash onto a fixed number of
+// shards, each with its own mutex, chain map and garbage collection,
+// so reads and installs on disjoint objects never contend. Commit
+// protocols that must validate and install a whole write set
+// atomically take the write set's shard locks once, in canonical
+// shard order, through LockObjs; the batch operations (InstallBatch,
+// ReadAtBatch, LatestTSBatch) likewise visit each shard lock once
+// per call instead of once per object.
+//
+// The store is safe for concurrent use; the zero value is ready.
 package kvstore
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -36,40 +46,66 @@ type Version struct {
 	Meta uint64
 }
 
-// Store is a multi-version key-value store. The zero value is ready to
-// use.
-type Store struct {
+// Write pairs an object with the version to install, for the batch
+// operations.
+type Write struct {
+	Obj     model.Obj
+	Version Version
+}
+
+// numShards is the lock-stripe count. A power of two so the shard
+// index is a mask; 64 keeps the whole stripe set addressable as one
+// uint64 bitmask in LockObjs.
+const numShards = 64
+
+// shard is one lock stripe: a mutex and the chains of every object
+// hashing onto it.
+type shard struct {
 	mu     sync.RWMutex
 	chains map[model.Obj][]Version
+}
+
+// Store is a sharded multi-version key-value store. The zero value is
+// ready to use.
+type Store struct {
+	shards [numShards]shard
 }
 
 // New returns an empty store. Equivalent to new(Store); provided for
 // symmetry with the rest of the module.
 func New() *Store { return &Store{} }
 
-// Install appends a version to the object's chain. The version's
-// timestamp must strictly exceed the current latest; otherwise an
-// error is returned and the store is unchanged.
-func (s *Store) Install(x model.Obj, v Version) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.chains == nil {
-		s.chains = make(map[model.Obj][]Version)
+// shardIndex hashes x onto a stripe (FNV-1a).
+func shardIndex(x model.Obj) uint32 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(x); i++ {
+		h ^= uint64(x[i])
+		h *= 1099511628211
 	}
-	chain := s.chains[x]
+	return uint32(h) & (numShards - 1)
+}
+
+func (s *Store) shardOf(x model.Obj) *shard { return &s.shards[shardIndex(x)] }
+
+// installLocked appends a version to the object's chain. Callers hold
+// sh.mu.
+func (sh *shard) installLocked(x model.Obj, v Version) error {
+	if sh.chains == nil {
+		sh.chains = make(map[model.Obj][]Version)
+	}
+	chain := sh.chains[x]
 	if len(chain) > 0 && chain[len(chain)-1].TS >= v.TS {
 		return fmt.Errorf("kvstore: non-monotonic install on %q: ts %d ≤ latest %d",
 			x, v.TS, chain[len(chain)-1].TS)
 	}
-	s.chains[x] = append(chain, v)
+	sh.chains[x] = append(chain, v)
 	return nil
 }
 
-// ReadAt returns the latest version of x with TS ≤ ts, if any.
-func (s *Store) ReadAt(x model.Obj, ts uint64) (Version, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chain := s.chains[x]
+// readAtLocked returns the latest version of x with TS ≤ ts, if any.
+// Callers hold sh.mu (read or write).
+func (sh *shard) readAtLocked(x model.Obj, ts uint64) (Version, bool) {
+	chain := sh.chains[x]
 	// Chains are sorted by TS; binary-search the first version > ts.
 	i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > ts })
 	if i == 0 {
@@ -78,11 +114,89 @@ func (s *Store) ReadAt(x model.Obj, ts uint64) (Version, bool) {
 	return chain[i-1], true
 }
 
+// latestTSLocked returns the newest timestamp of x, or zero. Callers
+// hold sh.mu.
+func (sh *shard) latestTSLocked(x model.Obj) uint64 {
+	chain := sh.chains[x]
+	if len(chain) == 0 {
+		return 0
+	}
+	return chain[len(chain)-1].TS
+}
+
+// Install appends a version to the object's chain. The version's
+// timestamp must strictly exceed the current latest; otherwise an
+// error is returned and the store is unchanged.
+func (s *Store) Install(x model.Obj, v Version) error {
+	sh := s.shardOf(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.installLocked(x, v)
+}
+
+// InstallBatch installs every write, taking each covered shard lock
+// exactly once. Writes to the same shard are installed in slice
+// order. On a non-monotonic write the batch stops and the error is
+// returned; earlier writes of the batch stay installed (commit
+// protocols order batches so this cannot happen mid-commit).
+func (s *Store) InstallBatch(ws []Write) error {
+	if len(ws) == 0 {
+		return nil
+	}
+	l := s.lockMask(writeMask(ws))
+	defer l.Unlock()
+	for _, w := range ws {
+		if err := s.shardOf(w.Obj).installLocked(w.Obj, w.Version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt returns the latest version of x with TS ≤ ts, if any.
+func (s *Store) ReadAt(x model.Obj, ts uint64) (Version, bool) {
+	sh := s.shardOf(x)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.readAtLocked(x, ts)
+}
+
+// ReadAtBatch performs ReadAt for every object at one timestamp,
+// taking each covered shard read-lock exactly once. The i-th result
+// corresponds to objs[i]; oks[i] reports whether a version existed.
+// The reads are not a cross-shard atomic snapshot — like a sequence
+// of ReadAt calls, each shard is consistent internally and the
+// timestamp bound provides the snapshot semantics the engines need.
+func (s *Store) ReadAtBatch(objs []model.Obj, ts uint64) ([]Version, []bool) {
+	out := make([]Version, len(objs))
+	oks := make([]bool, len(objs))
+	if len(objs) == 0 {
+		return out, oks
+	}
+	var mask uint64
+	for _, x := range objs {
+		mask |= 1 << shardIndex(x)
+	}
+	for mi := mask; mi != 0; mi &= mi - 1 {
+		sh := &s.shards[bits.TrailingZeros64(mi)]
+		sh.mu.RLock()
+	}
+	for i, x := range objs {
+		out[i], oks[i] = s.shardOf(x).readAtLocked(x, ts)
+	}
+	for mi := mask; mi != 0; mi &= mi - 1 {
+		sh := &s.shards[bits.TrailingZeros64(mi)]
+		sh.mu.RUnlock()
+	}
+	return out, oks
+}
+
 // Latest returns the most recent version of x, if any.
 func (s *Store) Latest(x model.Obj) (Version, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chain := s.chains[x]
+	sh := s.shardOf(x)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[x]
 	if len(chain) == 0 {
 		return Version{}, false
 	}
@@ -92,21 +206,46 @@ func (s *Store) Latest(x model.Obj) (Version, bool) {
 // LatestTS returns the timestamp of the most recent version of x, or
 // zero when x has never been written.
 func (s *Store) LatestTS(x model.Obj) uint64 {
-	v, ok := s.Latest(x)
-	if !ok {
-		return 0
+	sh := s.shardOf(x)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.latestTSLocked(x)
+}
+
+// LatestTSBatch returns LatestTS for every object, taking each
+// covered shard read-lock exactly once.
+func (s *Store) LatestTSBatch(objs []model.Obj) []uint64 {
+	out := make([]uint64, len(objs))
+	if len(objs) == 0 {
+		return out
 	}
-	return v.TS
+	var mask uint64
+	for _, x := range objs {
+		mask |= 1 << shardIndex(x)
+	}
+	for mi := mask; mi != 0; mi &= mi - 1 {
+		s.shards[bits.TrailingZeros64(mi)].mu.RLock()
+	}
+	for i, x := range objs {
+		out[i] = s.shardOf(x).latestTSLocked(x)
+	}
+	for mi := mask; mi != 0; mi &= mi - 1 {
+		s.shards[bits.TrailingZeros64(mi)].mu.RUnlock()
+	}
+	return out
 }
 
 // Objects returns the sorted list of objects with at least one
 // version.
 func (s *Store) Objects() []model.Obj {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]model.Obj, 0, len(s.chains))
-	for x := range s.chains {
-		out = append(out, x)
+	var out []model.Obj
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for x := range sh.chains {
+			out = append(out, x)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -114,21 +253,32 @@ func (s *Store) Objects() []model.Obj {
 
 // VersionCount returns the number of stored versions of x.
 func (s *Store) VersionCount(x model.Obj) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.chains[x])
+	sh := s.shardOf(x)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.chains[x])
 }
 
 // Clone returns a deep copy of the store (used for replica state
-// transfer).
+// transfer). The copy is shard-by-shard: each shard is internally
+// consistent, and callers quiesce writers (the PSI state transfer
+// holds the donor replica's mutex) when they need a point-in-time
+// snapshot.
 func (s *Store) Clone() *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := &Store{chains: make(map[model.Obj][]Version, len(s.chains))}
-	for x, chain := range s.chains {
-		cp := make([]Version, len(chain))
-		copy(cp, chain)
-		out.chains[x] = cp
+	out := &Store{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		if len(sh.chains) > 0 {
+			dst := make(map[model.Obj][]Version, len(sh.chains))
+			for x, chain := range sh.chains {
+				cp := make([]Version, len(chain))
+				copy(cp, chain)
+				dst[x] = cp
+			}
+			out.shards[i].chains = dst
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -136,21 +286,102 @@ func (s *Store) Clone() *Store {
 // GC drops all versions of every object that are older than the
 // latest version with TS ≤ watermark (which is kept, since snapshot
 // reads at or above the watermark may still need it). It returns the
-// number of versions discarded.
+// number of versions discarded. Shards are collected one at a time,
+// so GC never blocks readers or writers of more than one stripe.
 func (s *Store) GC(watermark uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dropped := 0
-	for x, chain := range s.chains {
-		i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > watermark })
-		// chain[i-1] is the version a read at the watermark returns;
-		// everything before it is unreachable for ts ≥ watermark.
-		if i > 1 {
-			keep := make([]Version, len(chain)-(i-1))
-			copy(keep, chain[i-1:])
-			s.chains[x] = keep
-			dropped += i - 1
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for x, chain := range sh.chains {
+			j := sort.Search(len(chain), func(j int) bool { return chain[j].TS > watermark })
+			// chain[j-1] is the version a read at the watermark returns;
+			// everything before it is unreachable for ts ≥ watermark.
+			if j > 1 {
+				keep := make([]Version, len(chain)-(j-1))
+				copy(keep, chain[j-1:])
+				sh.chains[x] = keep
+				dropped += j - 1
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return dropped
+}
+
+// Locked is exclusive ownership of every shard covering a write set,
+// acquired by LockObjs. It lets a commit protocol validate
+// (LatestTS), then install, a whole write set under one atomic
+// multi-shard critical section — the first-committer-wins window.
+type Locked struct {
+	s    *Store
+	mask uint64 // bit i set ⇒ s.shards[i] is write-locked
+}
+
+// LockObjs write-locks every shard covering objs, in ascending shard
+// order (the canonical order, so concurrent commits with overlapping
+// write sets never deadlock), and returns the multi-shard lock.
+// Callers must Unlock it exactly once.
+func (s *Store) LockObjs(objs []model.Obj) *Locked {
+	var mask uint64
+	for _, x := range objs {
+		mask |= 1 << shardIndex(x)
+	}
+	return s.lockMask(mask)
+}
+
+func (s *Store) lockMask(mask uint64) *Locked {
+	for mi := mask; mi != 0; mi &= mi - 1 {
+		s.shards[bits.TrailingZeros64(mi)].mu.Lock()
+	}
+	return &Locked{s: s, mask: mask}
+}
+
+func writeMask(ws []Write) uint64 {
+	var mask uint64
+	for _, w := range ws {
+		mask |= 1 << shardIndex(w.Obj)
+	}
+	return mask
+}
+
+// covers reports whether x's shard is held by the lock.
+func (l *Locked) covers(x model.Obj) bool {
+	return l.mask&(1<<shardIndex(x)) != 0
+}
+
+// LatestTS returns the newest timestamp of x. x must be covered by
+// the locked write set.
+func (l *Locked) LatestTS(x model.Obj) uint64 {
+	if !l.covers(x) {
+		panic(fmt.Sprintf("kvstore: LatestTS(%q) outside the locked write set", x))
+	}
+	return l.s.shardOf(x).latestTSLocked(x)
+}
+
+// ReadAt returns the latest version of x with TS ≤ ts. x must be
+// covered by the locked write set.
+func (l *Locked) ReadAt(x model.Obj, ts uint64) (Version, bool) {
+	if !l.covers(x) {
+		panic(fmt.Sprintf("kvstore: ReadAt(%q) outside the locked write set", x))
+	}
+	return l.s.shardOf(x).readAtLocked(x, ts)
+}
+
+// Install appends a version to x's chain under the held lock. x must
+// be covered by the locked write set.
+func (l *Locked) Install(x model.Obj, v Version) error {
+	if !l.covers(x) {
+		panic(fmt.Sprintf("kvstore: Install(%q) outside the locked write set", x))
+	}
+	return l.s.shardOf(x).installLocked(x, v)
+}
+
+// Unlock releases every held shard. The Locked must not be used
+// afterwards.
+func (l *Locked) Unlock() {
+	for mi := l.mask; mi != 0; mi &= mi - 1 {
+		l.s.shards[bits.TrailingZeros64(mi)].mu.Unlock()
+	}
+	l.mask = 0
 }

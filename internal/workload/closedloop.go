@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// ClosedLoopConfig parameterises RunClosedLoop, the concurrent
+// benchmark driver: one goroutine per session, each issuing its next
+// transaction as soon as the previous one finishes (a closed loop —
+// offered load equals 1 outstanding transaction per session).
+type ClosedLoopConfig struct {
+	// Sessions is the number of concurrent worker sessions.
+	Sessions int
+	// Duration bounds the run by wall clock; when zero, Ops bounds it
+	// by count instead.
+	Duration time.Duration
+	// Ops is the number of transactions per session when Duration is
+	// zero (default 100).
+	Ops int
+	// OpsPerTx is the number of read/write operations per transaction
+	// (default 3).
+	OpsPerTx int
+	// Objects sizes the object pool: shared across sessions, or per
+	// session when Disjoint is set (default 16).
+	Objects int
+	// ReadFraction is the per-mille probability of a pure read
+	// (default 500); every other operation is a read-modify-write of
+	// the picked object.
+	ReadFraction int
+	// Disjoint gives every session a private object pool, so write
+	// sets never overlap — the scaling workload: commits proceed on
+	// disjoint store shards with no conflicts.
+	Disjoint bool
+	// HotKeys, when positive, skews accesses: HotFraction per mille
+	// of object picks come from the first HotKeys objects of the
+	// shared pool — the contention workload. Ignored with Disjoint.
+	HotKeys int
+	// HotFraction is the per-mille probability of picking a hot key
+	// when HotKeys > 0 (default 800).
+	HotFraction int
+	// Seed makes the per-worker RNG streams reproducible.
+	Seed int64
+}
+
+func (c ClosedLoopConfig) withDefaults() ClosedLoopConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 100
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 3
+	}
+	if c.Objects <= 0 {
+		c.Objects = 16
+	}
+	if c.ReadFraction <= 0 {
+		c.ReadFraction = 500
+	}
+	if c.HotFraction <= 0 {
+		c.HotFraction = 800
+	}
+	if c.HotKeys > c.Objects {
+		c.HotKeys = c.Objects
+	}
+	return c
+}
+
+// ClosedLoopOutcome reports a closed-loop run.
+type ClosedLoopOutcome struct {
+	// Elapsed is the wall-clock span between the first worker start
+	// and the last worker exit.
+	Elapsed time.Duration
+	// Commits, Conflicts, Retries are the engine counter deltas over
+	// the run (workload transactions only, not initialisation).
+	Commits   int64
+	Conflicts int64
+	Retries   int64
+	// PerSession counts committed transactions per worker; the spread
+	// diagnoses fairness collapse under contention.
+	PerSession []int64
+}
+
+// objName returns the n-th object of a worker's pool: private pools
+// under Disjoint, one shared pool otherwise.
+func (c ClosedLoopConfig) objName(worker, n int) model.Obj {
+	if c.Disjoint {
+		return model.Obj(fmt.Sprintf("cl%d_%d", worker, n))
+	}
+	return model.Obj(fmt.Sprintf("cl%d", n))
+}
+
+// pick draws an object index, honouring the hot-set skew.
+func (c ClosedLoopConfig) pick(rng *rand.Rand) int {
+	if !c.Disjoint && c.HotKeys > 0 && rng.Intn(1000) < c.HotFraction {
+		return rng.Intn(c.HotKeys)
+	}
+	return rng.Intn(c.Objects)
+}
+
+// RunClosedLoop drives the closed-loop workload: Sessions goroutines,
+// each on its own session with its own RNG stream, running random
+// read/write transactions until the duration or per-session op count
+// is exhausted. Every written value is globally unique, so the
+// recorded history is value-traceable and check.Certify can recover
+// its read dependencies. The database must be fresh; the runner
+// initialises every pool object to 0.
+func RunClosedLoop(db *engine.DB, cfg ClosedLoopConfig) (*ClosedLoopOutcome, error) {
+	cfg = cfg.withDefaults()
+	init := make(map[model.Obj]model.Value)
+	pools := 1
+	if cfg.Disjoint {
+		pools = cfg.Sessions
+	}
+	for w := 0; w < pools; w++ {
+		for n := 0; n < cfg.Objects; n++ {
+			init[cfg.objName(w, n)] = 0
+		}
+	}
+	if err := db.Initialize(init); err != nil {
+		return nil, fmt.Errorf("workload: initialising closed loop: %w", err)
+	}
+
+	before := db.Stats()
+	var counter atomic.Int64
+	var stopFlag atomic.Bool
+	var timer *time.Timer
+	if cfg.Duration > 0 {
+		timer = time.AfterFunc(cfg.Duration, func() { stopFlag.Store(true) })
+		defer timer.Stop()
+	}
+
+	out := &ClosedLoopOutcome{PerSession: make([]int64, cfg.Sessions)}
+	errs := make([]error, cfg.Sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Sessions; w++ {
+		sess := db.Session(fmt.Sprintf("cl%d", w))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*6364136223846793005))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := 0
+			if cfg.Disjoint {
+				pool = w
+			}
+			for n := 0; ; n++ {
+				if cfg.Duration > 0 {
+					if stopFlag.Load() {
+						return
+					}
+				} else if n >= cfg.Ops {
+					return
+				}
+				err := sess.Transact(func(tx *engine.Tx) error {
+					for o := 0; o < cfg.OpsPerTx; o++ {
+						x := cfg.objName(pool, cfg.pick(rng))
+						if rng.Intn(1000) < cfg.ReadFraction {
+							if _, err := tx.Read(x); err != nil {
+								return err
+							}
+						} else {
+							// Read-modify-write rather than a blind
+							// write: the read pins the predecessor
+							// version, so the recorded history's
+							// version order is traceable and
+							// certification stays near-linear (long
+							// concurrent blind-write chains force the
+							// checker to search WW orders).
+							if _, err := tx.Read(x); err != nil {
+								return err
+							}
+							if err := tx.Write(x, model.Value(counter.Add(1))); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out.PerSession[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	after := db.Stats()
+	out.Commits = after.Commits - before.Commits
+	out.Conflicts = after.Conflicts - before.Conflicts
+	out.Retries = after.Retries - before.Retries
+	return out, nil
+}
