@@ -9,8 +9,10 @@
 //	        [-sessions N] [-txs N] [-ops N] [-objects N] [-rounds N]
 //	        [-accounts N] [-hops N] [-chopped] [-seed N] [-certify]
 //	        [-duration D] [-hotkeys N] [-disjoint] [-sweep 1,2,4]
-//	        [-parallel N] [-trace] [-metrics file|-] [-bench-json file]
-//	        [-pprof addr] [-record file.ndjson] [-timeline file.json]
+//	        [-sweep-reps N] [-parallel N] [-trace] [-metrics file|-]
+//	        [-bench-json file] [-ledger file.ndjson] [-compare file]
+//	        [-compare-threshold F] [-serve addr] [-pprof addr]
+//	        [-record file.ndjson] [-timeline file.json]
 //
 // The closedloop workload is the concurrent benchmark driver: one
 // goroutine per session, each firing its next transaction the moment
@@ -24,11 +26,12 @@
 // -metrics dumps the metrics registry (engine counters,
 // commit-latency and snapshot-age histograms, phase durations) on
 // exit in Prometheus text format ('-' for stdout, *.json for JSON).
-// -trace prints per-phase timing lines on stderr. -bench-json writes
-// a machine-readable benchmark summary (throughput, p50/p99 commit
-// latency) to the named file. -pprof serves net/http/pprof on the
-// given address (for example localhost:6060) for the duration of the
-// run.
+// In a sweep the dump reflects the last point's registry (each point
+// gets a fresh one). -trace prints per-phase timing lines on stderr.
+// -bench-json writes a machine-readable benchmark summary
+// (throughput, p50/p99 commit latency) to the named file. -pprof
+// serves net/http/pprof on the given address (for example
+// localhost:6060) for the duration of the run.
 //
 // -record attaches a flight recorder to the engine and dumps the
 // transactional event stream as NDJSON on exit — feed it to simon for
@@ -37,8 +40,27 @@
 // Perfetto (ui.perfetto.dev) or chrome://tracing. -record-cap bounds
 // the recorder ring (older events are overwritten beyond it).
 //
-// Exit status 0 on success, 1 when -certify fails, 2 on usage or
-// processing errors.
+// -serve starts the live observability plane (internal/obs/obshttp)
+// for the duration of the run: /metrics, /metrics.json, /healthz, an
+// /events SSE tail of the flight recorder (attached automatically
+// while serving), /timeline and /debug/pprof — so a long -duration or
+// -sweep run can be watched from a browser or curl while in flight.
+//
+// -ledger appends the run's report plus provenance (git revision,
+// host fingerprint, GOMAXPROCS) as one NDJSON line to the named run
+// ledger. -compare loads a baseline — a ledger file (newest matching
+// entry) or a single bench-report JSON like BENCH_sibench.json — and
+// compares the fresh run's throughput metrics against it, printing a
+// per-metric delta table; a gating metric falling more than
+// -compare-threshold (fraction, default 0.3) below the baseline makes
+// the run exit 1. The comparison runs before the -ledger append, so
+// pointing both flags at the same file gates each run against the
+// previous one. -sweep-reps N repeats every sweep point N times and
+// records the median-throughput repetition, so one noisy run cannot
+// poison the ledger or trip the gate.
+//
+// Exit status 0 on success, 1 when -certify fails or -compare finds a
+// regression, 2 on usage or processing errors.
 package main
 
 import (
@@ -58,8 +80,16 @@ import (
 	"sian/internal/model"
 	"sian/internal/obs"
 	"sian/internal/obs/eventlog"
+	"sian/internal/obs/ledger"
 	"sian/internal/workload"
 )
+
+// The bench report schema now lives in internal/obs/ledger so the run
+// ledger and the -compare gate share it; these aliases keep the local
+// names meaningful.
+type benchReport = ledger.BenchReport
+
+const benchSchema = ledger.BenchSchema
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
@@ -68,6 +98,40 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(code)
+}
+
+// runConfig carries the parsed flag values through the run.
+type runConfig struct {
+	engine       string
+	kind         engine.Kind
+	model        depgraph.Model
+	workload     string
+	sessions     int
+	txs          int
+	ops          int
+	objects      int
+	rounds       int
+	accounts     int
+	hops         int
+	transfers    int
+	chopped      bool
+	seed         int64
+	atomicLookup bool
+	certify      bool
+	parallel     int
+	benchJSON    string
+	recordOut    string
+	timelineOut  string
+	recordCap    int
+	duration     time.Duration
+	hotkeys      int
+	disjoint     bool
+	sweep        string
+	sweepReps    int
+	ledgerPath   string
+	comparePath  string
+	compareThr   float64
+	args         []string
 }
 
 func run(args []string, stdout, stderr io.Writer) (int, error) {
@@ -87,8 +151,6 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	atomicLookup := fs.Bool("atomic-lookup", false, "banking: query both accounts in one transaction (the incorrect Figure 5 chopping)")
 	certify := fs.Bool("certify", false, "certify the recorded history against the engine's model")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the certification search (0 = one per CPU)")
-	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
-	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable benchmark summary (JSON) to this file")
 	recordOut := fs.String("record", "", "dump the transactional event stream as NDJSON to this file on exit")
 	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline (Perfetto-loadable JSON) to this file on exit")
@@ -97,7 +159,11 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	hotkeys := fs.Int("hotkeys", 0, "closedloop: skew accesses onto the first N objects (contention)")
 	disjoint := fs.Bool("disjoint", false, "closedloop: give every session a private object pool (no conflicts)")
 	sweepFlag := fs.String("sweep", "", "run the closedloop workload once per GOMAXPROCS value (e.g. 1,2,4) and report scaling")
-	startPprof := cliutil.PprofFlag(fs)
+	sweepReps := fs.Int("sweep-reps", 1, "repetitions per sweep point; the median-throughput rep is recorded")
+	ledgerPath := fs.String("ledger", "", "append the run's report plus provenance to this NDJSON run ledger")
+	comparePath := fs.String("compare", "", "compare the run against a baseline (run ledger or bench-report JSON); regressions exit 1")
+	compareThr := fs.Float64("compare-threshold", 0.3, "tolerated fractional throughput loss for -compare before failing")
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -106,54 +172,169 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	if *sweepFlag != "" {
-		if *workloadFlag != "closedloop" {
-			return 2, fmt.Errorf("-sweep requires -workload closedloop")
-		}
-		return runSweep(sweepConfig{
-			spec: *sweepFlag, engine: *engineFlag, kind: kind, model: m,
-			sessions: *sessions, txs: *txs, ops: *ops, objects: *objects,
-			duration: *duration, hotkeys: *hotkeys, disjoint: *disjoint,
-			seed: *seed, certify: *certify, parallel: *parallel,
-			benchJSON: *benchJSON,
-		}, stdout)
+	if *sweepFlag != "" && *workloadFlag != "closedloop" {
+		return 2, fmt.Errorf("-sweep requires -workload closedloop")
 	}
-	reg := obs.NewRegistry()
-	var tr *obs.Tracer
-	if *trace {
-		tr = obs.NewTracer(reg)
+	if *sweepReps < 1 {
+		return 2, fmt.Errorf("-sweep-reps must be >= 1")
 	}
-	stopPprof, err := startPprof(stderr)
+	if *compareThr < 0 || *compareThr >= 1 {
+		return 2, fmt.Errorf("-compare-threshold must be in [0, 1)")
+	}
+	cfg := runConfig{
+		engine: *engineFlag, kind: kind, model: m, workload: *workloadFlag,
+		sessions: *sessions, txs: *txs, ops: *ops, objects: *objects,
+		rounds: *rounds, accounts: *accounts, hops: *hops, transfers: *transfers,
+		chopped: *chopped, seed: *seed, atomicLookup: *atomicLookup,
+		certify: *certify, parallel: *parallel, benchJSON: *benchJSON,
+		recordOut: *recordOut, timelineOut: *timelineOut, recordCap: *recordCap,
+		duration: *duration, hotkeys: *hotkeys, disjoint: *disjoint,
+		sweep: *sweepFlag, sweepReps: *sweepReps,
+		ledgerPath: *ledgerPath, comparePath: *comparePath, compareThr: *compareThr,
+		args: args,
+	}
+
+	o, err := obsFlags.Start("sibench", stderr)
 	if err != nil {
 		return 2, err
 	}
-	defer stopPprof()
+	code, err := cfg.execute(o, stdout, stderr)
+	return o.Finish(code, err, stdout, stderr)
+}
+
+// execute runs the configured workload (single run or sweep) and then
+// the shared artifact pipeline: bench JSON, ledger append, baseline
+// comparison, recorder dumps.
+func (cfg runConfig) execute(o *cliutil.Obs, stdout, stderr io.Writer) (int, error) {
+	// The flight recorder feeds -record / -timeline dumps and, while
+	// -serve is up, the live /events tail and /timeline endpoint.
 	var rec *eventlog.Recorder
-	if *recordOut != "" || *timelineOut != "" {
-		rec = eventlog.NewRecorder(*recordCap)
+	if cfg.recordOut != "" || cfg.timelineOut != "" || o.Serving() {
+		rec = eventlog.NewRecorder(cfg.recordCap)
+		o.SetRecorder(rec)
 	}
-	cfg := engine.Config{Metrics: reg, Recorder: rec}
-	if *workloadFlag == "longfork" {
-		cfg.ManualPropagation = true
+
+	var (
+		exit int
+		rep  benchReport
+		err  error
+	)
+	if cfg.sweep != "" {
+		exit, rep, err = runSweep(cfg, o, rec, stdout)
+	} else {
+		exit, rep, err = cfg.runSingle(o, rec, stdout)
 	}
-	db, err := engine.New(kind, cfg)
 	if err != nil {
 		return 2, err
+	}
+
+	if cfg.benchJSON != "" {
+		if err := encodeBenchReport(cfg.benchJSON, rep); err != nil {
+			return 2, err
+		}
+	}
+	// Compare before the ledger append: when both flags name the same
+	// file the run gates against the *previous* recorded run, not the
+	// line it is about to write (self-comparison always passes).
+	if cfg.comparePath != "" {
+		code, err := cfg.compare(rep, stdout, stderr)
+		if err != nil {
+			return 2, err
+		}
+		if code > exit {
+			exit = code
+		}
+	}
+	if cfg.ledgerPath != "" {
+		if err := ledger.Append(cfg.ledgerPath, ledger.NewEntry("sibench", cfg.args, rep)); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(stdout, "ledger: appended %s/%s run to %s\n", rep.Engine, rep.Workload, cfg.ledgerPath)
+	}
+
+	if rec != nil {
+		if code, err := cfg.dumpRecorder(rec, o, stdout, stderr); err != nil {
+			return code, err
+		}
+	}
+	return exit, nil
+}
+
+// compare loads the -compare baseline, prints the per-metric delta
+// table, and returns exit 1 when a gating metric regressed beyond the
+// threshold.
+func (cfg runConfig) compare(rep benchReport, stdout, stderr io.Writer) (int, error) {
+	base, desc, err := ledger.LoadBaseline(cfg.comparePath, cfg.engine, cfg.workload)
+	if err != nil {
+		return 2, err
+	}
+	if base.Engine != rep.Engine || base.Workload != rep.Workload {
+		fmt.Fprintf(stderr, "compare: baseline is %s/%s but this run is %s/%s — comparing anyway\n",
+			base.Engine, base.Workload, rep.Engine, rep.Workload)
+	}
+	fmt.Fprintf(stdout, "compare: baseline %s\n", desc)
+	deltas, regressed := ledger.Compare(base, rep, cfg.compareThr)
+	ledger.WriteDeltas(stdout, deltas)
+	if regressed {
+		fmt.Fprintf(stdout, "compare: REGRESSION — gating throughput fell more than %.0f%% below baseline\n", cfg.compareThr*100)
+		return 1, nil
+	}
+	fmt.Fprintf(stdout, "compare: ok (threshold %.0f%%)\n", cfg.compareThr*100)
+	return 0, nil
+}
+
+// dumpRecorder performs the -record / -timeline exit dumps.
+func (cfg runConfig) dumpRecorder(rec *eventlog.Recorder, o *cliutil.Obs, stdout, stderr io.Writer) (int, error) {
+	events := rec.Events()
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Fprintf(stderr, "flight recorder: ring overwrote %d events; raise -record-cap for a full stream\n", dropped)
+	}
+	if cfg.recordOut != "" {
+		if err := writeFileWith(cfg.recordOut, func(w io.Writer) error {
+			return histio.EncodeEvents(w, events)
+		}); err != nil {
+			return 2, fmt.Errorf("record: %w", err)
+		}
+		fmt.Fprintf(stdout, "recorded %d events to %s\n", len(events), cfg.recordOut)
+	}
+	if cfg.timelineOut != "" {
+		if err := writeFileWith(cfg.timelineOut, func(w io.Writer) error {
+			return eventlog.WriteChromeTrace(w, events, o.Tracer.Phases())
+		}); err != nil {
+			return 2, fmt.Errorf("timeline: %w", err)
+		}
+		fmt.Fprintf(stdout, "timeline written to %s (load in ui.perfetto.dev)\n", cfg.timelineOut)
+	}
+	return 0, nil
+}
+
+// runSingle executes one workload run against a fresh engine and
+// returns its exit code and bench report.
+func (cfg runConfig) runSingle(o *cliutil.Obs, rec *eventlog.Recorder, stdout io.Writer) (int, benchReport, error) {
+	reg := o.Registry
+	tr := o.Tracer
+	econf := engine.Config{Metrics: reg, Recorder: rec}
+	if cfg.workload == "longfork" {
+		econf.ManualPropagation = true
+	}
+	db, err := engine.New(cfg.kind, econf)
+	if err != nil {
+		return 2, benchReport{}, err
 	}
 	defer db.Close()
 
 	doneWorkload := tr.Phase("workload")
 	start := time.Now()
 	var h *model.History
-	switch *workloadFlag {
+	switch cfg.workload {
 	case "registers":
 		h, err = workload.RunRegisters(db, workload.RegistersConfig{
-			Sessions: *sessions, TxPerSession: *txs, OpsPerTx: *ops,
-			Objects: *objects, Seed: *seed,
+			Sessions: cfg.sessions, TxPerSession: cfg.txs, OpsPerTx: cfg.ops,
+			Objects: cfg.objects, Seed: cfg.seed,
 		})
 	case "writeskew":
 		var out *workload.WriteSkewOutcome
-		out, err = workload.RunWriteSkew(db, *rounds)
+		out, err = workload.RunWriteSkew(db, cfg.rounds)
 		if err == nil {
 			fmt.Fprintf(stdout, "write-skew anomalies: %d / %d rounds\n", out.Anomalies, out.Rounds)
 			db.Flush()
@@ -162,8 +343,8 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	case "transfers":
 		var out *workload.TransferOutcome
 		out, err = workload.RunTransfers(db, workload.TransferConfig{
-			Sessions: *sessions, Transfers: *transfers, Accounts: *accounts,
-			Hops: *hops, Chopped: *chopped, Seed: *seed,
+			Sessions: cfg.sessions, Transfers: cfg.transfers, Accounts: cfg.accounts,
+			Hops: cfg.hops, Chopped: cfg.chopped, Seed: cfg.seed,
 		})
 		if err == nil {
 			fmt.Fprintf(stdout, "transfers: %d commits, %d conflict aborts\n", out.Commits, out.Conflicts)
@@ -171,15 +352,15 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			h = db.History()
 		}
 	case "longfork":
-		if kind != engine.PSI {
-			return 2, fmt.Errorf("workload longfork requires -engine psi")
+		if cfg.kind != engine.PSI {
+			return 2, benchReport{}, fmt.Errorf("workload longfork requires -engine psi")
 		}
 		h, err = workload.StageLongFork(db)
 	case "closedloop":
 		var out *workload.ClosedLoopOutcome
 		out, err = workload.RunClosedLoop(db, workload.ClosedLoopConfig{
-			Sessions: *sessions, Ops: *txs, OpsPerTx: *ops, Objects: *objects,
-			Duration: *duration, HotKeys: *hotkeys, Disjoint: *disjoint, Seed: *seed,
+			Sessions: cfg.sessions, Ops: cfg.txs, OpsPerTx: cfg.ops, Objects: cfg.objects,
+			Duration: cfg.duration, HotKeys: cfg.hotkeys, Disjoint: cfg.disjoint, Seed: cfg.seed,
 		})
 		if err == nil {
 			fmt.Fprintf(stdout, "closedloop: %d commits, %d conflicts, %d retries in %v\n",
@@ -190,7 +371,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	case "smallbank":
 		var out *workload.SmallBankOutcome
 		out, err = workload.RunSmallBank(db, workload.SmallBankConfig{
-			Customers: *accounts / 2, Sessions: *sessions, TxPerSession: *txs, Seed: *seed,
+			Customers: cfg.accounts / 2, Sessions: cfg.sessions, TxPerSession: cfg.txs, Seed: cfg.seed,
 		})
 		if err == nil {
 			fmt.Fprintf(stdout, "smallbank: %d operations, %d overdrawn customers\n", out.Operations, out.Overdrafts)
@@ -198,51 +379,51 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			h = db.History()
 		}
 	case "banking":
-		h, err = workload.StageBankingChopped(db, *atomicLookup)
+		h, err = workload.StageBankingChopped(db, cfg.atomicLookup)
 		if err == nil {
-			spliced, serr := check.Certify(h.Splice(), m, check.Options{
+			spliced, serr := check.Certify(h.Splice(), cfg.model, check.Options{
 				NoInit: true, PinInit: true, Budget: 1_000_000,
-				Parallelism: *parallel,
+				Parallelism: cfg.parallel,
 			})
 			if serr != nil {
-				return 2, serr
+				return 2, benchReport{}, serr
 			}
-			fmt.Fprintf(stdout, "spliced history allowed by %v: %v\n", m, spliced.Member)
+			fmt.Fprintf(stdout, "spliced history allowed by %v: %v\n", cfg.model, spliced.Member)
 		}
 	default:
-		return 2, fmt.Errorf("unknown workload %q", *workloadFlag)
+		return 2, benchReport{}, fmt.Errorf("unknown workload %q", cfg.workload)
 	}
 	if err != nil {
-		return 2, err
+		return 2, benchReport{}, err
 	}
 	elapsed := time.Since(start)
 	doneWorkload()
 
 	stats := db.Stats()
 	fmt.Fprintf(stdout, "engine=%s workload=%s commits=%d conflicts=%d aborts=%d retries=%d elapsed=%v\n",
-		kind, *workloadFlag, stats.Commits, stats.Conflicts, stats.Aborts, stats.Retries,
+		cfg.kind, cfg.workload, stats.Commits, stats.Conflicts, stats.Aborts, stats.Retries,
 		elapsed.Round(time.Microsecond))
 	fmt.Fprintf(stdout, "history: %d sessions, %d transactions\n", h.NumSessions(), h.NumTransactions())
 
 	exit := 0
 	var certifyDur time.Duration
 	certifyExamined := 0
-	if *certify {
+	if cfg.certify {
 		certifyStart := time.Now()
-		res, err := check.Certify(h, m, check.Options{
+		res, err := check.Certify(h, cfg.model, check.Options{
 			NoInit: true, PinInit: true, Budget: 10_000_000,
-			Parallelism: *parallel, Tracer: tr, Metrics: reg,
+			Parallelism: cfg.parallel, Tracer: tr, Metrics: reg,
 		})
 		certifyDur = time.Since(certifyStart)
 		if err != nil {
-			return 2, fmt.Errorf("certify: %w", err)
+			return 2, benchReport{}, fmt.Errorf("certify: %w", err)
 		}
 		certifyExamined = res.Examined
 		switch {
 		case res.Member:
-			fmt.Fprintf(stdout, "history certified %v (%d candidate graphs examined)\n", m, res.Examined)
+			fmt.Fprintf(stdout, "history certified %v (%d candidate graphs examined)\n", cfg.model, res.Examined)
 		default:
-			fmt.Fprintf(stdout, "CERTIFICATION FAILED: history not allowed by %v\n", m)
+			fmt.Fprintf(stdout, "CERTIFICATION FAILED: history not allowed by %v\n", cfg.model)
 			if res.Explain != nil {
 				fmt.Fprintf(stdout, "  explain: %s\n", res.Explain)
 			}
@@ -250,126 +431,21 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 
-	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *engineFlag, *workloadFlag, *sessions, *parallel, kind, elapsed, certifyDur, certifyExamined, stats, reg); err != nil {
-			return 2, err
-		}
-	}
-	tr.Report(stderr)
-	if *metricsOut != "" {
-		if err := reg.Dump(*metricsOut, stdout); err != nil {
-			return 2, err
-		}
-	}
-	if rec != nil {
-		events := rec.Events()
-		if dropped := rec.Dropped(); dropped > 0 {
-			fmt.Fprintf(stderr, "flight recorder: ring overwrote %d events; raise -record-cap for a full stream\n", dropped)
-		}
-		if *recordOut != "" {
-			if err := writeFileWith(*recordOut, func(w io.Writer) error {
-				return histio.EncodeEvents(w, events)
-			}); err != nil {
-				return 2, fmt.Errorf("record: %w", err)
-			}
-			fmt.Fprintf(stdout, "recorded %d events to %s\n", len(events), *recordOut)
-		}
-		if *timelineOut != "" {
-			if err := writeFileWith(*timelineOut, func(w io.Writer) error {
-				return eventlog.WriteChromeTrace(w, events, tr.Phases())
-			}); err != nil {
-				return 2, fmt.Errorf("timeline: %w", err)
-			}
-			fmt.Fprintf(stdout, "timeline written to %s (load in ui.perfetto.dev)\n", *timelineOut)
-		}
-	}
-	return exit, nil
+	rep := cfg.buildReport(elapsed, certifyDur, certifyExamined, stats, reg)
+	return exit, rep, nil
 }
 
-// writeFileWith creates path and streams fn's output into it.
-func writeFileWith(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// benchSchema versions the -bench-json format. v2 added GOMAXPROCS
-// and the Sweep scaling table.
-const benchSchema = "sibench/v2"
-
-// benchReport is the machine-readable benchmark summary emitted by
-// -bench-json, one JSON object per run. Latency quantiles come from
-// the engine's log-scale commit-latency histogram.
-type benchReport struct {
-	Schema             string  `json:"schema"`
-	Engine             string  `json:"engine"`
-	Workload           string  `json:"workload"`
-	Sessions           int     `json:"sessions"`
-	CPUs               int     `json:"cpus"`
-	GOMAXPROCS         int     `json:"gomaxprocs"`
-	ElapsedNS          int64   `json:"elapsed_ns"`
-	Commits            int64   `json:"commits"`
-	Conflicts          int64   `json:"conflicts"`
-	Aborts             int64   `json:"aborts"`
-	Retries            int64   `json:"retries"`
-	TxsPerSec          float64 `json:"txs_per_sec"`
-	P50CommitLatencyNS float64 `json:"p50_commit_latency_ns"`
-	P99CommitLatencyNS float64 `json:"p99_commit_latency_ns"`
-	P50SnapshotAgeNS   float64 `json:"p50_snapshot_age_ns"`
-	P99SnapshotAgeNS   float64 `json:"p99_snapshot_age_ns"`
-
-	// Certification fields are present when -certify ran.
-	CertifyParallelism int   `json:"certify_parallelism,omitempty"`
-	CertifyNS          int64 `json:"certify_ns,omitempty"`
-	CertifyExamined    int   `json:"certify_examined,omitempty"`
-
-	// CheckerBench carries the offline seed-vs-incremental search
-	// benchmark when a recorded report includes one (see
-	// internal/check/search_bench_test.go); sibench itself does not
-	// populate it, but round-trips it for the committed artifact.
-	CheckerBench *checkerBenchRecord `json:"checker_bench,omitempty"`
-
-	// Sweep holds the -sweep scaling table: the closed-loop workload
-	// repeated at each GOMAXPROCS value. The top-level throughput
-	// fields then reflect the best point.
-	Sweep []sweepPoint `json:"sweep,omitempty"`
-
-	// Note carries free-form provenance for recorded artifacts (for
-	// example the host's core count); sibench round-trips it.
-	Note string `json:"note,omitempty"`
-}
-
-// checkerBenchRecord is a hand-recorded result of
-// `go test -bench Search ./internal/check`: the seed clone-based
-// search versus the incremental core at 1, 2 and 4 workers over the
-// same corpus and budget, in nanoseconds per corpus sweep.
-type checkerBenchRecord struct {
-	Source                  string  `json:"source"`
-	Corpus                  string  `json:"corpus"`
-	CPUs                    int     `json:"cpus"`
-	SeedCloneNSPerSweep     int64   `json:"seed_clone_ns_per_sweep"`
-	IncrementalP1NSPerSweep int64   `json:"incremental_p1_ns_per_sweep"`
-	IncrementalP2NSPerSweep int64   `json:"incremental_p2_ns_per_sweep"`
-	IncrementalP4NSPerSweep int64   `json:"incremental_p4_ns_per_sweep"`
-	SpeedupP1VsSeed         float64 `json:"speedup_p1_vs_seed"`
-	Note                    string  `json:"note,omitempty"`
-}
-
-func writeBenchJSON(path, engineName, workloadName string, sessions, parallel int, kind engine.Kind, elapsed, certifyDur time.Duration, certifyExamined int, stats engine.Stats, reg *obs.Registry) error {
-	lbl := obs.L("engine", kind.String())
+// buildReport assembles the machine-readable summary of a single run
+// from the engine stats and the run's metrics registry.
+func (cfg runConfig) buildReport(elapsed, certifyDur time.Duration, certifyExamined int, stats engine.Stats, reg *obs.Registry) benchReport {
+	lbl := obs.L("engine", cfg.kind.String())
 	commitLat := reg.Histogram("engine_commit_latency_ns", lbl)
 	snapAge := reg.Histogram("engine_snapshot_age_ns", lbl)
 	rep := benchReport{
 		Schema:             benchSchema,
-		Engine:             engineName,
-		Workload:           workloadName,
-		Sessions:           sessions,
+		Engine:             cfg.engine,
+		Workload:           cfg.workload,
+		Sessions:           cfg.sessions,
 		CPUs:               runtime.NumCPU(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		ElapsedNS:          elapsed.Nanoseconds(),
@@ -383,8 +459,8 @@ func writeBenchJSON(path, engineName, workloadName string, sessions, parallel in
 		P99SnapshotAgeNS:   snapAge.Quantile(0.99),
 	}
 	if certifyExamined > 0 {
-		rep.CertifyParallelism = parallel
-		if parallel <= 0 {
+		rep.CertifyParallelism = cfg.parallel
+		if cfg.parallel <= 0 {
 			rep.CertifyParallelism = runtime.GOMAXPROCS(0)
 		}
 		rep.CertifyNS = certifyDur.Nanoseconds()
@@ -393,7 +469,20 @@ func writeBenchJSON(path, engineName, workloadName string, sessions, parallel in
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.TxsPerSec = float64(stats.Commits) / secs
 	}
-	return encodeBenchReport(path, rep)
+	return rep
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // encodeBenchReport writes a benchReport as indented JSON.

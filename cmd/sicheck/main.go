@@ -8,16 +8,18 @@
 //
 //	sicheck [-model all|ser|si|psi|pc|gsi] [-init] [-init-value N]
 //	        [-budget N] [-parallel N] [-witness] [-classify]
-//	        [-dot out.dot] [-trace] [-metrics file|-] [-pprof addr]
-//	        [history.json]
+//	        [-dot out.dot] [-trace] [-metrics file|-] [-serve addr]
+//	        [-pprof addr] [history.json]
 //
 // The history is read from the file argument or standard input; see
 // internal/histio for the JSON schema. -trace prints per-phase timing
 // lines on stderr; -metrics dumps the metrics registry (search
 // counters and phase-duration histograms) on exit, in Prometheus text
-// format ('-' for stdout, a path ending in .json for JSON). -pprof
-// serves net/http/pprof on the given address for the duration of the
-// run. Exit status 0 means the history is allowed by every requested
+// format ('-' for stdout, a path ending in .json for JSON). -serve
+// runs the live observability plane (/metrics, /healthz,
+// /debug/pprof/) during the check — useful for watching or profiling
+// a long certification search; -pprof serves bare net/http/pprof.
+// Exit status 0 means the history is allowed by every requested
 // model, 1 that some model rejects it, 2 a usage or processing error.
 package main
 
@@ -33,7 +35,6 @@ import (
 	"sian/internal/dot"
 	"sian/internal/histio"
 	"sian/internal/model"
-	"sian/internal/obs"
 )
 
 func main() {
@@ -57,17 +58,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	witness := fs.Bool("witness", false, "print the witness dependency graph for members")
 	dotOut := fs.String("dot", "", "write the first witness dependency graph as Graphviz DOT to this file ('-' for stdout)")
 	classify := fs.Bool("classify", false, "name the anomaly class of the history across the model lattice")
-	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
-	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
-	startPprof := cliutil.PprofFlag(fs)
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	stopPprof, err := startPprof(stderr)
-	if err != nil {
-		return 2, err
-	}
-	defer stopPprof()
 
 	var in io.Reader = stdin
 	switch fs.NArg() {
@@ -93,19 +87,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 		return 2, err
 	}
 
-	reg := obs.NewRegistry()
-	var tr *obs.Tracer
-	if *trace {
-		tr = obs.NewTracer(reg)
+	o, err := obsFlags.Start("sicheck", stderr)
+	if err != nil {
+		return 2, err
 	}
+	reg, tr := o.Registry, o.Tracer
 	finish := func(code int, err error) (int, error) {
-		tr.Report(stderr)
-		if *metricsOut != "" {
-			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
-				return 2, derr
-			}
-		}
-		return code, err
+		return o.Finish(code, err, stdout, stderr)
 	}
 
 	opts := check.Options{

@@ -25,7 +25,6 @@ import (
 	"sian/internal/cliutil"
 	"sian/internal/dot"
 	"sian/internal/histio"
-	"sian/internal/obs"
 )
 
 func main() {
@@ -43,8 +42,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	format := fs.String("format", "text", "output format: text or json")
 	dotOut := fs.String("dot", "", "write the static chopping graph (with the first critical cycle highlighted) as Graphviz DOT to this file ('-' for stdout)")
 	autochop := fs.Bool("autochop", false, "when a chopping is incorrect, print a coarsened correct chopping")
-	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
-	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -52,19 +50,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 		return 2, fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 
-	reg := obs.NewRegistry()
-	var tr *obs.Tracer
-	if *trace {
-		tr = obs.NewTracer(reg)
+	o, err := obsFlags.Start("sichop", stderr)
+	if err != nil {
+		return 2, err
 	}
+	reg, tr := o.Registry, o.Tracer
 	finish := func(code int, err error) (int, error) {
-		tr.Report(stderr)
-		if *metricsOut != "" {
-			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
-				return 2, derr
-			}
-		}
-		return code, err
+		return o.Finish(code, err, stdout, stderr)
 	}
 
 	var in io.Reader = stdin

@@ -24,7 +24,6 @@ import (
 
 	"sian/internal/cliutil"
 	"sian/internal/depgraph"
-	"sian/internal/obs"
 	"sian/internal/silint"
 )
 
@@ -57,8 +56,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	model := fs.String("model", "si", "consistency model to check: si, psi, ser or all")
 	format := fs.String("format", "text", "output format: text or json")
 	notes := fs.Bool("notes", false, "also print analysis notes (⊤-widenings, session identity losses)")
-	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
-	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -74,19 +72,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 		patterns = []string{"."}
 	}
 
-	reg := obs.NewRegistry()
-	var tr *obs.Tracer
-	if *trace {
-		tr = obs.NewTracer(reg)
+	o, err := obsFlags.Start("silint", stderr)
+	if err != nil {
+		return 2, err
 	}
+	reg, tr := o.Registry, o.Tracer
 	finish := func(code int, err error) (int, error) {
-		tr.Report(stderr)
-		if *metricsOut != "" {
-			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
-				return 2, derr
-			}
-		}
-		return code, err
+		return o.Finish(code, err, stdout, stderr)
 	}
 
 	done := tr.Phase("analyze")

@@ -8,7 +8,8 @@
 //
 //	simon [-model ser|si|psi|pc|gsi] [-window N] [-budget N]
 //	      [-parallel N] [-quiet] [-follow] [-idle-exit D]
-//	      [-metrics file|-] [-pprof addr] [events.ndjson|history.json]
+//	      [-trace] [-metrics file|-] [-serve addr] [-pprof addr]
+//	      [events.ndjson|history.json]
 //
 // The input is read from the file argument or standard input and
 // auto-detected: a JSON history document (as consumed by sicheck) is
@@ -25,6 +26,13 @@
 // a summary always follows at end of stream. -metrics dumps the
 // monitor's metric registry on exit ('-' for stdout Prometheus, a
 // *.json path for JSON).
+//
+// -serve starts the live observability plane (internal/obs/obshttp):
+// while a -follow tail runs, /verdicts streams every per-commit
+// verdict (and the end-of-stream summary) as SSE with witness-cycle
+// explanations, /events re-serves the ingested event stream, and
+// /metrics exposes the monitor's counters — so a long-lived monitor
+// can itself be monitored.
 //
 // Exit status 0 when the stream is allowed by the model, 1 when it is
 // not, 2 on usage or processing errors.
@@ -43,7 +51,8 @@ import (
 	"sian/internal/histio"
 	"sian/internal/model"
 	"sian/internal/monitor"
-	"sian/internal/obs"
+	"sian/internal/obs/eventlog"
+	"sian/internal/obs/obshttp"
 )
 
 func main() {
@@ -66,8 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	quiet := fs.Bool("quiet", false, "suppress live violation lines; print only the final summary")
 	follow := fs.Bool("follow", false, "keep polling a regular file as it grows (pipes follow naturally)")
 	idleExit := fs.Duration("idle-exit", 0, "with -follow, stop after this long without new events (0 = never)")
-	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
-	startPprof := cliutil.PprofFlag(fs)
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -95,78 +103,130 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	if *follow {
 		in = &followReader{r: in, poll: 100 * time.Millisecond, idle: *idleExit}
 	}
-	stopPprof, err := startPprof(stderr)
+	o, err := obsFlags.Start("simon", stderr)
 	if err != nil {
 		return 2, err
 	}
-	defer stopPprof()
 
-	reg := obs.NewRegistry()
-	mon := monitor.New(monitor.Config{
-		Model:       m,
-		Window:      *window,
-		Budget:      *budget,
-		Parallelism: *parallel,
-		InitValue:   model.Value(*initValue),
-		Metrics:     reg,
-		OnViolation: func(v monitor.Violation) {
-			if !*quiet {
-				fmt.Fprintln(stdout, v)
+	code, rerr := func() (int, error) {
+		// While serving, re-record the ingested stream so /events and
+		// /timeline have something to tail.
+		var rec *eventlog.Recorder
+		if o.Serving() {
+			rec = eventlog.NewRecorder(0)
+			o.SetRecorder(rec)
+		}
+		mon := monitor.New(monitor.Config{
+			Model:       m,
+			Window:      *window,
+			Budget:      *budget,
+			Parallelism: *parallel,
+			InitValue:   model.Value(*initValue),
+			Metrics:     o.Registry,
+			OnViolation: func(v monitor.Violation) {
+				if !*quiet {
+					fmt.Fprintln(stdout, v)
+				}
+			},
+		})
+
+		ingest := func(ev eventlog.Event) {
+			rec.Record(ev)
+			if v := mon.Ingest(ev); v != nil {
+				o.PublishVerdict(verdictEvent(m, *v))
 			}
-		},
-	})
+		}
+		br := bufio.NewReader(in)
+		prefix, _ := br.Peek(512)
+		if histio.LooksLikeHistory(prefix) {
+			h, err := histio.DecodeHistory(br)
+			if err != nil {
+				return 2, err
+			}
+			for _, ev := range histio.HistoryToEvents(h) {
+				ingest(ev)
+			}
+		} else {
+			sc := histio.NewEventScanner(br)
+			for {
+				ev, serr := sc.Next()
+				if serr == io.EOF {
+					break
+				}
+				if serr != nil {
+					return 2, serr
+				}
+				ingest(ev)
+			}
+		}
 
-	br := bufio.NewReader(in)
-	prefix, _ := br.Peek(512)
-	if histio.LooksLikeHistory(prefix) {
-		h, err := histio.DecodeHistory(br)
+		rep, err := mon.Finish()
 		if err != nil {
 			return 2, err
 		}
-		for _, ev := range histio.HistoryToEvents(h) {
-			mon.Ingest(ev)
+		o.PublishVerdict(summaryEvent(mon, rep))
+		verdict := "allowed by"
+		if !rep.Member {
+			verdict = "NOT allowed by"
 		}
-	} else {
-		sc := histio.NewEventScanner(br)
-		for {
-			ev, serr := sc.Next()
-			if serr == io.EOF {
-				break
-			}
-			if serr != nil {
-				return 2, serr
-			}
-			mon.Ingest(ev)
+		qualifier := ""
+		if !rep.Definitive {
+			qualifier = " (non-definitive: context beyond the window was collapsed)"
 		}
-	}
+		fmt.Fprintf(stdout, "%s: %s %v%s\n", name, verdict, rep.Model, qualifier)
+		fmt.Fprintf(stdout, "  %d events, %d commits, %d collapsed, window %d, %d pending reads, %d recertifications, %d violations\n",
+			rep.Events, rep.Commits, rep.GCd, mon.Window(), rep.Pending, rep.Rechecks, len(rep.Violations))
+		if rep.Final != nil {
+			fmt.Fprintf(stdout, "  final: %s\n", rep.Final)
+		}
+		if !rep.Member {
+			return 1, nil
+		}
+		return 0, nil
+	}()
+	return o.Finish(code, rerr, stdout, stderr)
+}
 
-	rep, err := mon.Finish()
-	if err != nil {
-		return 2, err
+// verdictEvent converts a per-commit monitor verdict to the /verdicts
+// wire form, keeping obshttp decoupled from internal/monitor.
+func verdictEvent(m depgraph.Model, v monitor.Verdict) obshttp.VerdictEvent {
+	ve := obshttp.VerdictEvent{
+		Seq:     v.Seq,
+		Txn:     v.Txn,
+		Model:   m.String(),
+		Member:  v.Member,
+		Checked: v.Checked,
+		Window:  v.Window,
+		Pending: v.Pending,
 	}
-	verdict := "allowed by"
-	if !rep.Member {
-		verdict = "NOT allowed by"
-	}
-	qualifier := ""
-	if !rep.Definitive {
-		qualifier = " (non-definitive: context beyond the window was collapsed)"
-	}
-	fmt.Fprintf(stdout, "%s: %s %v%s\n", name, verdict, rep.Model, qualifier)
-	fmt.Fprintf(stdout, "  %d events, %d commits, %d collapsed, window %d, %d pending reads, %d recertifications, %d violations\n",
-		rep.Events, rep.Commits, rep.GCd, mon.Window(), rep.Pending, rep.Rechecks, len(rep.Violations))
-	if rep.Final != nil {
-		fmt.Fprintf(stdout, "  final: %s\n", rep.Final)
-	}
-	if *metricsOut != "" {
-		if err := reg.Dump(*metricsOut, stdout); err != nil {
-			return 2, err
+	if v.Violation != nil {
+		ve.Violation = &obshttp.ViolationEvent{
+			Axiom:      v.Violation.Axiom,
+			Cycle:      v.Violation.Cycle,
+			Detail:     v.Violation.Detail,
+			Definitive: v.Violation.Definitive,
 		}
 	}
-	if !rep.Member {
-		return 1, nil
+	return ve
+}
+
+// summaryEvent renders the end-of-stream report as a final /verdicts
+// message so SSE clients see the stream's settled verdict.
+func summaryEvent(mon *monitor.Monitor, rep *monitor.Report) obshttp.VerdictEvent {
+	ve := obshttp.VerdictEvent{
+		Txn:     "(end of stream)",
+		Model:   rep.Model.String(),
+		Member:  rep.Member,
+		Window:  mon.Window(),
+		Pending: rep.Pending,
 	}
-	return 0, nil
+	if rep.Final != nil {
+		ve.Violation = &obshttp.ViolationEvent{
+			Detail:     rep.Final.String(),
+			Definitive: rep.Definitive,
+		}
+	}
+	return ve
 }
 
 func parseModel(s string) (depgraph.Model, error) {

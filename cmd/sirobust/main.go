@@ -22,7 +22,6 @@ import (
 
 	"sian/internal/cliutil"
 	"sian/internal/histio"
-	"sian/internal/obs"
 	"sian/internal/robustness"
 )
 
@@ -39,8 +38,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	fs := flag.NewFlagSet("sirobust", flag.ContinueOnError)
 	analysis := fs.String("analysis", "both", "analysis to run: both, si or psi")
 	format := fs.String("format", "text", "output format: text or json")
-	trace := fs.Bool("trace", false, "print per-phase timing lines on stderr")
-	metricsOut := fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -48,19 +46,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 		return 2, fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 
-	reg := obs.NewRegistry()
-	var tr *obs.Tracer
-	if *trace {
-		tr = obs.NewTracer(reg)
+	o, err := obsFlags.Start("sirobust", stderr)
+	if err != nil {
+		return 2, err
 	}
+	reg, tr := o.Registry, o.Tracer
 	finish := func(code int, err error) (int, error) {
-		tr.Report(stderr)
-		if *metricsOut != "" {
-			if derr := reg.Dump(*metricsOut, stdout); derr != nil && err == nil {
-				return 2, derr
-			}
-		}
-		return code, err
+		return o.Finish(code, err, stdout, stderr)
 	}
 
 	var in io.Reader = stdin

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	sitables [-table all|anomalies|chopping|robustness|engines]
+//	         [-trace] [-metrics file|-] [-serve addr] [-pprof addr]
+//
+// The shared observability flags (see internal/cliutil) expose the
+// staging engines' metrics: -metrics dumps the registry on exit,
+// -serve runs the live plane while the tables regenerate.
 package main
 
 import (
@@ -17,9 +22,11 @@ import (
 
 	"sian/internal/check"
 	"sian/internal/chopping"
+	"sian/internal/cliutil"
 	"sian/internal/depgraph"
 	"sian/internal/engine"
 	"sian/internal/model"
+	"sian/internal/obs"
 	"sian/internal/robustness"
 	"sian/internal/workload"
 )
@@ -34,9 +41,15 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sitables", flag.ContinueOnError)
 	table := fs.String("table", "all", "table to print: all, anomalies, chopping, robustness or engines")
+	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	o, err := obsFlags.Start("sitables", os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = o.Finish(0, nil, w, os.Stderr) }()
 	all := *table == "all"
 	printed := false
 	if all || *table == "anomalies" {
@@ -56,7 +69,7 @@ func run(args []string, w io.Writer) error {
 		printed = true
 	}
 	if all || *table == "engines" {
-		if err := engineTable(w); err != nil {
+		if err := engineTable(w, o.Registry); err != nil {
 			return err
 		}
 		printed = true
@@ -163,17 +176,17 @@ func robustnessTable(w io.Writer) {
 
 // engineTable stages the write-skew and long-fork anomalies on each
 // engine and reports whether they are realisable.
-func engineTable(w io.Writer) error {
+func engineTable(w io.Writer, reg *obs.Registry) error {
 	fmt.Fprintln(w, "Table 4 — anomalies staged on the reference engines")
 	fmt.Fprintf(w, "  %-8s %-22s %-22s\n", "engine", "write skew", "long fork")
 	for _, kind := range []engine.Kind{engine.SER, engine.SSI, engine.SI, engine.PSI} {
-		ws, err := stageWriteSkew(kind)
+		ws, err := stageWriteSkew(kind, reg)
 		if err != nil {
 			return err
 		}
 		lf := "n/a"
 		if kind == engine.PSI {
-			ok, err := stageLongFork()
+			ok, err := stageLongFork(reg)
 			if err != nil {
 				return err
 			}
@@ -196,8 +209,8 @@ func realised(ok bool) string {
 
 // stageWriteSkew attempts the Figure 2(d) interleaving; it reports
 // whether both withdrawals committed.
-func stageWriteSkew(kind engine.Kind) (bool, error) {
-	db, err := engine.New(kind, engine.Config{})
+func stageWriteSkew(kind engine.Kind, reg *obs.Registry) (bool, error) {
+	db, err := engine.New(kind, engine.Config{Metrics: reg})
 	if err != nil {
 		return false, err
 	}
@@ -234,8 +247,8 @@ func stageWriteSkew(kind engine.Kind) (bool, error) {
 
 // stageLongFork stages Figure 2(c) on a manual-propagation PSI engine
 // and reports whether the recorded history certifies PSI but not SI.
-func stageLongFork() (bool, error) {
-	db, err := engine.New(engine.PSI, engine.Config{ManualPropagation: true})
+func stageLongFork(reg *obs.Registry) (bool, error) {
+	db, err := engine.New(engine.PSI, engine.Config{ManualPropagation: true, Metrics: reg})
 	if err != nil {
 		return false, err
 	}

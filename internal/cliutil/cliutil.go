@@ -1,6 +1,7 @@
 // Package cliutil holds small flag-wiring helpers shared by the sian
-// command-line tools, so sicheck, sibench and simon expose identical
-// operational flags.
+// command-line tools, so every CLI exposes identical operational
+// flags: -trace, -metrics, -serve (the live observability plane) and
+// -pprof.
 package cliutil
 
 import (
@@ -10,26 +11,140 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
+
+	"sian/internal/obs"
+	"sian/internal/obs/eventlog"
+	"sian/internal/obs/obshttp"
 )
 
-// PprofFlag registers -pprof on fs and returns a starter to call
-// after parsing. When the flag was left empty the starter is a no-op;
-// otherwise it begins serving net/http/pprof on the address and
-// returns a stop function that closes the listener.
-func PprofFlag(fs *flag.FlagSet) func(stderr io.Writer) (stop func(), err error) {
-	addr := fs.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
-	return func(stderr io.Writer) (func(), error) {
-		if *addr == "" {
-			return func() {}, nil
+// ObsFlags carries the shared observability flag values registered by
+// RegisterObsFlags. Call Start after flag parsing to turn them into a
+// running Obs.
+type ObsFlags struct {
+	trace   *bool
+	metrics *string
+	serve   *string
+	pprof   *string
+}
+
+// RegisterObsFlags registers the shared observability flags on fs:
+//
+//	-trace        per-phase timing lines on stderr
+//	-metrics      dump the metrics registry on exit
+//	-serve        serve the live observability plane (internal/obs/obshttp)
+//	-pprof        serve bare net/http/pprof (subsumed by -serve, kept
+//	              for scripts that only want profiling)
+//
+// Every sian CLI registers these through this one helper, so flag
+// names, help strings and semantics cannot drift between tools.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	f := &ObsFlags{}
+	f.trace = fs.Bool("trace", false, "print per-phase timing lines on stderr")
+	f.metrics = fs.String("metrics", "", "dump the metrics registry on exit to this file ('-' for stdout, *.json for JSON)")
+	f.serve = fs.String("serve", "", "serve the live observability plane on this address during the run (e.g. :8080): /metrics, /metrics.json, /healthz, /events, /verdicts, /timeline, /debug/pprof/")
+	f.pprof = fs.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
+	return f
+}
+
+// Obs is the per-run observability state assembled from the shared
+// flags: a registry, an optional tracer, and the optional live plane.
+// Finish tears everything down and performs the exit-time dumps.
+type Obs struct {
+	// Registry is the run's metric registry. SetRegistry may repoint
+	// it (sweep drivers build a fresh registry per point).
+	Registry *obs.Registry
+	// Tracer is non-nil when -trace was set.
+	Tracer *obs.Tracer
+	// Server is non-nil when -serve was set.
+	Server *obshttp.Server
+
+	metrics   string
+	stopPprof func()
+}
+
+// Start builds the run's observability state: a fresh registry, a
+// tracer when -trace was given, the obshttp plane when -serve was
+// given (announced on stderr), and bare pprof when -pprof was given.
+// name identifies the component in /healthz.
+func (f *ObsFlags) Start(name string, stderr io.Writer) (*Obs, error) {
+	o := &Obs{Registry: obs.NewRegistry(), metrics: *f.metrics, stopPprof: func() {}}
+	if *f.trace {
+		o.Tracer = obs.NewTracer(o.Registry)
+	}
+	if *f.serve != "" {
+		o.Server = obshttp.New(obshttp.Config{Name: name, Registry: o.Registry, Tracer: o.Tracer})
+		if err := o.Server.Serve(*f.serve); err != nil {
+			return nil, err
 		}
-		ln, err := net.Listen("tcp", *addr)
+		fmt.Fprintf(stderr, "obs: serving http://%s/ (/metrics /healthz /events /verdicts /timeline /debug/pprof/)\n", o.Server.Addr())
+	}
+	if *f.pprof != "" {
+		ln, err := net.Listen("tcp", *f.pprof)
 		if err != nil {
+			if o.Server != nil {
+				o.Server.Close()
+			}
 			return nil, fmt.Errorf("pprof: %w", err)
 		}
 		fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
 		go func() {
-			_ = http.Serve(ln, nil) // shut down by stop closing the listener
+			_ = http.Serve(ln, nil) // shut down by Finish closing the listener
 		}()
-		return func() { ln.Close() }, nil
+		o.stopPprof = func() { ln.Close() }
 	}
+	return o, nil
+}
+
+// Serving reports whether the live plane is up.
+func (o *Obs) Serving() bool { return o != nil && o.Server != nil }
+
+// SetRegistry repoints both the Obs and its live plane at reg, so a
+// driver cycling registries (one per sweep point) keeps /metrics and
+// the exit-time -metrics dump on the current one.
+func (o *Obs) SetRegistry(reg *obs.Registry) {
+	if o == nil {
+		return
+	}
+	o.Registry = reg
+	if o.Server != nil {
+		o.Server.SetRegistry(reg)
+	}
+}
+
+// SetRecorder attaches the flight recorder to the live plane's
+// /events and /timeline endpoints. No-op without -serve.
+func (o *Obs) SetRecorder(rec *eventlog.Recorder) {
+	if o != nil && o.Server != nil {
+		o.Server.SetRecorder(rec)
+	}
+}
+
+// PublishVerdict forwards a verdict to the live plane's /verdicts
+// stream. No-op without -serve.
+func (o *Obs) PublishVerdict(v obshttp.VerdictEvent) {
+	if o != nil && o.Server != nil {
+		_ = o.Server.PublishVerdict(v)
+	}
+}
+
+// Finish performs the exit-time observability work — tracer report on
+// stderr, -metrics dump of the current registry — and stops the
+// servers. It passes through (code, err), replacing them with (2,
+// dump error) when the dump itself fails and no earlier error exists,
+// so mains can `return o.Finish(code, err, ...)` as their final word.
+func (o *Obs) Finish(code int, err error, stdout, stderr io.Writer) (int, error) {
+	if o == nil {
+		return code, err
+	}
+	o.Tracer.Report(stderr)
+	if o.metrics != "" {
+		if derr := o.Registry.Dump(o.metrics, stdout); derr != nil && err == nil {
+			code, err = 2, derr
+		}
+	}
+	if o.Server != nil {
+		o.Server.Close()
+	}
+	o.stopPprof()
+	return code, err
 }

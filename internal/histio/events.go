@@ -31,16 +31,26 @@ func EncodeEvents(w io.Writer, events []eventlog.Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, ev := range events {
-		ej := eventJSON{
-			Seq: ev.Seq, TS: ev.TS, Kind: ev.Kind.String(),
-			Session: ev.Session, Tx: ev.TxID, Name: ev.Name,
-			Obj: string(ev.Obj), Val: ev.Val,
-		}
-		if err := enc.Encode(ej); err != nil {
+		if err := enc.Encode(wireEvent(ev)); err != nil {
 			return fmt.Errorf("histio: encoding event %d: %w", ev.Seq, err)
 		}
 	}
 	return bw.Flush()
+}
+
+// MarshalEvent renders one event as a single compact NDJSON line
+// without the trailing newline — the payload format shared by event
+// files and the obshttp SSE stream.
+func MarshalEvent(ev eventlog.Event) ([]byte, error) {
+	return json.Marshal(wireEvent(ev))
+}
+
+func wireEvent(ev eventlog.Event) eventJSON {
+	return eventJSON{
+		Seq: ev.Seq, TS: ev.TS, Kind: ev.Kind.String(),
+		Session: ev.Session, Tx: ev.TxID, Name: ev.Name,
+		Obj: string(ev.Obj), Val: ev.Val,
+	}
 }
 
 // DecodeEvents reads a complete NDJSON event stream.

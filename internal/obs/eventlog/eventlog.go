@@ -120,6 +120,13 @@ type Recorder struct {
 	seq     atomic.Int64
 	dropped atomic.Int64
 	shards  [shardCount]shard
+
+	// Live-tail subscriptions. nsubs mirrors len(subs) so the record
+	// hot path can skip the fan-out with one atomic load when nobody
+	// is tailing.
+	subMu sync.RWMutex
+	subs  []*Subscription
+	nsubs atomic.Int32
 }
 
 // shard is one independent ring. Total appended count n never wraps;
@@ -168,6 +175,95 @@ func (r *Recorder) Record(ev Event) {
 	s.buf[s.n%len(s.buf)] = ev
 	s.n++
 	s.mu.Unlock()
+	if r.nsubs.Load() > 0 {
+		r.publish(ev)
+	}
+}
+
+// publish fans ev out to every live subscription without blocking: a
+// subscriber whose buffer is full loses the event and has its drop
+// counter bumped instead.
+func (r *Recorder) publish(ev Event) {
+	r.subMu.RLock()
+	for _, sub := range r.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	r.subMu.RUnlock()
+}
+
+// Subscription is one live tail of a recorder's event stream, created
+// by Subscribe. Events arrive on C in Record order; when the consumer
+// falls behind the buffer, events are dropped (never blocking the
+// recording engine) and counted by Dropped.
+type Subscription struct {
+	rec     *Recorder
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// DefaultSubscriptionBuffer is the per-subscriber channel capacity used
+// when Subscribe is given a non-positive one.
+const DefaultSubscriptionBuffer = 256
+
+// Subscribe registers a live tail with the given buffer capacity
+// (non-positive selects DefaultSubscriptionBuffer). The caller must
+// drain C promptly or accept drops, and must Close the subscription
+// when done. Subscribe on a nil recorder returns nil; all Subscription
+// methods tolerate a nil receiver.
+func (r *Recorder) Subscribe(buf int) *Subscription {
+	if r == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriptionBuffer
+	}
+	sub := &Subscription{rec: r, ch: make(chan Event, buf)}
+	r.subMu.Lock()
+	r.subs = append(r.subs, sub)
+	r.nsubs.Store(int32(len(r.subs)))
+	r.subMu.Unlock()
+	return sub
+}
+
+// C returns the subscription's event channel. It is closed by Close.
+func (s *Subscription) C() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped returns the number of events this subscriber lost to a full
+// buffer.
+func (s *Subscription) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close unregisters the subscription and closes its channel. It is
+// safe to call once; events still buffered remain readable until the
+// channel drains to its close.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	r.subMu.Lock()
+	for i, sub := range r.subs {
+		if sub == s {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			close(s.ch)
+			break
+		}
+	}
+	r.nsubs.Store(int32(len(r.subs)))
+	r.subMu.Unlock()
 }
 
 // shardOf hashes a session id to a shard index (FNV-1a).

@@ -1,0 +1,143 @@
+package eventlog
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubscribeLiveTailOrder(t *testing.T) {
+	rec := NewRecorder(64)
+	sub := rec.Subscribe(16)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		rec.Record(Event{Kind: Write, Session: "s1", TxID: "t1", Name: "w"})
+	}
+	var last int64
+	for i := 0; i < 10; i++ {
+		ev := <-sub.C()
+		if ev.Seq <= last {
+			t.Fatalf("event %d out of order: seq %d after %d", i, ev.Seq, last)
+		}
+		last = ev.Seq
+		if ev.Kind != Write {
+			t.Fatalf("event %d kind = %v", i, ev.Kind)
+		}
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Errorf("dropped = %d, want 0", d)
+	}
+}
+
+func TestSubscribeSlowConsumerDrops(t *testing.T) {
+	rec := NewRecorder(64)
+	sub := rec.Subscribe(1)
+	defer sub.Close()
+	// Nobody drains: the first event fills the buffer, the next four
+	// are dropped without blocking Record.
+	for i := 0; i < 5; i++ {
+		rec.Record(Event{Kind: Begin, Session: "s1"})
+	}
+	if d := sub.Dropped(); d != 4 {
+		t.Errorf("dropped = %d, want 4", d)
+	}
+	// The buffered event is still readable.
+	ev := <-sub.C()
+	if ev.Seq != 1 {
+		t.Errorf("buffered event seq = %d, want 1 (oldest kept)", ev.Seq)
+	}
+}
+
+func TestSubscribeDefaultBuffer(t *testing.T) {
+	rec := NewRecorder(0)
+	sub := rec.Subscribe(0)
+	defer sub.Close()
+	if c := cap(sub.ch); c != DefaultSubscriptionBuffer {
+		t.Errorf("cap = %d, want %d", c, DefaultSubscriptionBuffer)
+	}
+}
+
+func TestSubscribeCloseSemantics(t *testing.T) {
+	rec := NewRecorder(64)
+	sub := rec.Subscribe(4)
+	rec.Record(Event{Kind: Commit, Session: "s1"})
+	sub.Close()
+	// The pre-close event drains, then the channel reports closed.
+	if ev, ok := <-sub.C(); !ok || ev.Kind != Commit {
+		t.Fatalf("drain after close: ev=%+v ok=%v", ev, ok)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel not closed after drain")
+	}
+	// Recording after close must not panic (send on closed channel).
+	rec.Record(Event{Kind: Abort, Session: "s1"})
+	if n := rec.nsubs.Load(); n != 0 {
+		t.Errorf("nsubs = %d after close, want 0", n)
+	}
+}
+
+func TestSubscribeNilRecorder(t *testing.T) {
+	var rec *Recorder
+	sub := rec.Subscribe(4)
+	if sub != nil {
+		t.Fatalf("Subscribe on nil recorder = %v, want nil", sub)
+	}
+	// All methods tolerate the nil subscription.
+	if sub.C() != nil {
+		t.Error("nil sub C() != nil")
+	}
+	if sub.Dropped() != 0 {
+		t.Error("nil sub Dropped() != 0")
+	}
+	sub.Close()
+}
+
+func TestSubscribeConcurrentPublishAndChurn(t *testing.T) {
+	rec := NewRecorder(256)
+	const events = 500
+	var wg sync.WaitGroup
+
+	// A stable subscriber with room for everything.
+	stable := rec.Subscribe(events)
+	got := make(chan int64, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var n int64
+		for range stable.C() {
+			n++
+		}
+		got <- n
+	}()
+
+	// Churning subscribers open and close while the recorder is hot —
+	// the race detector checks publish vs (un)subscribe.
+	var churn sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for j := 0; j < 50; j++ {
+				s := rec.Subscribe(1)
+				s.Close()
+			}
+		}()
+	}
+
+	var rw sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rw.Add(1)
+		go func(id int) {
+			defer rw.Done()
+			for j := 0; j < events/4; j++ {
+				rec.Record(Event{Kind: Write, Session: "s", TxID: "t"})
+			}
+		}(i)
+	}
+	rw.Wait()
+	churn.Wait()
+	stable.Close()
+	wg.Wait()
+	if n := <-got; n+stable.Dropped() != events {
+		t.Errorf("stable subscriber: received %d + dropped %d != %d recorded", n, stable.Dropped(), events)
+	}
+}

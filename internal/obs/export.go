@@ -74,10 +74,14 @@ func withLE(labels []Label, le string) []Label {
 	return append(out, L("le", le))
 }
 
-// JSONBucket is one non-empty histogram bucket in the JSON export
-// (non-cumulative count of values ≤ UpperBound and above the previous
-// bucket's bound).
+// JSONBucket is one non-empty histogram bucket in the JSON export: a
+// non-cumulative count of the values in [LowerBound, UpperBound], both
+// edges inclusive. Empty buckets are elided, so both edges are
+// recorded explicitly — consumers can re-derive quantiles (the same
+// interpolation Histogram.Quantile uses) without knowing the
+// registry's log-scale bucket layout.
 type JSONBucket struct {
+	LowerBound int64 `json:"ge"`
 	UpperBound int64 `json:"le"`
 	Count      int64 `json:"count"`
 }
@@ -124,7 +128,7 @@ func (r *Registry) Snapshot() []JSONMetric {
 			m.Count, m.Sum, m.P50, m.P99 = &c, &sum, &p50, &p99
 			for i, n := range s.histogram.snapshotBuckets() {
 				if n > 0 {
-					m.Buckets = append(m.Buckets, JSONBucket{UpperBound: BucketUpperBound(i), Count: n})
+					m.Buckets = append(m.Buckets, JSONBucket{LowerBound: BucketLowerBound(i), UpperBound: BucketUpperBound(i), Count: n})
 				}
 			}
 		}

@@ -165,3 +165,56 @@ func TestDump(t *testing.T) {
 		t.Errorf("Dump(\"\") should be a no-op, got %v", err)
 	}
 }
+
+// TestJSONBucketEdges asserts that the exported buckets carry both
+// inclusive edges and that a consumer can re-derive quantiles from
+// them alone, without knowledge of the registry's log-scale layout.
+func TestJSONBucketEdges(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ns")
+	for _, v := range []int64{0, 1, 2, 3, 500, 500, 1000, 100000} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d series, want 1", len(snap))
+	}
+	buckets := snap[0].Buckets
+	if len(buckets) == 0 {
+		t.Fatal("no buckets exported")
+	}
+	var total int64
+	for _, b := range buckets {
+		if b.LowerBound > b.UpperBound {
+			t.Errorf("bucket [%d, %d] has inverted edges", b.LowerBound, b.UpperBound)
+		}
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// Re-derive quantiles with the same interpolation Quantile uses,
+	// but driven purely by the exported edges.
+	rederive := func(q float64) float64 {
+		rank := q * float64(total)
+		var cum float64
+		for _, b := range buckets {
+			if cum+float64(b.Count) >= rank {
+				lo, hi := float64(b.LowerBound), float64(b.UpperBound)
+				if hi <= lo {
+					return hi
+				}
+				frac := (rank - cum) / float64(b.Count)
+				return lo + frac*(hi-lo)
+			}
+			cum += float64(b.Count)
+		}
+		return float64(buckets[len(buckets)-1].UpperBound)
+	}
+	for _, q := range []float64{0.25, 0.50, 0.90, 0.99} {
+		if got, want := rederive(q), h.Quantile(q); got != want {
+			t.Errorf("re-derived q%.2f = %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package ledger
+
+import (
+	"fmt"
+	"io"
+)
+
+// Delta is one per-metric comparison between a baseline report and a
+// fresh run.
+type Delta struct {
+	// Metric names the compared quantity ("txs_per_sec",
+	// "sweep[procs=2].txs_per_sec", "p99_commit_latency_ns", ...).
+	Metric string
+	// Base and New are the baseline and fresh values.
+	Base, New float64
+	// Ratio is New/Base (0 when Base is 0).
+	Ratio float64
+	// HigherIsBetter orients the regression test.
+	HigherIsBetter bool
+	// Gating marks metrics that fail the comparison on regression;
+	// non-gating metrics (latency quantiles, which are far noisier
+	// than throughput on shared runners) are reported informationally.
+	Gating bool
+	// Regressed reports that a gating metric moved beyond the
+	// threshold in the bad direction.
+	Regressed bool
+}
+
+// Compare computes per-metric deltas of cur against base. threshold is
+// the tolerated fractional loss on gating (throughput) metrics: with
+// threshold 0.3, a fresh run below 70% of the baseline regresses.
+// Gating metrics are the headline txs_per_sec and each sweep point's
+// txs_per_sec matched by procs value; latency quantiles are reported
+// but never gate. The second result is true when any gating metric
+// regressed.
+func Compare(base, cur BenchReport, threshold float64) ([]Delta, bool) {
+	var deltas []Delta
+	add := func(metric string, b, n float64, higherBetter, gating bool) {
+		d := Delta{Metric: metric, Base: b, New: n, HigherIsBetter: higherBetter, Gating: gating}
+		if b != 0 {
+			d.Ratio = n / b
+		}
+		if gating && b > 0 {
+			if higherBetter {
+				d.Regressed = n < b*(1-threshold)
+			} else {
+				d.Regressed = n > b*(1+threshold)
+			}
+		}
+		deltas = append(deltas, d)
+	}
+
+	add("txs_per_sec", base.TxsPerSec, cur.TxsPerSec, true, true)
+	add("p50_commit_latency_ns", base.P50CommitLatencyNS, cur.P50CommitLatencyNS, false, false)
+	add("p99_commit_latency_ns", base.P99CommitLatencyNS, cur.P99CommitLatencyNS, false, false)
+	if base.CertifyNS > 0 && cur.CertifyNS > 0 {
+		add("certify_ns", float64(base.CertifyNS), float64(cur.CertifyNS), false, false)
+	}
+	byProcs := make(map[int]SweepPoint, len(cur.Sweep))
+	for _, pt := range cur.Sweep {
+		byProcs[pt.Procs] = pt
+	}
+	for _, bp := range base.Sweep {
+		np, ok := byProcs[bp.Procs]
+		if !ok {
+			continue // the fresh run did not sweep this point
+		}
+		add(fmt.Sprintf("sweep[procs=%d].txs_per_sec", bp.Procs), bp.TxsPerSec, np.TxsPerSec, true, true)
+		add(fmt.Sprintf("sweep[procs=%d].p99_commit_latency_ns", bp.Procs), bp.P99CommitLatencyNS, np.P99CommitLatencyNS, false, false)
+	}
+
+	regressed := false
+	for _, d := range deltas {
+		if d.Regressed {
+			regressed = true
+		}
+	}
+	return deltas, regressed
+}
+
+// WriteDeltas renders a comparison as an aligned table, one line per
+// metric, flagging regressions.
+func WriteDeltas(w io.Writer, deltas []Delta) {
+	for _, d := range deltas {
+		status := "ok"
+		switch {
+		case d.Regressed:
+			status = "REGRESSED"
+		case !d.Gating:
+			status = "info"
+		}
+		fmt.Fprintf(w, "compare: %-40s base=%-14.4g new=%-14.4g ratio=%-8.3g %s\n",
+			d.Metric, d.Base, d.New, d.Ratio, status)
+	}
+}

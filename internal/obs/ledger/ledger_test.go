@@ -1,0 +1,257 @@
+package ledger
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport(engine string, tps float64) BenchReport {
+	return BenchReport{
+		Schema:             BenchSchema,
+		Engine:             engine,
+		Workload:           "closedloop",
+		Sessions:           8,
+		CPUs:               1,
+		GOMAXPROCS:         1,
+		ElapsedNS:          1_000_000_000,
+		Commits:            int64(tps),
+		TxsPerSec:          tps,
+		P50CommitLatencyNS: 1000,
+		P99CommitLatencyNS: 8000,
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	for i, tps := range []float64{100, 200, 300} {
+		e := NewEntry("sibench", []string{"-workload", "closedloop"}, sampleReport("si", tps))
+		if err := Append(path, e); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	entries, err := Read(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for i, want := range []float64{100, 200, 300} {
+		if got := entries[i].Report.TxsPerSec; got != want {
+			t.Errorf("entry %d txs_per_sec = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestNewEntryProvenance(t *testing.T) {
+	e := NewEntry("sibench", []string{"-sweep", "1,2"}, sampleReport("si", 50))
+	if e.Schema != EntrySchema {
+		t.Errorf("schema = %q, want %q", e.Schema, EntrySchema)
+	}
+	if e.Tool != "sibench" {
+		t.Errorf("tool = %q", e.Tool)
+	}
+	if e.Time == "" {
+		t.Error("time is empty")
+	}
+	if e.Host == "" || !strings.Contains(e.Host, "/") {
+		t.Errorf("host fingerprint = %q, want hostname/GOOS/GOARCH/ncpu", e.Host)
+	}
+	if e.GoVersion == "" {
+		t.Error("go version is empty")
+	}
+	if e.CPUs < 1 || e.GOMAXPROCS < 1 {
+		t.Errorf("cpus=%d gomaxprocs=%d, want >=1", e.CPUs, e.GOMAXPROCS)
+	}
+	if len(e.Args) != 2 {
+		t.Errorf("args = %v", e.Args)
+	}
+	// This test runs inside the repo checkout, so the revision should
+	// resolve; tolerate absence (provenance is best-effort) but if set
+	// it must look like a hex SHA.
+	if e.GitRev != "" && len(e.GitRev) != 40 {
+		t.Errorf("git rev = %q, want 40-char SHA or empty", e.GitRev)
+	}
+}
+
+func TestReadSkipsBlanksAndRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "ok.ndjson")
+	line := `{"schema":"` + EntrySchema + `","time":"2026-01-01T00:00:00Z","tool":"sibench","host":"h/linux/amd64/1","go_version":"go1.24.0","cpus":1,"gomaxprocs":1,"report":` + mustJSON(t, sampleReport("si", 10)) + `}`
+	if err := os.WriteFile(ok, []byte("\n"+line+"\n\n"+line+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(ok)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte(line+"\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("read of malformed ledger: err = %v, want line-numbered error", err)
+	}
+}
+
+func TestLoadBaselineBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(mustJSON(t, sampleReport("si", 1234))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, desc, err := LoadBaseline(path, "si", "closedloop")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if rep.TxsPerSec != 1234 {
+		t.Errorf("txs_per_sec = %v", rep.TxsPerSec)
+	}
+	if !strings.Contains(desc, "bench report") {
+		t.Errorf("desc = %q, want bench-report description", desc)
+	}
+}
+
+func TestLoadBaselineLedgerPrefersMatchingRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	// Newest entry overall is a PSI run; the newest SI/closedloop run
+	// is older and must win when comparing an SI run.
+	for _, e := range []Entry{
+		NewEntry("sibench", nil, sampleReport("si", 111)),
+		NewEntry("sibench", nil, sampleReport("si", 222)),
+		NewEntry("sibench", nil, sampleReport("psi", 999)),
+	} {
+		if err := Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, desc, err := LoadBaseline(path, "si", "closedloop")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if rep.Engine != "si" || rep.TxsPerSec != 222 {
+		t.Errorf("chose engine=%s tps=%v, want newest matching si/222", rep.Engine, rep.TxsPerSec)
+	}
+	if !strings.Contains(desc, "ledger entry") {
+		t.Errorf("desc = %q", desc)
+	}
+	// No matching engine: newest entry overall wins.
+	rep, _, err = LoadBaseline(path, "ser", "closedloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != "psi" {
+		t.Errorf("fallback chose %s, want newest overall (psi)", rep.Engine)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadBaseline(filepath.Join(dir, "missing.json"), "si", "closedloop"); err == nil {
+		t.Error("missing file: want error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBaseline(empty, "si", "closedloop"); err == nil {
+		t.Error("empty file: want error")
+	}
+}
+
+func TestCompareGatingSemantics(t *testing.T) {
+	base := sampleReport("si", 1000)
+	base.Sweep = []SweepPoint{
+		{Procs: 1, TxsPerSec: 1000, P99CommitLatencyNS: 5000},
+		{Procs: 2, TxsPerSec: 800, P99CommitLatencyNS: 9000},
+	}
+
+	// Within threshold: 20% drop at threshold 0.3 passes.
+	cur := sampleReport("si", 800)
+	cur.Sweep = []SweepPoint{
+		{Procs: 1, TxsPerSec: 900, P99CommitLatencyNS: 20000},
+		{Procs: 2, TxsPerSec: 700, P99CommitLatencyNS: 30000},
+	}
+	deltas, regressed := Compare(base, cur, 0.3)
+	if regressed {
+		t.Errorf("20%% drop at threshold 0.3 regressed: %+v", deltas)
+	}
+
+	// Beyond threshold on the headline metric.
+	cur.TxsPerSec = 600
+	_, regressed = Compare(base, cur, 0.3)
+	if !regressed {
+		t.Error("40% headline drop at threshold 0.3 did not regress")
+	}
+
+	// Beyond threshold on one sweep point only.
+	cur.TxsPerSec = 950
+	cur.Sweep[1].TxsPerSec = 100
+	deltas, regressed = Compare(base, cur, 0.3)
+	if !regressed {
+		t.Error("sweep-point collapse did not regress")
+	}
+	var found bool
+	for _, d := range deltas {
+		if d.Metric == "sweep[procs=2].txs_per_sec" {
+			found = true
+			if !d.Regressed || !d.Gating {
+				t.Errorf("sweep delta = %+v, want gating regression", d)
+			}
+		}
+		if strings.Contains(d.Metric, "latency") && d.Gating {
+			t.Errorf("latency metric %s is gating; latency must be informational", d.Metric)
+		}
+	}
+	if !found {
+		t.Error("no sweep[procs=2].txs_per_sec delta emitted")
+	}
+
+	// A sweep point absent from the fresh run is skipped, not failed.
+	cur.Sweep = cur.Sweep[:1]
+	cur.Sweep[0].TxsPerSec = 1000
+	_, regressed = Compare(base, cur, 0.3)
+	if regressed {
+		t.Error("missing sweep point treated as regression")
+	}
+
+	// Zero baseline never gates.
+	zero := sampleReport("si", 0)
+	_, regressed = Compare(zero, sampleReport("si", 0), 0.3)
+	if regressed {
+		t.Error("zero baseline regressed")
+	}
+}
+
+func TestWriteDeltasFlagsRegressions(t *testing.T) {
+	base := sampleReport("si", 1000)
+	cur := sampleReport("si", 100)
+	deltas, regressed := Compare(base, cur, 0.3)
+	if !regressed {
+		t.Fatal("synthetic 10x collapse did not regress")
+	}
+	var sb strings.Builder
+	WriteDeltas(&sb, deltas)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("output lacks REGRESSED flag:\n%s", out)
+	}
+	if !strings.Contains(out, "txs_per_sec") || !strings.Contains(out, "info") {
+		t.Errorf("output lacks expected rows:\n%s", out)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -146,8 +146,13 @@ func BucketUpperBound(i int) int64 {
 	return 1<<uint(i) - 1
 }
 
-// bucketLowerBound is the smallest value landing in bucket i.
-func bucketLowerBound(i int) int64 {
+// BucketLowerBound returns the smallest value landing in bucket i:
+// 0 for bucket 0, 2^(i-1) otherwise. Together with BucketUpperBound it
+// gives external consumers the exact bucket edges, so quantiles can be
+// re-derived from an exported snapshot (empty buckets are elided in
+// the JSON export, which makes the lower edge non-derivable from the
+// neighbouring entries alone).
+func BucketLowerBound(i int) int64 {
 	if i <= 0 {
 		return 0
 	}
@@ -179,7 +184,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if cum+float64(n) >= rank {
-			lo, hi := float64(bucketLowerBound(i)), float64(BucketUpperBound(i))
+			lo, hi := float64(BucketLowerBound(i)), float64(BucketUpperBound(i))
 			if n == 0 || hi <= lo {
 				return hi
 			}

@@ -1,0 +1,266 @@
+// Package obshttp is the module's live observability plane: an
+// embeddable, stdlib-only net/http server that exposes a running
+// process's metrics registry, flight recorder and verdict stream while
+// the work is still in flight. The CLIs mount it behind the shared
+// -serve flag (internal/cliutil), and it is the wire-facing substrate
+// a future networked server (cmd/siserve) will reuse for its health
+// and telemetry endpoints.
+//
+// Endpoints:
+//
+//	GET /metrics       Prometheus text exposition of the current
+//	                   registry plus the server's own sse_* series.
+//	GET /metrics.json  The same snapshot as a JSON array (internal/obs
+//	                   JSONMetric schema, histogram bucket edges
+//	                   included).
+//	GET /healthz       Liveness JSON: status, component name, uptime,
+//	                   flight-recorder and SSE stream counters.
+//	GET /events        Server-Sent Events tail of the flight recorder
+//	                   (one NDJSON event per SSE data frame; see
+//	                   Server.handleEvents for the framing contract).
+//	GET /verdicts      Server-Sent Events stream of monitor verdicts
+//	                   published via PublishVerdict.
+//	GET /timeline      Chrome trace-event JSON snapshot of the
+//	                   retained flight-recorder events plus tracer
+//	                   phases (Perfetto-loadable).
+//	GET /debug/pprof/  net/http/pprof.
+//
+// The registry, recorder and tracer are swappable at runtime
+// (SetRegistry, SetRecorder, SetTracer) so a sweep driver that builds
+// a fresh registry per point can keep one long-lived server pointed at
+// the current one.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"sian/internal/obs"
+	"sian/internal/obs/eventlog"
+)
+
+// Config parameterises a Server. Every field is optional: endpoints
+// whose backing component is absent respond 404 (/events, /timeline)
+// or serve an empty document (/metrics).
+type Config struct {
+	// Name identifies the serving component in /healthz (for example
+	// "sibench"). Empty means "sian".
+	Name string
+	// Registry is the metrics registry scraped by /metrics and
+	// /metrics.json.
+	Registry *obs.Registry
+	// Recorder is the flight recorder tailed by /events and
+	// snapshotted by /timeline.
+	Recorder *eventlog.Recorder
+	// Tracer contributes phase spans to /timeline.
+	Tracer *obs.Tracer
+	// KeepAlive is the SSE keep-alive interval: how often an idle
+	// stream emits a comment frame so proxies and clients can detect
+	// liveness. Non-positive selects 5 seconds.
+	KeepAlive time.Duration
+}
+
+// Server is the observability-plane HTTP server. Create with New,
+// mount via Handler or run standalone via Serve, and stop with Close.
+type Server struct {
+	name      string
+	keepAlive time.Duration
+	start     time.Time
+
+	registry atomic.Pointer[obs.Registry]
+	recorder atomic.Pointer[eventlog.Recorder]
+	tracer   atomic.Pointer[obs.Tracer]
+
+	// self holds the server's own metric series (SSE client gauges and
+	// slow-consumer drop counters), appended to every scrape so the
+	// plane observes itself with the same exporters.
+	self     *obs.Registry
+	events   *sseStream
+	verdicts *sseStream
+
+	mux  *http.ServeMux
+	done chan struct{}
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// New returns an unstarted server for the given configuration.
+func New(cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "sian"
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 5 * time.Second
+	}
+	s := &Server{
+		name:      cfg.Name,
+		keepAlive: cfg.KeepAlive,
+		start:     time.Now(),
+		self:      obs.NewRegistry(),
+		done:      make(chan struct{}),
+	}
+	s.registry.Store(cfg.Registry)
+	s.recorder.Store(cfg.Recorder)
+	s.tracer.Store(cfg.Tracer)
+	s.events = newSSEStream(s.self, "events")
+	s.verdicts = newSSEStream(s.self, "verdicts")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /verdicts", s.handleVerdicts)
+	mux.HandleFunc("GET /timeline", s.handleTimeline)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// SetRegistry repoints /metrics at reg (a sweep driver's per-point
+// registry, for example). Nil is allowed and serves empty documents.
+func (s *Server) SetRegistry(reg *obs.Registry) { s.registry.Store(reg) }
+
+// SetRecorder repoints /events and /timeline at rec. Streams already
+// tailing the previous recorder keep it until the client reconnects.
+func (s *Server) SetRecorder(rec *eventlog.Recorder) { s.recorder.Store(rec) }
+
+// SetTracer repoints /timeline's phase-span source at tr.
+func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
+
+// PublishVerdict fans v (marshalled once as JSON) out to every
+// /verdicts subscriber. Slow consumers drop frames rather than
+// blocking the caller; drops are announced in-stream and counted in
+// the server's sse_dropped_total{stream="verdicts"} series.
+func (s *Server) PublishVerdict(v VerdictEvent) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.verdicts.publish(sseFrame{event: "verdict", id: fmt.Sprint(v.Seq), data: payload})
+	return nil
+}
+
+// Handler returns the server's root handler, for embedding into an
+// existing mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve begins listening on addr (for example ":8080" or
+// "127.0.0.1:0") and serves until Close. It returns once the listener
+// is bound; use Addr for the bound address.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obshttp: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() {
+		_ = s.srv.Serve(ln) // ends when Close closes the listener
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and unblocks every live SSE stream. It is
+// idempotent.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+	} else if s.ln != nil {
+		err = s.ln.Close()
+	}
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.registry.Load().WritePrometheus(w); err != nil {
+		return
+	}
+	_ = s.self.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.registry.Load().Snapshot()
+	snap = append(snap, s.self.Snapshot()...)
+	if snap == nil {
+		snap = []obs.JSONMetric{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
+}
+
+// health is the /healthz document.
+type health struct {
+	Status   string `json:"status"`
+	Name     string `json:"name"`
+	UptimeNS int64  `json:"uptime_ns"`
+	// Recorder counters (zero when no recorder is attached).
+	EventsRecorded int64 `json:"events_recorded"`
+	EventsRetained int   `json:"events_retained"`
+	RingOverwrites int64 `json:"ring_overwrites"`
+	// SSE stream accounting.
+	EventClients    int64 `json:"event_clients"`
+	EventDropped    int64 `json:"event_dropped"`
+	VerdictClients  int64 `json:"verdict_clients"`
+	VerdictDropped  int64 `json:"verdict_dropped"`
+	VerdictsEmitted int64 `json:"verdicts_emitted"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rec := s.recorder.Load()
+	h := health{
+		Status:          "ok",
+		Name:            s.name,
+		UptimeNS:        time.Since(s.start).Nanoseconds(),
+		EventsRecorded:  rec.Recorded(),
+		EventsRetained:  rec.Len(),
+		RingOverwrites:  rec.Dropped(),
+		EventClients:    s.events.clients.Value(),
+		EventDropped:    s.events.dropped.Value(),
+		VerdictClients:  s.verdicts.clients.Value(),
+		VerdictDropped:  s.verdicts.dropped.Value(),
+		VerdictsEmitted: s.verdicts.published.Value(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	rec := s.recorder.Load()
+	if rec == nil {
+		http.Error(w, "no flight recorder attached (run with -record, -timeline or -serve on a recording command)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="timeline.json"`)
+	_ = eventlog.WriteChromeTrace(w, rec.Events(), s.tracer.Load().Phases())
+}
