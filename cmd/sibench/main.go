@@ -13,6 +13,7 @@
 //	        [-bench-json file] [-ledger file.ndjson] [-compare file]
 //	        [-compare-threshold F] [-serve addr] [-pprof addr]
 //	        [-record file.ndjson] [-timeline file.json]
+//	        [-addr host:port]
 //
 // The closedloop workload is the concurrent benchmark driver: one
 // goroutine per session, each firing its next transaction the moment
@@ -45,6 +46,16 @@
 // /events SSE tail of the flight recorder (attached automatically
 // while serving), /timeline and /debug/pprof — so a long -duration or
 // -sweep run can be watched from a browser or curl while in flight.
+//
+// -addr switches sibench into network client mode: instead of an
+// in-process engine it drives a running siserve (cmd/siserve) over the
+// siwire binary protocol, one client connection per session running
+// the closed-loop workload with client-side conflict retry. The
+// report then carries mode "network" and the server's git revision
+// (from its info document), and -compare baselines match mode — a
+// ledger shared between in-process and network runs always gates like
+// against like. -certify, -sweep, -record and -timeline are
+// unavailable in network mode (there is no in-process engine).
 //
 // -ledger appends the run's report plus provenance (git revision,
 // host fingerprint, GOMAXPROCS) as one NDJSON line to the named run
@@ -131,7 +142,17 @@ type runConfig struct {
 	ledgerPath   string
 	comparePath  string
 	compareThr   float64
+	addr         string
 	args         []string
+}
+
+// modeName is the report/baseline mode key: "network" when the run
+// drives a remote siserve, "" for the in-process engine.
+func (cfg runConfig) modeName() string {
+	if cfg.addr != "" {
+		return "network"
+	}
+	return ""
 }
 
 func run(args []string, stdout, stderr io.Writer) (int, error) {
@@ -163,6 +184,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	ledgerPath := fs.String("ledger", "", "append the run's report plus provenance to this NDJSON run ledger")
 	comparePath := fs.String("compare", "", "compare the run against a baseline (run ledger or bench-report JSON); regressions exit 1")
 	compareThr := fs.Float64("compare-threshold", 0.3, "tolerated fractional throughput loss for -compare before failing")
+	addrFlag := fs.String("addr", "", "drive a running siserve at this address over the siwire protocol instead of an in-process engine (closedloop only)")
 	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -181,6 +203,20 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if *compareThr < 0 || *compareThr >= 1 {
 		return 2, fmt.Errorf("-compare-threshold must be in [0, 1)")
 	}
+	if *addrFlag != "" {
+		// Network mode drives a remote server: there is no in-process
+		// engine to certify, record or sweep, and the server picked its
+		// engine at startup.
+		if *workloadFlag != "closedloop" {
+			return 2, fmt.Errorf("-addr supports only -workload closedloop")
+		}
+		if *certify || *sweepFlag != "" || *recordOut != "" || *timelineOut != "" {
+			return 2, fmt.Errorf("-addr is incompatible with -certify, -sweep, -record and -timeline (no in-process engine)")
+		}
+		if *engineFlag != "si" {
+			return 2, fmt.Errorf("-addr ignores -engine (the server chose at startup); leave it at the default")
+		}
+	}
 	cfg := runConfig{
 		engine: *engineFlag, kind: kind, model: m, workload: *workloadFlag,
 		sessions: *sessions, txs: *txs, ops: *ops, objects: *objects,
@@ -191,7 +227,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		duration: *duration, hotkeys: *hotkeys, disjoint: *disjoint,
 		sweep: *sweepFlag, sweepReps: *sweepReps,
 		ledgerPath: *ledgerPath, comparePath: *comparePath, compareThr: *compareThr,
-		args: args,
+		addr: *addrFlag, args: args,
 	}
 
 	o, err := obsFlags.Start("sibench", stderr)
@@ -219,9 +255,12 @@ func (cfg runConfig) execute(o *cliutil.Obs, stdout, stderr io.Writer) (int, err
 		rep  benchReport
 		err  error
 	)
-	if cfg.sweep != "" {
+	switch {
+	case cfg.addr != "":
+		exit, rep, err = cfg.runNetwork(o, stdout)
+	case cfg.sweep != "":
 		exit, rep, err = runSweep(cfg, o, rec, stdout)
-	} else {
+	default:
 		exit, rep, err = cfg.runSingle(o, rec, stdout)
 	}
 	if err != nil {
@@ -264,13 +303,13 @@ func (cfg runConfig) execute(o *cliutil.Obs, stdout, stderr io.Writer) (int, err
 // table, and returns exit 1 when a gating metric regressed beyond the
 // threshold.
 func (cfg runConfig) compare(rep benchReport, stdout, stderr io.Writer) (int, error) {
-	base, desc, err := ledger.LoadBaseline(cfg.comparePath, cfg.engine, cfg.workload)
+	base, desc, err := ledger.LoadBaseline(cfg.comparePath, cfg.engine, cfg.workload, cfg.modeName())
 	if err != nil {
 		return 2, err
 	}
-	if base.Engine != rep.Engine || base.Workload != rep.Workload {
-		fmt.Fprintf(stderr, "compare: baseline is %s/%s but this run is %s/%s — comparing anyway\n",
-			base.Engine, base.Workload, rep.Engine, rep.Workload)
+	if base.Engine != rep.Engine || base.Workload != rep.Workload || base.Mode != rep.Mode {
+		fmt.Fprintf(stderr, "compare: baseline is %s/%s/%q but this run is %s/%s/%q — comparing anyway\n",
+			base.Engine, base.Workload, base.Mode, rep.Engine, rep.Workload, rep.Mode)
 	}
 	fmt.Fprintf(stdout, "compare: baseline %s\n", desc)
 	deltas, regressed := ledger.Compare(base, rep, cfg.compareThr)

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sian/internal/engine"
+	"sian/internal/obs/ledger"
+	"sian/internal/siwire"
+	"sian/internal/storage/wal"
+)
+
+// startWireServer runs an in-process siwire server over a WAL-backed
+// SI engine, standing in for a remote siserve.
+func startWireServer(t *testing.T) string {
+	t.Helper()
+	drv, err := wal.Open(wal.Options{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.New(engine.SI, engine.Config{Driver: drv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := siwire.NewServer(siwire.ServerConfig{
+		DB: db,
+		Info: func() siwire.Info {
+			return siwire.Info{Name: "siserve", Engine: "si", GitRev: "feedc0de1234", Durable: true}
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return ln.Addr().String()
+}
+
+// TestNetworkMode drives the full sibench pipeline against a live
+// server: the closed-loop runs over the wire, the report carries mode
+// "network" plus the server's revision, and the ledger entry
+// round-trips both.
+func TestNetworkMode(t *testing.T) {
+	addr := startWireServer(t)
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.ndjson")
+	benchPath := filepath.Join(dir, "bench.json")
+
+	var out, errw bytes.Buffer
+	args := []string{
+		"-addr", addr, "-workload", "closedloop", "-sessions", "3", "-txs", "20",
+		"-objects", "8", "-ledger", ledgerPath, "-bench-json", benchPath,
+	}
+	code, err := run(args, &out, &errw)
+	if err != nil || code != 0 {
+		t.Fatalf("run: %d, %v\nstdout: %s\nstderr: %s", code, err, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "network closedloop: ") {
+		t.Errorf("stdout: %s", out.String())
+	}
+
+	entries, err := ledger.Read(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("ledger entries: %d", len(entries))
+	}
+	rep := entries[0].Report
+	if rep.Mode != "network" {
+		t.Errorf("mode = %q, want network", rep.Mode)
+	}
+	if rep.ServerRev != "feedc0de1234" {
+		t.Errorf("server_rev = %q", rep.ServerRev)
+	}
+	if rep.Commits != 3*20 {
+		t.Errorf("commits = %d, want 60", rep.Commits)
+	}
+	if rep.TxsPerSec <= 0 || rep.P50CommitLatencyNS <= 0 {
+		t.Errorf("throughput/latency not measured: %+v", rep)
+	}
+
+	// A second run comparing against the ledger gates network-vs-
+	// network and passes (same conditions, generous threshold).
+	out.Reset()
+	args = append(args, "-compare", ledgerPath, "-compare-threshold", "0.99")
+	code, err = run(args, &out, &errw)
+	if err != nil || code != 0 {
+		t.Fatalf("compare run: %d, %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "compare: ok") {
+		t.Errorf("compare output: %s", out.String())
+	}
+}
+
+// TestNetworkModeFlagValidation pins the -addr flag exclusions.
+func TestNetworkModeFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", "127.0.0.1:1", "-workload", "registers"},
+		{"-addr", "127.0.0.1:1", "-workload", "closedloop", "-certify"},
+		{"-addr", "127.0.0.1:1", "-workload", "closedloop", "-sweep", "1,2"},
+		{"-addr", "127.0.0.1:1", "-workload", "closedloop", "-engine", "psi"},
+	} {
+		var out, errw bytes.Buffer
+		if code, err := run(args, &out, &errw); err == nil || code != 2 {
+			t.Errorf("run(%v) = %d, %v; want code 2 and an error", args, code, err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"sian/internal/engine"
+	"sian/internal/model"
+	"sian/internal/siwire"
+	"sian/internal/storage/wal"
+)
+
+// TestHelperSiserve is not a test: it is the child process of
+// TestCrashRecovery, re-executing this test binary as a real siserve
+// (fsync enabled) so the parent can SIGKILL it mid-load.
+func TestHelperSiserve(t *testing.T) {
+	if os.Getenv("GO_SISERVE_HELPER") != "1" {
+		t.Skip("helper process, not a test")
+	}
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt)
+	code, err := run([]string{"-dir", os.Getenv("GO_SISERVE_DIR"), "-addr", "127.0.0.1:0"},
+		os.Stdout, os.Stderr, shutdown)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// TestCrashRecovery is the end-to-end durability check: a real siserve
+// process (fsync on) is killed with SIGKILL mid-benchmark, and every
+// commit the server acknowledged before the kill must survive — first
+// verified by an in-process replay (which must certify), then by a
+// restarted server read over the wire. "Acknowledged" is exactly the
+// binary protocol's commit-ok: sent only after the record is fsynced.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks a child process and fsyncs a real WAL")
+	}
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestHelperSiserve$", "-test.v")
+	cmd.Env = append(os.Environ(), "GO_SISERVE_HELPER=1", "GO_SISERVE_DIR="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Learn the child's bound address from its stdout.
+	listenRE := regexp.MustCompile(`siserve: listening on (\S+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				break
+			}
+		}
+		for sc.Scan() {
+		} // drain so the child never blocks on a full pipe
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("child never reported its listen address")
+	}
+
+	// Drive load: every worker increments its own object and records
+	// the last acknowledged value. Workers run until the kill severs
+	// their connections.
+	const workers = 4
+	var mu sync.Mutex
+	acked := make(map[model.Obj]model.Value)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obj := model.Obj(fmt.Sprintf("crash/%d", w))
+			c, err := siwire.Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for v := model.Value(1); ; v++ {
+				if _, err := c.Transact(func(tx *siwire.ClientTx) error {
+					return tx.Write(obj, v)
+				}); err != nil {
+					return // the kill severed the connection
+				}
+				mu.Lock()
+				acked[obj] = v
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Let the load run, then SIGKILL mid-flight: no shutdown hook, no
+	// final fsync, exactly a crash.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	cmd.Wait()
+	wg.Wait()
+
+	mu.Lock()
+	ackedCopy := make(map[model.Obj]model.Value, len(acked))
+	for k, v := range acked {
+		ackedCopy[k] = v
+	}
+	mu.Unlock()
+	if len(ackedCopy) == 0 {
+		t.Fatal("no commit was acknowledged before the kill; nothing to verify")
+	}
+	total := model.Value(0)
+	for _, v := range ackedCopy {
+		total += v
+	}
+	t.Logf("killed after %d acknowledged commits across %d objects", total, len(ackedCopy))
+
+	// 1. In-process replay must certify and contain every acknowledged
+	// value (possibly more: a commit fsynced but killed before its ok
+	// reached the client is durable yet unacknowledged).
+	drv, err := wal.Open(wal.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("recovery after crash: %v", err)
+	}
+	rinfo := drv.Recovery()
+	if !rinfo.Certified {
+		t.Fatalf("recovery not certified: %s", rinfo.Verdict)
+	}
+	for obj, want := range ackedCopy {
+		v, ok := drv.Latest(obj)
+		if !ok {
+			t.Fatalf("acknowledged object %s lost entirely", obj)
+		}
+		if v.Val < want {
+			t.Fatalf("acknowledged commit lost: %s recovered at %d, acknowledged %d", obj, v.Val, want)
+		}
+	}
+	if err := drv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. A restarted server over the same directory serves the
+	// recovered state over the wire.
+	drv2, err := wal.Open(wal.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	db, err := engine.New(engine.SI, engine.Config{Driver: drv2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := siwire.NewServer(siwire.ServerConfig{DB: db})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := siwire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for obj, want := range ackedCopy {
+		v, err := c.Read(obj)
+		if err != nil {
+			t.Fatalf("read %s over the wire: %v", obj, err)
+		}
+		if v < want {
+			t.Fatalf("restarted server serves %s=%d, below acknowledged %d", obj, v, want)
+		}
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

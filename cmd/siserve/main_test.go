@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+
+	"sian/internal/siwire"
+)
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no dir", []string{"-addr", "127.0.0.1:0"}},
+		{"volatile with dir", []string{"-volatile", "-dir", t.TempDir()}},
+		{"volatile with check", []string{"-volatile", "-check-recovery"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code, err := run(tc.args, &out, &errw, nil)
+			if err == nil || code != 2 {
+				t.Fatalf("run(%v) = %d, %v; want code 2 and an error", tc.args, code, err)
+			}
+		})
+	}
+}
+
+func TestCheckRecoveryFreshDir(t *testing.T) {
+	var out, errw bytes.Buffer
+	code, err := run([]string{"-dir", t.TempDir(), "-check-recovery"}, &out, &errw, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("check-recovery: %d, %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "check-recovery ok") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// lineWatcher tees writes while watching for the "listening on" line,
+// delivering the bound address once on addr.
+type lineWatcher struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	addr chan string
+	sent bool
+}
+
+var listenRE = regexp.MustCompile(`siserve: listening on (\S+)`)
+
+func newLineWatcher() *lineWatcher { return &lineWatcher{addr: make(chan string, 1)} }
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if m := listenRE.FindSubmatch(w.buf.Bytes()); m != nil {
+			w.sent = true
+			w.addr <- string(m[1])
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeGracefulShutdown runs the full serve path in-process: a
+// durable server comes up, accepts a transaction, and SIGTERM-style
+// shutdown exits 0 after fsyncing and closing the log.
+func TestServeGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	stdout := newLineWatcher()
+	var errw bytes.Buffer
+	shutdown := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	var code int
+	var err error
+	go func() {
+		defer close(done)
+		code, err = run([]string{"-dir", dir, "-addr", "127.0.0.1:0", "-nosync"}, stdout, &errw, shutdown)
+	}()
+	addr := <-stdout.addr
+
+	c, derr := siwire.Dial(addr)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	lsn, terr := c.Transact(func(tx *siwire.ClientTx) error { return tx.Write("g", 1) })
+	if terr != nil {
+		t.Fatal(terr)
+	}
+	if lsn == 0 {
+		t.Fatal("durable server returned LSN 0")
+	}
+	info, ierr := c.Info()
+	if ierr != nil || info.Name != "siserve" || !info.RecoveryCertified {
+		t.Fatalf("info: %+v, %v", info, ierr)
+	}
+	c.Close()
+
+	shutdown <- syscall.SIGTERM
+	<-done
+	if err != nil || code != 0 {
+		t.Fatalf("serve: %d, %v\nstdout: %s\nstderr: %s", code, err, stdout.String(), errw.String())
+	}
+	if !strings.Contains(stdout.String(), "shut down cleanly") {
+		t.Errorf("stdout: %s", stdout.String())
+	}
+
+	// The committed write survived into a second incarnation.
+	var out2 bytes.Buffer
+	code, err = run([]string{"-dir", dir, "-check-recovery"}, &out2, io.Discard, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("recheck: %d, %v\n%s", code, err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "recovery: 1 commits") {
+		t.Errorf("recheck output: %s", out2.String())
+	}
+}
+
+// TestVolatileServe pins the -volatile path: no WAL, LSN 0 on commit.
+func TestVolatileServe(t *testing.T) {
+	stdout := newLineWatcher()
+	shutdown := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	var code int
+	var err error
+	go func() {
+		defer close(done)
+		code, err = run([]string{"-volatile", "-addr", "127.0.0.1:0"}, stdout, io.Discard, shutdown)
+	}()
+	addr := <-stdout.addr
+	c, derr := siwire.Dial(addr)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	lsn, terr := c.Transact(func(tx *siwire.ClientTx) error { return tx.Write("v", 1) })
+	if terr != nil {
+		t.Fatal(terr)
+	}
+	if lsn != 0 {
+		t.Errorf("volatile server returned LSN %d, want 0", lsn)
+	}
+	if info, err := c.Info(); err != nil || info.Durable {
+		t.Errorf("info: %+v, %v", info, err)
+	}
+	c.Close()
+	shutdown <- syscall.SIGTERM
+	<-done
+	if err != nil || code != 0 {
+		t.Fatalf("serve: %d, %v", code, err)
+	}
+}

@@ -119,6 +119,22 @@ func (o *Obs) SetRecorder(rec *eventlog.Recorder) {
 	}
 }
 
+// SetHealth registers component-specific /healthz fields on the live
+// plane. No-op without -serve.
+func (o *Obs) SetHealth(fn func() map[string]any) {
+	if o != nil && o.Server != nil {
+		o.Server.SetHealth(fn)
+	}
+}
+
+// Handle mounts an additional handler on the live plane's mux. Call
+// between Start and serving traffic. No-op without -serve.
+func (o *Obs) Handle(pattern string, h http.Handler) {
+	if o != nil && o.Server != nil {
+		o.Server.Handle(pattern, h)
+	}
+}
+
 // PublishVerdict forwards a verdict to the live plane's /verdicts
 // stream. No-op without -serve.
 func (o *Obs) PublishVerdict(v obshttp.VerdictEvent) {

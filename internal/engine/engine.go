@@ -29,6 +29,7 @@ import (
 	"sian/internal/model"
 	"sian/internal/obs"
 	"sian/internal/obs/eventlog"
+	"sian/internal/storage"
 )
 
 // Kind selects the concurrency-control protocol of a DB.
@@ -80,6 +81,15 @@ var (
 
 // Config tunes a DB. The zero value is usable.
 type Config struct {
+	// Driver selects the storage driver backing the engine (SI and SSI
+	// only; PSI manages one in-memory store per replica and SER keeps
+	// no multi-version store at all). Nil selects a fresh in-memory
+	// driver (storage.NewMem). Passing a storage/wal driver makes
+	// commits durable: the SI commit window appends a CRC-framed
+	// record (full op list included) and fsyncs it before the commit
+	// timestamp is published, and commit events then carry the durable
+	// log sequence number. The DB owns the driver: Close closes it.
+	Driver storage.Driver
 	// MaxRetries bounds Transact's automatic conflict retries;
 	// defaults to 10000.
 	MaxRetries int
@@ -144,10 +154,24 @@ type protocol interface {
 // Tx.
 type txProtocol interface {
 	read(x model.Obj) (model.Value, error)
-	// commit atomically applies the buffered writes; order lists the
-	// written objects deterministically.
-	commit(writes map[model.Obj]model.Value, order []model.Obj) error
+	// commit atomically applies the buffered writes. It returns the
+	// durable log sequence number when the storage driver persists the
+	// commit (zero otherwise).
+	commit(req commitReq) (lsn uint64, err error)
 	abort()
+}
+
+// commitReq carries everything a protocol needs to commit: the
+// coalesced write set (writes, with order listing the written objects
+// deterministically), plus the full operation list and attribution
+// that durable drivers persist with the commit record
+// (storage.CommitRecord) so that log replay re-certifies the history.
+type commitReq struct {
+	writes  map[model.Obj]model.Value
+	order   []model.Obj
+	ops     []model.Op
+	session string
+	txid    string
 }
 
 // DB is a transactional database handle. Create with New, use Session
@@ -222,15 +246,18 @@ func New(kind Kind, cfg Config) (*DB, error) {
 	db.gSessions = db.reg.Gauge("engine_sessions", lbl)
 	db.hCommitLat = db.reg.Histogram("engine_commit_latency_ns", lbl)
 	db.hSnapAge = db.reg.Histogram("engine_snapshot_age_ns", lbl)
+	if cfg.Driver != nil && kind != SI && kind != SSI {
+		return nil, fmt.Errorf("engine: Config.Driver is not supported for %v (SI and SSI only)", kind)
+	}
 	switch kind {
 	case SI:
-		db.impl = newSIProtocol()
+		db.impl = newSIProtocol(cfg)
 	case SER:
 		db.impl = newSERProtocol()
 	case PSI:
 		db.impl = newPSIProtocol(cfg)
 	case SSI:
-		db.impl = newSSIProtocol()
+		db.impl = newSSIProtocol(cfg)
 	default:
 		return nil, fmt.Errorf("engine: unknown kind %v", kind)
 	}
@@ -390,6 +417,17 @@ func (s *Session) event(kind eventlog.Kind, txid, name string) {
 	s.db.cfg.Recorder.Record(eventlog.Event{Kind: kind, Session: s.id, TxID: txid, Name: name})
 }
 
+// commitEvent records the Commit event, carrying the durable log
+// sequence number when the storage driver persisted the commit so the
+// flight-recorder timeline and /events frames can correlate publish
+// order with log order. A no-op without a recorder.
+func (s *Session) commitEvent(txid, name string, lsn uint64) {
+	if s.db.cfg.Recorder == nil {
+		return
+	}
+	s.db.cfg.Recorder.Record(eventlog.Event{Kind: eventlog.Commit, Session: s.id, TxID: txid, Name: name, LSN: lsn})
+}
+
 func (s *Session) committed() []model.Transaction {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -439,7 +477,8 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 			return err
 		}
 		commitStart := time.Now()
-		if err := inner.commit(tx.writes, tx.writeOrder); err != nil {
+		lsn, err := inner.commit(commitReq{writes: tx.writes, order: tx.writeOrder, ops: tx.ops, session: s.id, txid: txid})
+		if err != nil {
 			if errors.Is(err, ErrConflict) {
 				s.event(eventlog.Conflict, txid, "")
 				s.db.mConflicts.Inc()
@@ -452,7 +491,7 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 		s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
 		s.db.hSnapAge.Observe(commitStart.Sub(began).Nanoseconds())
 		id := s.record(name, tx.ops)
-		s.event(eventlog.Commit, txid, id)
+		s.commitEvent(txid, id, lsn)
 		return nil
 	}
 }
@@ -551,7 +590,15 @@ type ManualTx struct {
 	began time.Time
 	tx    *Tx
 	done  bool
+	lsn   uint64
 }
+
+// LSN returns the write-ahead-log sequence number the transaction's
+// commit record was fsynced at: non-zero only after a successful
+// Commit of a writing transaction on a durable storage driver. The
+// networked server reports it to clients as the commit's durability
+// token.
+func (m *ManualTx) LSN() uint64 { return m.lsn }
 
 // Read reads x at the transaction's snapshot.
 func (m *ManualTx) Read(x model.Obj) (model.Value, error) { return m.tx.Read(x) }
@@ -568,18 +615,20 @@ func (m *ManualTx) Commit() error {
 	}
 	m.done = true
 	commitStart := time.Now()
-	if err := m.tx.inner.commit(m.tx.writes, m.tx.writeOrder); err != nil {
+	lsn, err := m.tx.inner.commit(commitReq{writes: m.tx.writes, order: m.tx.writeOrder, ops: m.tx.ops, session: m.s.id, txid: m.tx.txid})
+	if err != nil {
 		if errors.Is(err, ErrConflict) {
 			m.s.event(eventlog.Conflict, m.tx.txid, "")
 			m.s.db.mConflicts.Inc()
 		}
 		return err
 	}
+	m.lsn = lsn
 	m.s.db.mCommits.Inc()
 	m.s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
 	m.s.db.hSnapAge.Observe(commitStart.Sub(m.began).Nanoseconds())
 	id := m.s.record(m.name, m.tx.ops)
-	m.s.event(eventlog.Commit, m.tx.txid, id)
+	m.s.commitEvent(m.tx.txid, id, lsn)
 	return nil
 }
 

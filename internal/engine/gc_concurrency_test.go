@@ -9,7 +9,27 @@ import (
 	"sian/internal/depgraph"
 	. "sian/internal/engine"
 	"sian/internal/model"
+	"sian/internal/storage"
+	"sian/internal/storage/wal"
 )
+
+// gcDrivers enumerates the storage drivers the GC-concurrency property
+// is pinned against: the default in-memory driver and the
+// write-ahead-logged one (fsync disabled — the property under test is
+// lock/GC interleaving, not disk latency).
+var gcDrivers = []struct {
+	name string
+	open func(t *testing.T) storage.Driver
+}{
+	{"mem", func(t *testing.T) storage.Driver { return nil }},
+	{"wal", func(t *testing.T) storage.Driver {
+		d, err := wal.Open(wal.Options{Dir: t.TempDir(), NoSync: true, Window: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}},
+}
 
 // TestCompactNeverStarvesSnapshot is the GC-under-concurrency
 // property test: Compact racing live begins and commits must never
@@ -23,11 +43,21 @@ import (
 // tight Compact loop.
 func TestCompactNeverStarvesSnapshot(t *testing.T) {
 	t.Parallel()
+	for _, drv := range gcDrivers {
+		drv := drv
+		t.Run(drv.name, func(t *testing.T) {
+			t.Parallel()
+			gcConcurrencySuite(t, drv.open)
+		})
+	}
+}
+
+func gcConcurrencySuite(t *testing.T, open func(t *testing.T) storage.Driver) {
 	for seed := int64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			db := newDB(t, SI, Config{})
+			db := newDB(t, SI, Config{Driver: open(t)})
 			const objects = 8
 			init := make(map[model.Obj]model.Value, objects)
 			objs := make([]model.Obj, objects)

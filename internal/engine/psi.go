@@ -5,8 +5,8 @@ import (
 	"sync"
 	"time"
 
-	"sian/internal/kvstore"
 	"sian/internal/model"
+	"sian/internal/storage"
 )
 
 // psiProtocol implements parallel snapshot isolation in the style of
@@ -53,7 +53,7 @@ type psiCommit struct {
 // replica is one site's local multi-version state.
 type replica struct {
 	mu       sync.Mutex
-	store    *kvstore.Store
+	store    storage.Driver
 	applied  []int // per-origin applied log prefix lengths
 	applySeq uint64
 	// active counts live local transactions per snapshot sequence,
@@ -61,7 +61,7 @@ type replica struct {
 	active map[uint64]int
 	// scratch is the reusable batch buffer for applyLocked, so the
 	// apply loop does not allocate per commit.
-	scratch []kvstore.Write
+	scratch []storage.Write
 }
 
 // releaseLocked drops a snapshot registration. Callers hold r.mu.
@@ -84,7 +84,7 @@ func (r *replica) gc() int {
 		}
 	}
 	r.mu.Unlock()
-	return r.store.GC(watermark)
+	return r.store.Compact(watermark)
 }
 
 func newPSIProtocol(cfg Config) *psiProtocol {
@@ -104,7 +104,7 @@ func (p *psiProtocol) ensureSite(site int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for len(p.replicas) <= site {
-		fresh := &replica{store: kvstore.New(), active: make(map[uint64]int)}
+		fresh := &replica{store: storage.NewMem(), active: make(map[uint64]int)}
 		p.replicas = append(p.replicas, fresh)
 		p.logs = append(p.logs, nil)
 		p.bases = append(p.bases, 0)
@@ -126,7 +126,9 @@ func (p *psiProtocol) ensureSite(site int) {
 			donor := p.replicas[0]
 			donor.mu.Lock()
 			fresh.mu.Lock()
-			fresh.store = donor.store.Clone()
+			// Replica stores are always storage.NewMem drivers, which
+			// implement Cloner; the assertion documents the requirement.
+			fresh.store = donor.store.(storage.Cloner).Clone()
 			fresh.applySeq = donor.applySeq
 			copy(fresh.applied, donor.applied)
 			fresh.mu.Unlock()
@@ -260,7 +262,7 @@ func (r *replica) applyLocked(c psiCommit) {
 	r.applySeq++
 	r.scratch = r.scratch[:0]
 	for _, x := range c.order {
-		r.scratch = append(r.scratch, kvstore.Write{Obj: x, Version: kvstore.Version{
+		r.scratch = append(r.scratch, storage.Write{Obj: x, Version: storage.Version{
 			Val:  c.writes[x],
 			TS:   r.applySeq,
 			Meta: c.stamps[x],
@@ -355,10 +357,11 @@ func (t *psiTx) read(x model.Obj) (model.Value, error) {
 	return v.Val, nil
 }
 
-func (t *psiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
+func (t *psiTx) commit(req commitReq) (uint64, error) {
+	writes, order := req.writes, req.order
 	defer t.finish()
 	if len(writes) == 0 {
-		return nil
+		return 0, nil
 	}
 	p := t.p
 	p.mu.Lock()
@@ -373,7 +376,7 @@ func (t *psiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 			seen = v.Meta
 		}
 		if p.gv[x] != seen {
-			return ErrConflict
+			return 0, ErrConflict
 		}
 	}
 	c := psiCommit{
@@ -403,7 +406,7 @@ func (t *psiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 		p.sincetruncate = 0
 		p.truncateLocked()
 	}
-	return nil
+	return 0, nil
 }
 
 func (t *psiTx) abort() { t.finish() }

@@ -72,7 +72,8 @@ func (t *serTx) read(x model.Obj) (model.Value, error) {
 // commit upgrades to exclusive locks on the write set, applies the
 // writes and releases every lock. It is terminal: locks are released
 // whether it succeeds or conflicts.
-func (t *serTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
+func (t *serTx) commit(req commitReq) (uint64, error) {
+	writes, order := req.writes, req.order
 	p := t.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -80,14 +81,14 @@ func (t *serTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 	for _, x := range order {
 		ls := p.lockFor(x)
 		if ls.writer != nil && ls.writer != t {
-			return ErrConflict
+			return 0, ErrConflict
 		}
 		otherReaders := len(ls.readers)
 		if ls.readers[t] {
 			otherReaders--
 		}
 		if otherReaders > 0 {
-			return ErrConflict
+			return 0, ErrConflict
 		}
 	}
 	for _, x := range order {
@@ -98,7 +99,7 @@ func (t *serTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 	for _, x := range order {
 		p.vals[x] = writes[x]
 	}
-	return nil
+	return 0, nil
 }
 
 func (t *serTx) abort() {

@@ -4,8 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 
-	"sian/internal/kvstore"
 	"sian/internal/model"
+	"sian/internal/storage"
 )
 
 // siProtocol is the idealised SI concurrency control of §1 of the
@@ -23,7 +23,7 @@ import (
 //   - reads take only the read-lock of the one store shard holding
 //     the object;
 //   - commit locks only the shards covering its write set, in
-//     canonical shard order (kvstore.LockObjs), validates
+//     canonical shard order (Driver.LockObjs), validates
 //     first-committer-wins per shard and installs under that one
 //     multi-shard critical section, so transactions with disjoint
 //     write sets commit fully in parallel;
@@ -42,8 +42,18 @@ import (
 // its snapshot — a published snapshot can never be at or above an
 // unpublished timestamp) and aborts. See DESIGN.md §10 for the full
 // argument.
+//
+// The protocol runs over any storage.Driver. With a durable driver
+// (storage/wal) the commit window also persists the transaction:
+// LogCommit stages the commit record — full op list included, so
+// recovery replay re-certifies the history — inside the window (per-
+// object log order therefore matches timestamp order), Unlock returns
+// only after the record is fsynced (group fsync permitted), and the
+// timestamp is published after Unlock. An acknowledged commit is thus
+// always durable, and — because publication is strictly in timestamp
+// order — so are all its predecessors; see DESIGN.md §12.
 type siProtocol struct {
-	store *kvstore.Store
+	store storage.Driver
 
 	// nextTS is the commit-timestamp allocation sequence.
 	nextTS atomic.Uint64
@@ -55,13 +65,26 @@ type siProtocol struct {
 	snaps snapRegistry
 }
 
-func newSIProtocol() *siProtocol {
-	return &siProtocol{store: kvstore.New()}
+func newSIProtocol(cfg Config) *siProtocol {
+	st := cfg.Driver
+	if st == nil {
+		st = storage.NewMem()
+	}
+	p := &siProtocol{store: st}
+	// A driver restored from a log already holds versions; seed the
+	// allocator above them so fresh commits stay monotonic and fresh
+	// snapshots see the recovered state.
+	if r, ok := st.(storage.Recovered); ok {
+		ts := r.RecoveredMaxTS()
+		p.nextTS.Store(ts)
+		p.commitTS.Store(ts)
+	}
+	return p
 }
 
 func (p *siProtocol) ensureSite(int) {}
 
-func (p *siProtocol) close() error { return nil }
+func (p *siProtocol) close() error { return p.store.Close() }
 
 func (p *siProtocol) begin(int) (txProtocol, error) {
 	ticket := p.snaps.acquire(p.commitTS.Load)
@@ -71,7 +94,7 @@ func (p *siProtocol) begin(int) (txProtocol, error) {
 // gc truncates version chains below the oldest live snapshot and
 // returns the number of versions discarded.
 func (p *siProtocol) gc() int {
-	return p.store.GC(p.snaps.watermark(p.commitTS.Load()))
+	return p.store.Compact(p.snaps.watermark(p.commitTS.Load()))
 }
 
 type siTx struct {
@@ -88,28 +111,28 @@ func (t *siTx) read(x model.Obj) (model.Value, error) {
 	return v.Val, nil
 }
 
-func (t *siTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
+func (t *siTx) commit(req commitReq) (uint64, error) {
 	p := t.p
 	defer t.finish()
-	if len(writes) == 0 {
-		return nil // read-only transactions always commit under SI
+	if len(req.writes) == 0 {
+		return 0, nil // read-only transactions always commit under SI
 	}
 	snap := t.ticket.snap
-	lock := p.store.LockObjs(order)
+	lock := p.store.LockObjs(req.order)
 	// Write-conflict detection: any object we wrote that gained a
 	// committed version after our snapshot aborts us. Holding every
 	// write-set shard makes validate-then-install atomic against any
 	// commit overlapping our write set.
-	for _, x := range order {
+	for _, x := range req.order {
 		if lock.LatestTS(x) > snap {
 			lock.Unlock()
-			return ErrConflict
+			return 0, ErrConflict
 		}
 	}
 	ts := p.nextTS.Add(1)
 	var installErr error
-	for _, x := range order {
-		if err := lock.Install(x, kvstore.Version{Val: writes[x], TS: ts}); err != nil {
+	for _, x := range req.order {
+		if err := lock.Install(x, storage.Version{Val: req.writes[x], TS: ts}); err != nil {
 			// Unreachable while the write-set shards are held (the
 			// allocation order argument above); surface it rather than
 			// panic per the no-panic guideline — but only after the
@@ -119,15 +142,38 @@ func (t *siTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error
 			}
 		}
 	}
+	// Hand a durable window the commit record while the shards are
+	// still held, so the log's per-object record order matches the
+	// timestamp order installed above.
+	if lg, ok := lock.(storage.CommitLogger); ok {
+		lg.LogCommit(storage.CommitRecord{TS: ts, Session: req.session, TxID: req.txid, Ops: req.ops})
+	}
+	// For a durable driver, Unlock appends the staged record inside
+	// the critical section, releases the shards, and returns only once
+	// the record is fsynced — so the publication below never exposes
+	// an un-synced commit.
 	lock.Unlock()
 	// Publish, strictly in allocation order: timestamp ts becomes
 	// visible to snapshots only when everything at or below it is
-	// installed. The wait is the short install window of the (at most
-	// one) predecessor still installing.
+	// installed (and, for durable drivers, synced). The wait is the
+	// short install window of the (at most one) predecessor still
+	// installing.
 	for !p.commitTS.CompareAndSwap(ts-1, ts) {
 		runtime.Gosched()
 	}
-	return installErr
+	var lsn uint64
+	if dw, ok := lock.(storage.DurableWindow); ok {
+		durLSN, err := dw.Durable()
+		lsn = durLSN
+		// A sync failure leaves the writes visible in memory but not
+		// durable; surface it (after publishing, so the in-order
+		// pipeline cannot stall) and let the caller treat the commit
+		// as failed.
+		if installErr == nil {
+			installErr = err
+		}
+	}
+	return lsn, installErr
 }
 
 func (t *siTx) abort() { t.finish() }

@@ -3,8 +3,8 @@ package engine
 import (
 	"sync"
 
-	"sian/internal/kvstore"
 	"sian/internal/model"
+	"sian/internal/storage"
 )
 
 // ssiProtocol implements Serializable Snapshot Isolation (Cahill,
@@ -26,7 +26,7 @@ import (
 // pivot aborts the marker instead. False positives are possible;
 // serializability violations are not.
 type ssiProtocol struct {
-	store *kvstore.Store
+	store storage.Driver
 
 	mu       sync.Mutex
 	commitTS uint64
@@ -115,18 +115,30 @@ type ssiTxRecord struct {
 	in, out bool
 }
 
-func newSSIProtocol() *ssiProtocol {
-	return &ssiProtocol{
-		store:    kvstore.New(),
+func newSSIProtocol(cfg Config) *ssiProtocol {
+	st := cfg.Driver
+	if st == nil {
+		st = storage.NewMem()
+	}
+	p := &ssiProtocol{
+		store:    st,
 		byCommit: make(map[uint64]*ssiTxRecord),
 		sireads:  make(map[model.Obj][]*ssiTxRecord),
 		active:   make(map[uint64]int),
 	}
+	// A driver restored from a log already holds versions; resume the
+	// commit counter above them. The conflict-flag tables restart
+	// empty: nothing recovered can still be concurrent with a live
+	// transaction.
+	if r, ok := st.(storage.Recovered); ok {
+		p.commitTS = r.RecoveredMaxTS()
+	}
+	return p
 }
 
 func (p *ssiProtocol) ensureSite(int) {}
 
-func (p *ssiProtocol) close() error { return nil }
+func (p *ssiProtocol) close() error { return p.store.Close() }
 
 func (p *ssiProtocol) begin(int) (txProtocol, error) {
 	p.mu.Lock()
@@ -201,7 +213,8 @@ func (t *ssiTx) read(x model.Obj) (model.Value, error) {
 // commit runs first-committer-wins write-conflict detection, then the
 // dangerous-structure checks, then installs the writes and the
 // anti-dependency marks from concurrent readers.
-func (t *ssiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) error {
+func (t *ssiTx) commit(req commitReq) (uint64, error) {
+	writes, order := req.writes, req.order
 	p := t.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -220,12 +233,12 @@ func (t *ssiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 	if len(writes) == 0 {
 		// Read-only transactions commit freely under SSI, but their
 		// SIREADs stay relevant to later writers.
-		return nil
+		return 0, nil
 	}
 	// First-committer-wins (plain SI).
 	for _, x := range order {
 		if p.store.LatestTS(x) > t.rec.snap {
-			return ErrConflict
+			return 0, ErrConflict
 		}
 	}
 	// Collect the concurrent readers of our write set: each yields an
@@ -240,14 +253,14 @@ func (t *ssiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 			if r.commitTS != 0 && r.in {
 				// r is committed and would become a pivot: abort the
 				// marker (us).
-				return ErrConflict
+				return 0, ErrConflict
 			}
 			readers = append(readers, r)
 			willHaveIn = true
 		}
 	}
 	if willHaveIn && t.rec.out {
-		return ErrConflict // we would commit as a pivot
+		return 0, ErrConflict // we would commit as a pivot
 	}
 	// Point of no return: apply marks and install.
 	for _, r := range readers {
@@ -259,11 +272,11 @@ func (t *ssiTx) commit(writes map[model.Obj]model.Value, order []model.Obj) erro
 	t.rec.endTS = p.commitTS
 	p.byCommit[p.commitTS] = t.rec
 	for _, x := range order {
-		if err := p.store.Install(x, kvstore.Version{Val: writes[x], TS: p.commitTS}); err != nil {
-			return err
+		if err := p.store.Install(x, storage.Version{Val: writes[x], TS: p.commitTS}); err != nil {
+			return 0, err
 		}
 	}
-	return nil
+	return 0, nil
 }
 
 func (t *ssiTx) abort() {

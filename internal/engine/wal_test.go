@@ -1,0 +1,157 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	. "sian/internal/engine"
+	"sian/internal/model"
+	"sian/internal/obs/eventlog"
+	"sian/internal/storage/wal"
+)
+
+func openWAL(t *testing.T, dir string) *wal.Driver {
+	t.Helper()
+	d, err := wal.Open(wal.Options{Dir: dir, NoSync: true, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSIOverWALReopen is the engine-level durability loop: an SI
+// engine over the WAL driver, closed and reopened, resumes with the
+// committed state visible and the timestamp allocator seeded past the
+// recovered frontier.
+func TestSIOverWALReopen(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	db := newDB(t, SI, Config{Driver: openWAL(t, dir)})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0, "y": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("s1")
+	for i := 1; i <= 20; i++ {
+		if err := s.Transact(func(tx *Tx) error {
+			v, err := tx.Read("x")
+			if err != nil {
+				return err
+			}
+			return tx.Write("x", v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openWAL(t, dir)
+	if !re.Recovery().Certified {
+		t.Fatalf("recovery not certified: %s", re.Recovery().Verdict)
+	}
+	db2, err := New(SI, Config{Driver: re})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s2 := db2.Session("s2")
+	if err := s2.Transact(func(tx *Tx) error {
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		if v != 20 {
+			return fmt.Errorf("recovered x = %d, want 20", v)
+		}
+		return tx.Write("x", v+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The post-recovery commit must land above every recovered
+	// version (the allocator was seeded by RecoveredMaxTS).
+	if v, ok := re.Latest("x"); !ok || v.Val != 21 || v.TS <= re.RecoveredMaxTS() {
+		t.Errorf("post-recovery version %+v (recovered max ts %d)", v, re.RecoveredMaxTS())
+	}
+}
+
+// TestCommitEventsCarryLSN pins the observability contract: with a
+// durable driver attached, every commit event of a writing transaction
+// carries the WAL sequence number its record was fsynced at, and LSNs
+// are unique. Volatile drivers keep LSN zero.
+func TestCommitEventsCarryLSN(t *testing.T) {
+	t.Parallel()
+	rec := eventlog.NewRecorder(1 << 12)
+	db := newDB(t, SI, Config{Driver: openWAL(t, t.TempDir()), Recorder: rec})
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("s1")
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := s.Transact(func(tx *Tx) error {
+			v, err := tx.Read("x")
+			if err != nil {
+				return err
+			}
+			return tx.Write("x", v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One read-only transaction: commits without a log record.
+	if err := s.Transact(func(tx *Tx) error {
+		_, err := tx.Read("x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[uint64]bool{}
+	var writing, readOnly int
+	for _, ev := range rec.Events() {
+		if ev.Kind != eventlog.Commit {
+			continue
+		}
+		if ev.LSN == 0 {
+			readOnly++
+			continue
+		}
+		if seen[ev.LSN] {
+			t.Errorf("duplicate LSN %d on commit %s", ev.LSN, ev.Name)
+		}
+		seen[ev.LSN] = true
+		writing++
+	}
+	if writing != n+1 { // n increments + the init transaction
+		t.Errorf("%d commit events carry an LSN, want %d", writing, n+1)
+	}
+	if readOnly != 1 {
+		t.Errorf("%d zero-LSN commits, want exactly the read-only one", readOnly)
+	}
+
+	// The volatile driver's commits never carry an LSN.
+	memRec := eventlog.NewRecorder(1 << 10)
+	memDB := newDB(t, SI, Config{Recorder: memRec})
+	if err := memDB.Initialize(map[model.Obj]model.Value{"x": 0}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range memRec.Events() {
+		if ev.Kind == eventlog.Commit && ev.LSN != 0 {
+			t.Errorf("volatile commit event carries LSN %d", ev.LSN)
+		}
+	}
+}
+
+// TestWALRejectsNonSIEngines pins Config.Driver gating: engines that
+// manage their own stores refuse an injected driver.
+func TestWALRejectsNonSIEngines(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{PSI, SER} {
+		d := openWAL(t, t.TempDir())
+		if _, err := New(kind, Config{Driver: d}); err == nil {
+			t.Errorf("%v accepted an injected driver", kind)
+		}
+		d.Close()
+	}
+}

@@ -23,6 +23,7 @@ type eventJSON struct {
 	Name    string      `json:"name,omitempty"`
 	Obj     string      `json:"obj,omitempty"`
 	Val     model.Value `json:"val,omitempty"`
+	LSN     uint64      `json:"lsn,omitempty"`
 }
 
 // EncodeEvents writes events as NDJSON: one event object per line, in
@@ -49,7 +50,7 @@ func wireEvent(ev eventlog.Event) eventJSON {
 	return eventJSON{
 		Seq: ev.Seq, TS: ev.TS, Kind: ev.Kind.String(),
 		Session: ev.Session, Tx: ev.TxID, Name: ev.Name,
-		Obj: string(ev.Obj), Val: ev.Val,
+		Obj: string(ev.Obj), Val: ev.Val, LSN: ev.LSN,
 	}
 }
 
@@ -153,7 +154,7 @@ func parseEventLine(line string) (eventlog.Event, error) {
 	return eventlog.Event{
 		Seq: ej.Seq, TS: ej.TS, Kind: kind,
 		Session: ej.Session, TxID: ej.Tx, Name: ej.Name,
-		Obj: model.Obj(ej.Obj), Val: ej.Val,
+		Obj: model.Obj(ej.Obj), Val: ej.Val, LSN: ej.LSN,
 	}, nil
 }
 

@@ -102,6 +102,10 @@ type Event struct {
 	// Obj and Val carry the operation of Read and Write events.
 	Obj model.Obj
 	Val model.Value
+	// LSN, set on Commit events of a durable storage driver, is the
+	// write-ahead-log sequence number the commit was fsynced at (zero
+	// for volatile drivers), correlating publish order with log order.
+	LSN uint64
 }
 
 // shardCount is the number of independent rings; a power of two so the

@@ -36,9 +36,19 @@ const EntrySchema = "siledger/v1"
 // sibench -bench-json, one JSON object per run. Latency quantiles come
 // from the engine's log-scale commit-latency histogram.
 type BenchReport struct {
-	Schema             string  `json:"schema"`
-	Engine             string  `json:"engine"`
-	Workload           string  `json:"workload"`
+	Schema   string `json:"schema"`
+	Engine   string `json:"engine"`
+	Workload string `json:"workload"`
+	// Mode distinguishes how the workload reached the engine: absent
+	// or "" for the in-process engine, "network" for a run driven
+	// against a siserve over the siwire protocol (sibench -addr).
+	// Baselines only compare like with like (LoadBaseline matches
+	// mode), since wire round-trips dominate network-mode latency.
+	Mode string `json:"mode,omitempty"`
+	// ServerRev is the serving binary's git revision as reported by
+	// the server's info document — the build actually measured, which
+	// in network mode need not be the client's checkout.
+	ServerRev          string  `json:"server_rev,omitempty"`
 	Sessions           int     `json:"sessions"`
 	CPUs               int     `json:"cpus"`
 	GOMAXPROCS         int     `json:"gomaxprocs"`
@@ -237,10 +247,13 @@ func Read(path string) ([]Entry, error) {
 
 // LoadBaseline reads a comparison baseline from path, which may be
 // either a ledger NDJSON file (the newest entry matching the given
-// engine and workload wins, falling back to the newest entry overall)
-// or a single bench-report JSON document like BENCH_sibench.json. The
-// returned string describes the chosen baseline for reporting.
-func LoadBaseline(path, engine, workload string) (BenchReport, string, error) {
+// engine, workload and mode wins, falling back to the newest entry
+// overall) or a single bench-report JSON document like
+// BENCH_sibench.json. mode is "" for in-process runs, "network" for
+// sibench -addr runs — the two are never comparable, so a ledger
+// shared between both always gates against its own kind. The returned
+// string describes the chosen baseline for reporting.
+func LoadBaseline(path, engine, workload, mode string) (BenchReport, string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return BenchReport{}, "", fmt.Errorf("ledger: %w", err)
@@ -274,7 +287,8 @@ func LoadBaseline(path, engine, workload string) (BenchReport, string, error) {
 	}
 	chosen := entries[len(entries)-1]
 	for i := len(entries) - 1; i >= 0; i-- {
-		if entries[i].Report.Engine == engine && entries[i].Report.Workload == workload {
+		r := entries[i].Report
+		if r.Engine == engine && r.Workload == workload && r.Mode == mode {
 			chosen = entries[i]
 			break
 		}

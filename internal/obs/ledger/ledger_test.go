@@ -106,7 +106,7 @@ func TestLoadBaselineBenchReport(t *testing.T) {
 	if err := os.WriteFile(path, []byte(mustJSON(t, sampleReport("si", 1234))), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rep, desc, err := LoadBaseline(path, "si", "closedloop")
+	rep, desc, err := LoadBaseline(path, "si", "closedloop", "")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -131,7 +131,7 @@ func TestLoadBaselineLedgerPrefersMatchingRun(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rep, desc, err := LoadBaseline(path, "si", "closedloop")
+	rep, desc, err := LoadBaseline(path, "si", "closedloop", "")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestLoadBaselineLedgerPrefersMatchingRun(t *testing.T) {
 		t.Errorf("desc = %q", desc)
 	}
 	// No matching engine: newest entry overall wins.
-	rep, _, err = LoadBaseline(path, "ser", "closedloop")
+	rep, _, err = LoadBaseline(path, "ser", "closedloop", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,16 +151,47 @@ func TestLoadBaselineLedgerPrefersMatchingRun(t *testing.T) {
 	}
 }
 
+func TestLoadBaselineMatchesMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	netRep := sampleReport("si", 50)
+	netRep.Mode = "network"
+	netRep.ServerRev = "deadbeef"
+	// The newest entry overall is the network run; an in-process
+	// comparison must skip it, and vice versa.
+	for _, e := range []Entry{
+		NewEntry("sibench", nil, sampleReport("si", 111)),
+		NewEntry("sibench", nil, netRep),
+	} {
+		if err := Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, _, err := LoadBaseline(path, "si", "closedloop", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "" || rep.TxsPerSec != 111 {
+		t.Errorf("in-process baseline chose mode=%q tps=%v, want the in-process run", rep.Mode, rep.TxsPerSec)
+	}
+	rep, _, err = LoadBaseline(path, "si", "closedloop", "network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "network" || rep.ServerRev != "deadbeef" {
+		t.Errorf("network baseline chose mode=%q rev=%q, want the network run", rep.Mode, rep.ServerRev)
+	}
+}
+
 func TestLoadBaselineErrors(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := LoadBaseline(filepath.Join(dir, "missing.json"), "si", "closedloop"); err == nil {
+	if _, _, err := LoadBaseline(filepath.Join(dir, "missing.json"), "si", "closedloop", ""); err == nil {
 		t.Error("missing file: want error")
 	}
 	empty := filepath.Join(dir, "empty.json")
 	if err := os.WriteFile(empty, []byte("  \n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := LoadBaseline(empty, "si", "closedloop"); err == nil {
+	if _, _, err := LoadBaseline(empty, "si", "closedloop", ""); err == nil {
 		t.Error("empty file: want error")
 	}
 }

@@ -83,6 +83,11 @@ type Server struct {
 	events   *sseStream
 	verdicts *sseStream
 
+	// healthExtra, when set, contributes component-specific fields to
+	// the /healthz document (for example siserve's WAL fsync lag and
+	// recovery verdict).
+	healthExtra atomic.Pointer[func() map[string]any]
+
 	mux  *http.ServeMux
 	done chan struct{}
 	ln   net.Listener
@@ -136,6 +141,25 @@ func (s *Server) SetRecorder(rec *eventlog.Recorder) { s.recorder.Store(rec) }
 
 // SetTracer repoints /timeline's phase-span source at tr.
 func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
+
+// SetHealth registers a callback whose key/value pairs are merged into
+// the /healthz document on every request, letting the embedding
+// component surface its own liveness signals (WAL fsync lag, recovery
+// verdict, …). Keys colliding with the built-in document are ignored.
+// Nil unregisters.
+func (s *Server) SetHealth(fn func() map[string]any) {
+	if fn == nil {
+		s.healthExtra.Store(nil)
+		return
+	}
+	s.healthExtra.Store(&fn)
+}
+
+// Handle mounts an additional handler on the server's mux (a serving
+// component's own API endpoints, for example siserve's /v1/transact).
+// It must be called before Serve; the pattern syntax is
+// http.ServeMux's.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // PublishVerdict fans v (marshalled once as JSON) out to every
 // /verdicts subscriber. Slow consumers drop frames rather than
@@ -248,10 +272,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		VerdictDropped:  s.verdicts.dropped.Value(),
 		VerdictsEmitted: s.verdicts.published.Value(),
 	}
+	doc := map[string]any{}
+	hb, _ := json.Marshal(h)
+	_ = json.Unmarshal(hb, &doc)
+	if fnp := s.healthExtra.Load(); fnp != nil {
+		for k, v := range (*fnp)() {
+			if _, taken := doc[k]; !taken {
+				doc[k] = v
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(h)
+	_ = enc.Encode(doc)
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,196 @@
+package siwire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"sian/internal/model"
+)
+
+// Client is a binary-protocol connection to a siwire server: one
+// session, at most one open transaction. Not safe for concurrent use;
+// open one Client per worker goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a siwire server and performs the magic handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("siwire: %w", err)
+	}
+	c := &Client{conn: conn, br: bufio.NewReaderSize(conn, 1<<14), bw: bufio.NewWriterSize(conn, 1<<14)}
+	if _, err := c.bw.WriteString(Magic); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("siwire: %w", err)
+	}
+	return c, nil
+}
+
+// Close closes the connection; an open transaction aborts server-side.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response status.
+func (c *Client) roundTrip(req []byte) (status byte, body []byte, err error) {
+	if err := writeFrame(c.bw, req); err != nil {
+		return 0, nil, err
+	}
+	payload, err := readFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	r := &reader{b: payload}
+	status = r.u8("status")
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	body = r.rest()
+	if status == statusErr {
+		er := &reader{b: body}
+		return status, nil, fmt.Errorf("siwire: server: %s", er.str("error message"))
+	}
+	return status, body, nil
+}
+
+// Begin starts a transaction on the connection.
+func (c *Client) Begin() error {
+	status, _, err := c.roundTrip([]byte{opBegin})
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("siwire: begin: unexpected status %d", status)
+	}
+	return nil
+}
+
+// Read reads x at the open transaction's snapshot. ErrUninitialized
+// reports an object with no version (the transaction stays open).
+func (c *Client) Read(x model.Obj) (model.Value, error) {
+	status, body, err := c.roundTrip(appendStr([]byte{opRead}, string(x)))
+	if err != nil {
+		return 0, err
+	}
+	switch status {
+	case statusOK:
+		r := &reader{b: body}
+		v := model.Value(r.u64("read value"))
+		return v, r.err
+	case statusUninitialized:
+		return 0, ErrUninitialized
+	default:
+		return 0, fmt.Errorf("siwire: read: unexpected status %d", status)
+	}
+}
+
+// Write buffers a write into the open transaction.
+func (c *Client) Write(x model.Obj, v model.Value) error {
+	req := appendStr([]byte{opWrite}, string(x))
+	req = appendU64(req, uint64(v))
+	status, _, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("siwire: write: unexpected status %d", status)
+	}
+	return nil
+}
+
+// Commit commits the open transaction and returns its durability LSN
+// (zero for read-only transactions or volatile servers). ErrConflict
+// reports a lost first-committer-wins race; the transaction is
+// finished either way.
+func (c *Client) Commit() (uint64, error) {
+	status, body, err := c.roundTrip([]byte{opCommit})
+	if err != nil {
+		return 0, err
+	}
+	switch status {
+	case statusOK:
+		r := &reader{b: body}
+		lsn := r.u64("commit lsn")
+		return lsn, r.err
+	case statusConflict:
+		return 0, ErrConflict
+	default:
+		return 0, fmt.Errorf("siwire: commit: unexpected status %d", status)
+	}
+}
+
+// Abort abandons the open transaction (a no-op when none is open).
+func (c *Client) Abort() error {
+	status, _, err := c.roundTrip([]byte{opAbort})
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("siwire: abort: unexpected status %d", status)
+	}
+	return nil
+}
+
+// Info fetches the server identity document.
+func (c *Client) Info() (Info, error) {
+	status, body, err := c.roundTrip([]byte{opInfo})
+	if err != nil {
+		return Info{}, err
+	}
+	if status != statusOK {
+		return Info{}, fmt.Errorf("siwire: info: unexpected status %d", status)
+	}
+	var info Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		return Info{}, fmt.Errorf("siwire: info: %w", err)
+	}
+	return info, nil
+}
+
+// maxTransactRetries bounds Transact's conflict retries.
+const maxTransactRetries = 10000
+
+// Transact runs fn inside a transaction with the standard client-side
+// retry loop: on ErrConflict from the commit it begins a fresh attempt
+// (with a short capped backoff to de-synchronise contending clients);
+// on any other error it aborts and returns. It returns the commit's
+// durability LSN.
+func (c *Client) Transact(fn func(tx *ClientTx) error) (uint64, error) {
+	for attempt := 0; attempt < maxTransactRetries; attempt++ {
+		if err := c.Begin(); err != nil {
+			return 0, err
+		}
+		if err := fn(&ClientTx{c: c}); err != nil {
+			if aerr := c.Abort(); aerr != nil {
+				return 0, aerr
+			}
+			return 0, err
+		}
+		lsn, err := c.Commit()
+		if err == nil {
+			return lsn, nil
+		}
+		if err != ErrConflict {
+			return 0, err
+		}
+		if attempt > 3 {
+			backoff := time.Microsecond << uint(min(attempt, 10))
+			time.Sleep(backoff)
+		}
+	}
+	return 0, fmt.Errorf("siwire: too many conflict retries")
+}
+
+// ClientTx is the transaction handle passed to Transact callbacks.
+type ClientTx struct{ c *Client }
+
+// Read reads x at the transaction's snapshot.
+func (t *ClientTx) Read(x model.Obj) (model.Value, error) { return t.c.Read(x) }
+
+// Write buffers a write.
+func (t *ClientTx) Write(x model.Obj, v model.Value) error { return t.c.Write(x, v) }

@@ -1,0 +1,394 @@
+package siwire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// ServerConfig parameterises a Server.
+type ServerConfig struct {
+	// DB is the engine the server fronts. The server does not own it:
+	// the caller closes it after Close returns.
+	DB *engine.DB
+	// Info, when set, supplies the identity document served to info
+	// requests; the zero Info is served otherwise.
+	Info func() Info
+}
+
+// Server speaks the siwire binary protocol over a listener: one
+// accepted connection = one engine session = at most one open
+// transaction. Create with NewServer, run with Serve, stop with Close.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg     sync.WaitGroup
+	nextID atomic.Uint64
+
+	// httpSessions pools engine sessions for the HTTP fallback, which
+	// has no connection to pin a session to.
+	httpMu       sync.Mutex
+	httpSessions []*engine.Session
+}
+
+// NewServer returns an unstarted server.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// graceful Close, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("siwire: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection (open
+// transactions abort), and waits for the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// handleConn runs one connection's request loop. Any transport or
+// protocol failure aborts the connection's open transaction — the
+// client never saw a commit ok, so nothing acknowledged is lost.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 1<<14)
+	bw := bufio.NewWriterSize(conn, 1<<14)
+
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != Magic {
+		return
+	}
+
+	sess := s.cfg.DB.Session(fmt.Sprintf("wire/%d", s.nextID.Add(1)))
+	var tx *engine.ManualTx
+	defer func() {
+		if tx != nil {
+			tx.Abort()
+		}
+	}()
+
+	respond := func(status byte, body []byte) error {
+		payload := make([]byte, 0, 1+len(body))
+		payload = append(payload, status)
+		payload = append(payload, body...)
+		return writeFrame(bw, payload)
+	}
+	fail := func(msg string) error {
+		if tx != nil {
+			tx.Abort()
+			tx = nil
+		}
+		return respond(statusErr, appendStr(nil, msg))
+	}
+
+	for n := uint64(0); ; n++ {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		r := &reader{b: payload}
+		op := r.u8("op")
+		var werr error
+		switch op {
+		case opBegin:
+			if tx != nil {
+				werr = fail("begin: transaction already open")
+				break
+			}
+			tx, err = sess.Begin(fmt.Sprintf("w%d", n))
+			if err != nil {
+				tx = nil
+				werr = fail(err.Error())
+				break
+			}
+			werr = respond(statusOK, nil)
+		case opRead:
+			x := model.Obj(r.str("read object"))
+			if r.err != nil {
+				werr = fail(r.err.Error())
+				break
+			}
+			if tx == nil {
+				werr = fail("read: no open transaction")
+				break
+			}
+			v, err := tx.Read(x)
+			switch {
+			case errors.Is(err, engine.ErrUninitialized):
+				// The snapshot simply has no version; the transaction
+				// stays usable.
+				werr = respond(statusUninitialized, nil)
+			case err != nil:
+				werr = fail(err.Error())
+			default:
+				werr = respond(statusOK, appendU64(nil, uint64(v)))
+			}
+		case opWrite:
+			x := model.Obj(r.str("write object"))
+			v := model.Value(r.u64("write value"))
+			if r.err != nil {
+				werr = fail(r.err.Error())
+				break
+			}
+			if tx == nil {
+				werr = fail("write: no open transaction")
+				break
+			}
+			if err := tx.Write(x, v); err != nil {
+				werr = fail(err.Error())
+				break
+			}
+			werr = respond(statusOK, nil)
+		case opCommit:
+			if tx == nil {
+				werr = fail("commit: no open transaction")
+				break
+			}
+			err := tx.Commit()
+			lsn := tx.LSN()
+			tx = nil
+			switch {
+			case errors.Is(err, engine.ErrConflict):
+				werr = respond(statusConflict, nil)
+			case err != nil:
+				werr = fail(err.Error())
+			default:
+				// Over a durable driver this line is reached only after
+				// the commit record is fsynced: ok ⇒ durable.
+				werr = respond(statusOK, appendU64(nil, lsn))
+			}
+		case opAbort:
+			if tx != nil {
+				tx.Abort()
+				tx = nil
+			}
+			werr = respond(statusOK, nil)
+		case opInfo:
+			var info Info
+			if s.cfg.Info != nil {
+				info = s.cfg.Info()
+			}
+			doc, err := json.Marshal(info)
+			if err != nil {
+				werr = fail(err.Error())
+				break
+			}
+			werr = respond(statusOK, doc)
+		default:
+			werr = fail(fmt.Sprintf("unknown op %d", op))
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// --- HTTP/JSON fallback ---
+
+// HTTPOp is one operation of an HTTP transaction request.
+type HTTPOp struct {
+	// Op is "read" or "write".
+	Op  string      `json:"op"`
+	Obj string      `json:"obj"`
+	Val model.Value `json:"val,omitempty"`
+}
+
+// HTTPRequest is the POST /v1/transact body: one transaction's
+// operations, executed atomically with server-side conflict retry
+// (the HTTP fallback cannot hold a transaction open across requests,
+// so unlike the binary protocol the retry loop lives server-side).
+type HTTPRequest struct {
+	Ops []HTTPOp `json:"ops"`
+}
+
+// HTTPResponse is the success body: per-op results (read values,
+// null for writes), the commit's durability LSN and how many conflict
+// retries it took.
+type HTTPResponse struct {
+	Results []*model.Value `json:"results"`
+	LSN     uint64         `json:"lsn"`
+	Retries int            `json:"retries"`
+}
+
+const httpMaxRetries = 1000
+
+func (s *Server) getHTTPSession() *engine.Session {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if n := len(s.httpSessions); n > 0 {
+		sess := s.httpSessions[n-1]
+		s.httpSessions = s.httpSessions[:n-1]
+		return sess
+	}
+	return s.cfg.DB.Session(fmt.Sprintf("http/%d", s.nextID.Add(1)))
+}
+
+func (s *Server) putHTTPSession(sess *engine.Session) {
+	s.httpMu.Lock()
+	s.httpSessions = append(s.httpSessions, sess)
+	s.httpMu.Unlock()
+}
+
+// HTTPHandler returns the JSON fallback endpoints, for mounting on the
+// observability plane's mux:
+//
+//	POST /v1/transact  run one transaction (HTTPRequest → HTTPResponse)
+//	GET  /v1/info      the server's Info document
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/transact", s.handleTransact)
+	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
+		var info Info
+		if s.cfg.Info != nil {
+			info = s.cfg.Info()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(info)
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleTransact(w http.ResponseWriter, r *http.Request) {
+	var req HTTPRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, MaxFrame))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	for _, op := range req.Ops {
+		if op.Op != "read" && op.Op != "write" {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q", op.Op))
+			return
+		}
+		if op.Obj == "" {
+			httpError(w, http.StatusBadRequest, "op without obj")
+			return
+		}
+	}
+	sess := s.getHTTPSession()
+	defer s.putHTTPSession(sess)
+
+	for attempt := 0; attempt < httpMaxRetries; attempt++ {
+		tx, err := sess.Begin(fmt.Sprintf("http%d", attempt))
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		results := make([]*model.Value, len(req.Ops))
+		opErr := func() error {
+			for i, op := range req.Ops {
+				if op.Op == "read" {
+					v, err := tx.Read(model.Obj(op.Obj))
+					if err != nil {
+						return err
+					}
+					results[i] = &v
+				} else if err := tx.Write(model.Obj(op.Obj), op.Val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if opErr != nil {
+			tx.Abort()
+			if errors.Is(opErr, engine.ErrUninitialized) {
+				httpError(w, http.StatusUnprocessableEntity, opErr.Error())
+			} else {
+				httpError(w, http.StatusInternalServerError, opErr.Error())
+			}
+			return
+		}
+		err = tx.Commit()
+		if errors.Is(err, engine.ErrConflict) {
+			continue
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(HTTPResponse{Results: results, LSN: tx.LSN(), Retries: attempt})
+		return
+	}
+	httpError(w, http.StatusConflict, "transaction kept conflicting")
+}

@@ -1,0 +1,204 @@
+// Package siwire is the wire protocol of the networked transactional
+// KV server (cmd/siserve): a length-prefixed binary framing over TCP
+// in which one connection is one engine session driving at most one
+// interactive transaction at a time, plus an HTTP/JSON fallback for
+// clients without the binary codec (Server.HTTPHandler).
+//
+// # Framing
+//
+// A connection opens with the 8-byte magic "SIWIRE01" from the client.
+// After it, both directions exchange frames:
+//
+//	frame    := u32 payloadLen | payload        (big-endian, ≤ 1 MiB)
+//	request  := u8 op  | body
+//	response := u8 status | body
+//
+// Strings are u32 length + bytes; values (model.Value) travel as their
+// two's-complement uint64 bits. Requests:
+//
+//	begin  (1): —               start a transaction on this connection
+//	read   (2): str obj         read at the transaction's snapshot
+//	write  (3): str obj, i64 v  buffer a write
+//	commit (4): —               commit; ok carries u64 LSN
+//	abort  (5): —               abandon the transaction
+//	info   (6): —               server identity/durability JSON
+//
+// Statuses: ok (0, body per op), conflict (1, the transaction lost a
+// first-committer-wins race and is finished — begin again and retry),
+// uninitialized (2, the read object has no version; the transaction
+// stays open), error (3, str message; the connection's transaction, if
+// any, is aborted).
+//
+// The server never retries: conflict handling is the client's
+// (Client.Transact implements the standard retry loop). A commit's ok
+// response is sent only after the engine acknowledged the commit —
+// over a durable driver, after the record is fsynced — so a client
+// that saw ok owns a durable commit; the returned LSN is its
+// durability token.
+package siwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic opens every binary connection.
+const Magic = "SIWIRE01"
+
+// MaxFrame bounds a frame payload (1 MiB): far above any sane
+// transaction, low enough to reject garbage length prefixes.
+const MaxFrame = 1 << 20
+
+// Request opcodes.
+const (
+	opBegin  byte = 1
+	opRead   byte = 2
+	opWrite  byte = 3
+	opCommit byte = 4
+	opAbort  byte = 5
+	opInfo   byte = 6
+)
+
+// Response statuses.
+const (
+	statusOK            byte = 0
+	statusConflict      byte = 1
+	statusUninitialized byte = 2
+	statusErr           byte = 3
+)
+
+// Sentinel errors mirrored across the wire.
+var (
+	// ErrConflict reports a commit lost to first-committer-wins; the
+	// transaction is finished, begin again to retry.
+	ErrConflict = errors.New("siwire: transaction aborted by conflict")
+	// ErrUninitialized reports a read of an object with no version.
+	ErrUninitialized = errors.New("siwire: object not initialised")
+)
+
+// writeFrame emits one length-prefixed frame and flushes.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("siwire: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("siwire: frame payload %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// reader decodes a frame body with sticky errors.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("siwire: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8(what string) byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) str(what string) string {
+	n := r.u32(what)
+	if r.err != nil || r.off+int(n) > len(r.b) || int(n) < 0 {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.b[r.off:]
+}
+
+// Info is the server identity document returned by the info request
+// (and GET /v1/info on the HTTP plane).
+type Info struct {
+	// Name is the serving binary ("siserve"); Engine the isolation
+	// level it runs ("si").
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	// GitRev is the server build's git revision, recorded by clients
+	// into benchmark ledger entries for baseline comparability.
+	GitRev string `json:"git_rev,omitempty"`
+	// Durable reports a WAL-backed store; the recovery fields describe
+	// the last startup's replay when so.
+	Durable           bool   `json:"durable"`
+	RecoveryCertified bool   `json:"recovery_certified,omitempty"`
+	RecoveryVerdict   string `json:"recovery_verdict,omitempty"`
+	RecoveredCommits  int64  `json:"recovered_commits,omitempty"`
+	// AppendedLSN and SyncedLSN snapshot the WAL frontier; their gap
+	// is the current fsync lag in records.
+	AppendedLSN uint64 `json:"appended_lsn,omitempty"`
+	SyncedLSN   uint64 `json:"synced_lsn,omitempty"`
+}

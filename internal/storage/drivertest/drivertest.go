@@ -1,4 +1,14 @@
-package kvstore
+// Package drivertest is the shared conformance suite every storage
+// driver must pass. It generalises the former kvstore hammer /
+// differential tests to the storage.Driver interface, so the in-memory
+// driver (storage/mem via storage.NewMem) and the write-ahead-logged
+// driver (storage/wal) are pinned to the same semantics: per-chain
+// monotonic installs, snapshot reads, batch-path consistency, the
+// atomic LockObjs commit window, and watermark compaction —
+// differentially checked against the seed engine's single-lock
+// reference store. Driver packages call Run from their own tests; CI
+// runs the suites under -race.
+package drivertest
 
 import (
 	"fmt"
@@ -8,21 +18,45 @@ import (
 	"testing"
 
 	"sian/internal/model"
+	"sian/internal/storage"
 )
 
-// refStore is the seed engine's single-lock store: one RWMutex around
-// one chain map. It is the reference implementation the sharded store
-// is differentially pinned against.
-type refStore struct {
-	mu     sync.RWMutex
-	chains map[model.Obj][]Version
+// Factory returns a fresh, empty driver for one (sub)test. The suite
+// closes the driver when the test ends.
+type Factory func(t *testing.T) storage.Driver
+
+// Run executes the full conformance suite against drivers built by
+// factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("HammerDifferential", func(t *testing.T) { hammerDifferential(t, factory) })
+	t.Run("InstallBatchMatchesSequential", func(t *testing.T) { installBatchMatchesSequential(t, factory) })
+	t.Run("LockObjsWindow", func(t *testing.T) { lockObjsWindow(t, factory) })
 }
 
-func (s *refStore) install(x model.Obj, v Version) error {
+func newDriver(t *testing.T, factory Factory) storage.Driver {
+	t.Helper()
+	d := factory(t)
+	t.Cleanup(func() {
+		if err := d.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return d
+}
+
+// refStore is the seed engine's single-lock store: one RWMutex around
+// one chain map. It is the reference implementation every driver is
+// differentially pinned against.
+type refStore struct {
+	mu     sync.RWMutex
+	chains map[model.Obj][]storage.Version
+}
+
+func (s *refStore) install(x model.Obj, v storage.Version) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.chains == nil {
-		s.chains = make(map[model.Obj][]Version)
+		s.chains = make(map[model.Obj][]storage.Version)
 	}
 	chain := s.chains[x]
 	if len(chain) > 0 && chain[len(chain)-1].TS >= v.TS {
@@ -32,13 +66,13 @@ func (s *refStore) install(x model.Obj, v Version) error {
 	return nil
 }
 
-func (s *refStore) readAt(x model.Obj, ts uint64) (Version, bool) {
+func (s *refStore) readAt(x model.Obj, ts uint64) (storage.Version, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	chain := s.chains[x]
 	i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > ts })
 	if i == 0 {
-		return Version{}, false
+		return storage.Version{}, false
 	}
 	return chain[i-1], true
 }
@@ -50,7 +84,7 @@ func (s *refStore) gc(watermark uint64) int {
 	for x, chain := range s.chains {
 		i := sort.Search(len(chain), func(i int) bool { return chain[i].TS > watermark })
 		if i > 1 {
-			keep := make([]Version, len(chain)-(i-1))
+			keep := make([]storage.Version, len(chain)-(i-1))
 			copy(keep, chain[i-1:])
 			s.chains[x] = keep
 			dropped += i - 1
@@ -67,20 +101,17 @@ type hammerOp struct {
 	install bool
 }
 
-// TestHammerDifferential pins the sharded store to the seed
-// single-lock store on a randomized op log. The log is generated with
-// per-object monotonically increasing install timestamps, partitioned
-// across goroutines by object (so concurrent application is
-// deterministic per chain), applied concurrently to the sharded store
-// while readers probe it, then replayed sequentially into the
-// reference store; every chain and every read probe must agree.
-// Run under -race in CI.
-func TestHammerDifferential(t *testing.T) {
-	t.Parallel()
+// hammerDifferential pins the driver to the single-lock reference
+// store on a randomized op log. The log is generated with per-object
+// monotonically increasing install timestamps, partitioned across
+// goroutines by object (so concurrent application is deterministic per
+// chain), applied concurrently to the driver while readers probe it,
+// then replayed sequentially into the reference store; every chain and
+// every read probe must agree.
+func hammerDifferential(t *testing.T, factory Factory) {
 	for seed := int64(1); seed <= 4; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			t.Parallel()
 			rng := rand.New(rand.NewSource(seed))
 			const objects = 24
 			const opsPerObj = 60
@@ -96,7 +127,7 @@ func TestHammerDifferential(t *testing.T) {
 				}
 			}
 
-			sharded := New()
+			d := newDriver(t, factory)
 			var wg sync.WaitGroup
 			for o := range logs {
 				wg.Add(1)
@@ -104,14 +135,14 @@ func TestHammerDifferential(t *testing.T) {
 					defer wg.Done()
 					for _, op := range log {
 						if op.install {
-							if err := sharded.Install(op.obj, Version{Val: model.Value(op.ts), TS: op.ts}); err != nil {
+							if err := d.Install(op.obj, storage.Version{Val: model.Value(op.ts), TS: op.ts}); err != nil {
 								t.Errorf("Install(%s,%d): %v", op.obj, op.ts, err)
 								return
 							}
 						} else {
 							// Probe concurrently; the value, if present, must
 							// be the timestamp it was installed with.
-							if v, ok := sharded.ReadAt(op.obj, op.ts); ok && uint64(v.Val) != v.TS {
+							if v, ok := d.ReadAt(op.obj, op.ts); ok && uint64(v.Val) != v.TS {
 								t.Errorf("ReadAt(%s,%d) returned torn version %+v", op.obj, op.ts, v)
 								return
 							}
@@ -130,20 +161,21 @@ func TestHammerDifferential(t *testing.T) {
 				for o := range probe {
 					probe[o] = model.Obj(fmt.Sprintf("h%d", o))
 				}
+				rng := rand.New(rand.NewSource(seed + 1000))
 				for {
 					select {
 					case <-stop:
 						return
 					default:
 					}
-					vs, oks := sharded.ReadAtBatch(probe, uint64(1+rng.Intn(200)))
+					vs, oks := d.ReadAtBatch(probe, uint64(1+rng.Intn(200)))
 					for i := range vs {
 						if oks[i] && uint64(vs[i].Val) != vs[i].TS {
 							t.Errorf("ReadAtBatch returned torn version %+v", vs[i])
 							return
 						}
 					}
-					sharded.LatestTSBatch(probe)
+					d.LatestTSBatch(probe)
 				}
 			}()
 			wg.Wait()
@@ -155,7 +187,7 @@ func TestHammerDifferential(t *testing.T) {
 			for _, log := range logs {
 				for _, op := range log {
 					if op.install {
-						if err := ref.install(op.obj, Version{Val: model.Value(op.ts), TS: op.ts}); err != nil {
+						if err := ref.install(op.obj, storage.Version{Val: model.Value(op.ts), TS: op.ts}); err != nil {
 							t.Fatal(err)
 						}
 					}
@@ -166,10 +198,10 @@ func TestHammerDifferential(t *testing.T) {
 			compare := func() {
 				for _, log := range logs {
 					for ts := uint64(0); ts <= log[len(log)-1].ts+1; ts++ {
-						got, gok := sharded.ReadAt(log[0].obj, ts)
+						got, gok := d.ReadAt(log[0].obj, ts)
 						want, wok := ref.readAt(log[0].obj, ts)
 						if gok != wok || got != want {
-							t.Fatalf("ReadAt(%s,%d): sharded (%+v,%v) != ref (%+v,%v)",
+							t.Fatalf("ReadAt(%s,%d): driver (%+v,%v) != ref (%+v,%v)",
 								log[0].obj, ts, got, gok, want, wok)
 						}
 					}
@@ -177,28 +209,27 @@ func TestHammerDifferential(t *testing.T) {
 			}
 			compare()
 
-			// GC both at the same watermark; drop counts and post-GC
-			// reads must agree.
+			// Compact both at the same watermark; drop counts and
+			// post-compaction reads must agree.
 			watermark := uint64(rng.Intn(200))
-			if g, w := sharded.GC(watermark), ref.gc(watermark); g != w {
-				t.Fatalf("GC(%d): sharded dropped %d, ref dropped %d", watermark, g, w)
+			if g, w := d.Compact(watermark), ref.gc(watermark); g != w {
+				t.Fatalf("Compact(%d): driver dropped %d, ref dropped %d", watermark, g, w)
 			}
 			compare()
 		})
 	}
 }
 
-// TestInstallBatchMatchesSequential pins InstallBatch to the
-// semantics of per-object Install calls.
-func TestInstallBatchMatchesSequential(t *testing.T) {
-	t.Parallel()
-	batch := New()
-	seq := New()
-	var ws []Write
+// installBatchMatchesSequential pins InstallBatch to the semantics of
+// per-object Install calls.
+func installBatchMatchesSequential(t *testing.T, factory Factory) {
+	batch := newDriver(t, factory)
+	seq := newDriver(t, factory)
+	var ws []storage.Write
 	for i := 0; i < 50; i++ {
 		obj := model.Obj(fmt.Sprintf("b%d", i%7))
-		v := Version{Val: model.Value(i), TS: uint64(i + 1), Meta: uint64(i)}
-		ws = append(ws, Write{Obj: obj, Version: v})
+		v := storage.Version{Val: model.Value(i), TS: uint64(i + 1), Meta: uint64(i)}
+		ws = append(ws, storage.Write{Obj: obj, Version: v})
 		if err := seq.Install(obj, v); err != nil {
 			t.Fatal(err)
 		}
@@ -219,17 +250,16 @@ func TestInstallBatchMatchesSequential(t *testing.T) {
 		}
 	}
 	// A non-monotonic batch write surfaces the install error.
-	if err := batch.InstallBatch([]Write{{Obj: "b0", Version: Version{TS: 1}}}); err == nil {
+	if err := batch.InstallBatch([]storage.Write{{Obj: "b0", Version: storage.Version{TS: 1}}}); err == nil {
 		t.Error("non-monotonic batch accepted")
 	}
 }
 
-// TestLockObjsWindow exercises the commit-window lock: validation and
+// lockObjsWindow exercises the commit-window lock: validation and
 // installation under LockObjs must be atomic against a concurrent
 // commit of an overlapping write set.
-func TestLockObjsWindow(t *testing.T) {
-	t.Parallel()
-	s := New()
+func lockObjsWindow(t *testing.T, factory Factory) {
+	d := newDriver(t, factory)
 	objs := []model.Obj{"x", "y"}
 	const rounds = 200
 	var wins [2]int
@@ -240,7 +270,7 @@ func TestLockObjsWindow(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for round := range start {
-				l := s.LockObjs(objs)
+				l := d.LockObjs(objs)
 				ok := true
 				for _, x := range objs {
 					if l.LatestTS(x) > uint64(round) {
@@ -249,7 +279,7 @@ func TestLockObjsWindow(t *testing.T) {
 				}
 				if ok {
 					for _, x := range objs {
-						if err := l.Install(x, Version{Val: model.Value(w), TS: uint64(round + 1)}); err != nil {
+						if err := l.Install(x, storage.Version{Val: model.Value(w), TS: uint64(round + 1)}); err != nil {
 							t.Errorf("install: %v", err)
 						}
 					}
@@ -266,14 +296,14 @@ func TestLockObjsWindow(t *testing.T) {
 		defer close(done)
 		wg.Wait()
 	}()
-	for r := 0; r < rounds; r += 1 {
+	for r := 0; r < rounds; r++ {
 		start <- r
 		start <- r
 	}
 	close(start)
 	<-done
 	total := wins[0] + wins[1]
-	if got := s.VersionCount("x"); got != total || got != s.VersionCount("y") {
-		t.Errorf("versions x=%d y=%d, want both %d (wins %v)", s.VersionCount("x"), s.VersionCount("y"), total, wins)
+	if got := d.VersionCount("x"); got != total || got != d.VersionCount("y") {
+		t.Errorf("versions x=%d y=%d, want both %d (wins %v)", d.VersionCount("x"), d.VersionCount("y"), total, wins)
 	}
 }

@@ -1,0 +1,15 @@
+package mem_test
+
+import (
+	"testing"
+
+	"sian/internal/storage"
+	"sian/internal/storage/drivertest"
+)
+
+// TestDriverConformance runs the shared storage-driver suite against
+// the in-memory driver.
+func TestDriverConformance(t *testing.T) {
+	t.Parallel()
+	drivertest.Run(t, func(t *testing.T) storage.Driver { return storage.NewMem() })
+}

@@ -1,5 +1,8 @@
-// Package kvstore provides the multi-version key-value storage
-// substrate used by the transactional engines in internal/engine.
+// Package mem is the in-memory storage driver: the multi-version
+// key-value substrate used by the transactional engines in
+// internal/engine, reached through the internal/storage driver
+// interface (storage.NewMem) or embedded directly by drivers that add
+// durability on top (internal/storage/wal).
 //
 // A Store keeps, per object, a chain of versions ordered by a caller-
 // supplied logical timestamp. Snapshot reads (ReadAt) return the
@@ -20,7 +23,7 @@
 // per call instead of once per object.
 //
 // The store is safe for concurrent use; the zero value is ready.
-package kvstore
+package mem
 
 import (
 	"fmt"
@@ -95,7 +98,7 @@ func (sh *shard) installLocked(x model.Obj, v Version) error {
 	}
 	chain := sh.chains[x]
 	if len(chain) > 0 && chain[len(chain)-1].TS >= v.TS {
-		return fmt.Errorf("kvstore: non-monotonic install on %q: ts %d ≤ latest %d",
+		return fmt.Errorf("mem: non-monotonic install on %q: ts %d ≤ latest %d",
 			x, v.TS, chain[len(chain)-1].TS)
 	}
 	sh.chains[x] = append(chain, v)
@@ -259,6 +262,43 @@ func (s *Store) VersionCount(x model.Obj) int {
 	return len(sh.chains[x])
 }
 
+// Chain returns a copy of x's full version chain, oldest first (empty
+// when x has never been written). Diagnostic accessor used by
+// durability tests to assert that an acknowledged write survived.
+func (s *Store) Chain(x model.Obj) []Version {
+	sh := s.shardOf(x)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]Version(nil), sh.chains[x]...)
+}
+
+// SnapshotLatest returns the latest version of every object plus the
+// maximum timestamp present, captured atomically across all shards:
+// every shard lock is held at once, so no commit window (LockObjs) can
+// be mid-install while the cut is taken. Commits are therefore
+// all-or-nothing in the snapshot — the property the WAL driver's
+// conditional replay relies on. The stop-the-world window lasts one
+// map walk; callers (log compaction) are rare.
+func (s *Store) SnapshotLatest() (map[model.Obj]Version, uint64) {
+	l := s.lockMask(^uint64(0))
+	defer l.Unlock()
+	out := make(map[model.Obj]Version)
+	var maxTS uint64
+	for i := range s.shards {
+		for x, chain := range s.shards[i].chains {
+			if len(chain) == 0 {
+				continue
+			}
+			v := chain[len(chain)-1]
+			out[x] = v
+			if v.TS > maxTS {
+				maxTS = v.TS
+			}
+		}
+	}
+	return out, maxTS
+}
+
 // Clone returns a deep copy of the store (used for replica state
 // transfer). The copy is shard-by-shard: each shard is internally
 // consistent, and callers quiesce writers (the PSI state transfer
@@ -354,7 +394,7 @@ func (l *Locked) covers(x model.Obj) bool {
 // the locked write set.
 func (l *Locked) LatestTS(x model.Obj) uint64 {
 	if !l.covers(x) {
-		panic(fmt.Sprintf("kvstore: LatestTS(%q) outside the locked write set", x))
+		panic(fmt.Sprintf("mem: LatestTS(%q) outside the locked write set", x))
 	}
 	return l.s.shardOf(x).latestTSLocked(x)
 }
@@ -363,7 +403,7 @@ func (l *Locked) LatestTS(x model.Obj) uint64 {
 // covered by the locked write set.
 func (l *Locked) ReadAt(x model.Obj, ts uint64) (Version, bool) {
 	if !l.covers(x) {
-		panic(fmt.Sprintf("kvstore: ReadAt(%q) outside the locked write set", x))
+		panic(fmt.Sprintf("mem: ReadAt(%q) outside the locked write set", x))
 	}
 	return l.s.shardOf(x).readAtLocked(x, ts)
 }
@@ -372,7 +412,7 @@ func (l *Locked) ReadAt(x model.Obj, ts uint64) (Version, bool) {
 // be covered by the locked write set.
 func (l *Locked) Install(x model.Obj, v Version) error {
 	if !l.covers(x) {
-		panic(fmt.Sprintf("kvstore: Install(%q) outside the locked write set", x))
+		panic(fmt.Sprintf("mem: Install(%q) outside the locked write set", x))
 	}
 	return l.s.shardOf(x).installLocked(x, v)
 }
