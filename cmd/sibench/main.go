@@ -13,7 +13,7 @@
 //	        [-bench-json file] [-ledger file.ndjson] [-compare file]
 //	        [-compare-threshold F] [-serve addr] [-pprof addr]
 //	        [-record file.ndjson] [-timeline file.json]
-//	        [-addr host:port]
+//	        [-addr host:port] [-trace-txns]
 //
 // The closedloop workload is the concurrent benchmark driver: one
 // goroutine per session, each firing its next transaction the moment
@@ -54,8 +54,26 @@
 // report then carries mode "network" and the server's git revision
 // (from its info document), and -compare baselines match mode — a
 // ledger shared between in-process and network runs always gates like
-// against like. -certify, -sweep, -record and -timeline are
-// unavailable in network mode (there is no in-process engine).
+// against like. -certify, -sweep and -record are unavailable in
+// network mode (there is no in-process engine); -timeline is available
+// only together with -trace-txns, where it renders the merged
+// client+server transaction traces instead of the engine event stream.
+//
+// -trace-txns traces every transaction's commit pipeline
+// (internal/obs/txtrace) and prints a per-stage p50/p99 table after
+// the run; the breakdown also lands in the bench report and ledger
+// entry (stages field — old ledger lines parse unchanged, and
+// -compare keeps gating only the headline throughput metrics).
+// In-process it times begin, validation, WAL append, fsync wait,
+// publish and ack inside the engine. Against -addr the client
+// propagates its trace IDs inside the siwire frames, the server sends
+// its pipeline spans back on the commit response, and each trace
+// merges the client's wire round-trip spans with the server's
+// pipeline spans — -timeline then writes the merged rows as
+// Perfetto-loadable Chrome trace JSON, and /trace/{id} on either
+// side's -serve plane resolves the same IDs. Incompatible with -sweep
+// (each sweep point would need its own tracer; trace one point
+// directly instead).
 //
 // -ledger appends the run's report plus provenance (git revision,
 // host fingerprint, GOMAXPROCS) as one NDJSON line to the named run
@@ -92,6 +110,7 @@ import (
 	"sian/internal/obs"
 	"sian/internal/obs/eventlog"
 	"sian/internal/obs/ledger"
+	"sian/internal/obs/txtrace"
 	"sian/internal/workload"
 )
 
@@ -143,6 +162,7 @@ type runConfig struct {
 	comparePath  string
 	compareThr   float64
 	addr         string
+	traceTxns    bool
 	args         []string
 }
 
@@ -185,6 +205,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	comparePath := fs.String("compare", "", "compare the run against a baseline (run ledger or bench-report JSON); regressions exit 1")
 	compareThr := fs.Float64("compare-threshold", 0.3, "tolerated fractional throughput loss for -compare before failing")
 	addrFlag := fs.String("addr", "", "drive a running siserve at this address over the siwire protocol instead of an in-process engine (closedloop only)")
+	traceTxns := fs.Bool("trace-txns", false, "trace every transaction's commit-pipeline stages and print the per-stage latency table (with -addr: merged client+server traces)")
 	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -203,6 +224,9 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if *compareThr < 0 || *compareThr >= 1 {
 		return 2, fmt.Errorf("-compare-threshold must be in [0, 1)")
 	}
+	if *traceTxns && *sweepFlag != "" {
+		return 2, fmt.Errorf("-trace-txns is incompatible with -sweep (trace a single point directly instead)")
+	}
 	if *addrFlag != "" {
 		// Network mode drives a remote server: there is no in-process
 		// engine to certify, record or sweep, and the server picked its
@@ -210,8 +234,11 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		if *workloadFlag != "closedloop" {
 			return 2, fmt.Errorf("-addr supports only -workload closedloop")
 		}
-		if *certify || *sweepFlag != "" || *recordOut != "" || *timelineOut != "" {
-			return 2, fmt.Errorf("-addr is incompatible with -certify, -sweep, -record and -timeline (no in-process engine)")
+		if *certify || *sweepFlag != "" || *recordOut != "" {
+			return 2, fmt.Errorf("-addr is incompatible with -certify, -sweep and -record (no in-process engine)")
+		}
+		if *timelineOut != "" && !*traceTxns {
+			return 2, fmt.Errorf("-addr supports -timeline only with -trace-txns (the merged client+server transaction timeline)")
 		}
 		if *engineFlag != "si" {
 			return 2, fmt.Errorf("-addr ignores -engine (the server chose at startup); leave it at the default")
@@ -227,7 +254,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		duration: *duration, hotkeys: *hotkeys, disjoint: *disjoint,
 		sweep: *sweepFlag, sweepReps: *sweepReps,
 		ledgerPath: *ledgerPath, comparePath: *comparePath, compareThr: *compareThr,
-		addr: *addrFlag, args: args,
+		addr: *addrFlag, traceTxns: *traceTxns, args: args,
 	}
 
 	o, err := obsFlags.Start("sibench", stderr)
@@ -243,9 +270,11 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 // comparison, recorder dumps.
 func (cfg runConfig) execute(o *cliutil.Obs, stdout, stderr io.Writer) (int, error) {
 	// The flight recorder feeds -record / -timeline dumps and, while
-	// -serve is up, the live /events tail and /timeline endpoint.
+	// -serve is up, the live /events tail and /timeline endpoint. In
+	// network mode -timeline is the merged transaction-trace dump
+	// (written by runNetwork itself), not a recorder snapshot.
 	var rec *eventlog.Recorder
-	if cfg.recordOut != "" || cfg.timelineOut != "" || o.Serving() {
+	if cfg.recordOut != "" || (cfg.timelineOut != "" && cfg.addr == "") || o.Serving() {
 		rec = eventlog.NewRecorder(cfg.recordCap)
 		o.SetRecorder(rec)
 	}
@@ -336,7 +365,7 @@ func (cfg runConfig) dumpRecorder(rec *eventlog.Recorder, o *cliutil.Obs, stdout
 		}
 		fmt.Fprintf(stdout, "recorded %d events to %s\n", len(events), cfg.recordOut)
 	}
-	if cfg.timelineOut != "" {
+	if cfg.timelineOut != "" && cfg.addr == "" {
 		if err := writeFileWith(cfg.timelineOut, func(w io.Writer) error {
 			return eventlog.WriteChromeTrace(w, events, o.Tracer.Phases())
 		}); err != nil {
@@ -355,6 +384,12 @@ func (cfg runConfig) runSingle(o *cliutil.Obs, rec *eventlog.Recorder, stdout io
 	econf := engine.Config{Metrics: reg, Recorder: rec}
 	if cfg.workload == "longfork" {
 		econf.ManualPropagation = true
+	}
+	var txt *txtrace.Tracer
+	if cfg.traceTxns {
+		txt = txtrace.New(txtrace.Options{})
+		econf.TxTracer = txt
+		o.SetTxTracer(txt)
 	}
 	db, err := engine.New(cfg.kind, econf)
 	if err != nil {
@@ -471,6 +506,11 @@ func (cfg runConfig) runSingle(o *cliutil.Obs, rec *eventlog.Recorder, stdout io
 	}
 
 	rep := cfg.buildReport(elapsed, certifyDur, certifyExamined, stats, reg)
+	if txt != nil {
+		stages := txt.StageLatencies()
+		printStageTable(stdout, stages)
+		rep.Stages = ledgerStages(stages)
+	}
 	return exit, rep, nil
 }
 

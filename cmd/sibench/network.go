@@ -13,6 +13,7 @@ import (
 	"sian/internal/cliutil"
 	"sian/internal/model"
 	"sian/internal/obs"
+	"sian/internal/obs/txtrace"
 	"sian/internal/siwire"
 )
 
@@ -78,6 +79,15 @@ func (cfg runConfig) runNetwork(o *cliutil.Obs, stdout io.Writer) (int, benchRep
 	probe.Close()
 
 	commitLat := o.Registry.Histogram("siwire_client_commit_latency_ns", obs.L("mode", "network"))
+	// With -trace-txns every transaction carries a client-assigned
+	// trace ID across the wire; the server's pipeline spans ride back
+	// on the commit response and merge into the client's trace, so one
+	// span tree covers the full round trip.
+	var ct *txtrace.Tracer
+	if cfg.traceTxns {
+		ct = txtrace.New(txtrace.Options{})
+		o.SetTxTracer(ct)
+	}
 	var counter, commits, conflicts atomic.Int64
 	var stopFlag atomic.Bool
 	if cfg.duration > 0 {
@@ -113,11 +123,19 @@ func (cfg runConfig) runNetwork(o *cliutil.Obs, stdout io.Writer) (int, benchRep
 				}
 				// One transaction, retried on conflict with a fresh
 				// object draw — the same shape as Session.Transact.
+				// Every txtrace call below is a nil-safe no-op when
+				// tracing is off (ct nil ⇒ tr nil).
 				for {
-					if err := c.Begin(); err != nil {
+					var tr *txtrace.Trace
+					if ct != nil {
+						tr = ct.Begin(fmt.Sprintf("w%d", w))
+					}
+					if err := c.BeginTraced(tr.ID()); err != nil {
+						tr.Finish(txtrace.OutcomeError, 0)
 						errs[w] = err
 						return
 					}
+					tr.Mark(txtrace.StageWireBegin)
 					ok := true
 					for i := 0; i < cfg.ops; i++ {
 						x := objName(pool, pick(rng))
@@ -132,21 +150,28 @@ func (cfg runConfig) runNetwork(o *cliutil.Obs, stdout io.Writer) (int, benchRep
 							break
 						}
 					}
+					tr.Mark(txtrace.StageWireOps)
 					if !ok {
+						tr.Finish(txtrace.OutcomeAbort, 0)
 						c.Abort()
 						return
 					}
 					t0 := time.Now()
-					_, err := c.Commit()
+					res, err := c.CommitTraced()
 					if err == nil {
-						commitLat.Observe(time.Since(t0).Nanoseconds())
+						tr.Mark(txtrace.StageWireCommit)
+						tr.AddSpans(res.ServerSpans)
+						commitLat.ObserveExemplar(time.Since(t0).Nanoseconds(), tr.ID())
+						tr.Finish(txtrace.OutcomeCommit, res.LSN)
 						commits.Add(1)
 						break
 					}
 					if errors.Is(err, siwire.ErrConflict) {
+						tr.Finish(txtrace.OutcomeConflict, 0)
 						conflicts.Add(1)
 						continue
 					}
+					tr.Finish(txtrace.OutcomeError, 0)
 					errs[w] = err
 					return
 				}
@@ -184,6 +209,21 @@ func (cfg runConfig) runNetwork(o *cliutil.Obs, stdout io.Writer) (int, benchRep
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.TxsPerSec = float64(rep.Commits) / secs
+	}
+	if ct != nil {
+		stages := ct.StageLatencies()
+		printStageTable(stdout, stages)
+		rep.Stages = ledgerStages(stages)
+		if cfg.timelineOut != "" {
+			merged := ct.Finished(0)
+			if err := writeFileWith(cfg.timelineOut, func(w io.Writer) error {
+				return txtrace.WriteChromeTrace(w, merged)
+			}); err != nil {
+				return 2, benchReport{}, fmt.Errorf("timeline: %w", err)
+			}
+			fmt.Fprintf(stdout, "merged client+server timeline (%d traces) written to %s (load in ui.perfetto.dev)\n",
+				len(merged), cfg.timelineOut)
+		}
 	}
 	return 0, rep, nil
 }

@@ -15,6 +15,7 @@ import (
 	"sian/internal/obs"
 	"sian/internal/obs/eventlog"
 	"sian/internal/obs/obshttp"
+	"sian/internal/obs/txtrace"
 )
 
 // ObsFlags carries the shared observability flag values registered by
@@ -116,6 +117,14 @@ func (o *Obs) SetRegistry(reg *obs.Registry) {
 func (o *Obs) SetRecorder(rec *eventlog.Recorder) {
 	if o != nil && o.Server != nil {
 		o.Server.SetRecorder(rec)
+	}
+}
+
+// SetTxTracer attaches the transaction tracer to the live plane's
+// /trace/{id} and /slow endpoints. No-op without -serve.
+func (o *Obs) SetTxTracer(t *txtrace.Tracer) {
+	if o != nil && o.Server != nil {
+		o.Server.SetTxTracer(t)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sian/internal/model"
 	"sian/internal/obs"
 	"sian/internal/obs/eventlog"
+	"sian/internal/obs/txtrace"
 	"sian/internal/storage"
 )
 
@@ -113,6 +114,14 @@ type Config struct {
 	// renders as a timeline. Recording is lock-light and never blocks
 	// commits; nil keeps the hot path free of event appends.
 	Recorder *eventlog.Recorder
+	// TxTracer, when non-nil, assigns every transaction attempt a
+	// trace ID and records per-stage commit-pipeline spans (begin
+	// wait, reads, lock wait, validate, install, WAL append, fsync
+	// wait, publish, ack) retained for GET /trace/{id} and the slow
+	// log. Tracing is off by default and free when off: with a nil
+	// tracer the commit path carries only nil-pointer checks, no
+	// clock reads and no allocations.
+	TxTracer *txtrace.Tracer
 	// RetryBackoffBase and RetryBackoffMax shape the capped
 	// exponential backoff (with jitter) Transact applies between
 	// conflict retries, after a few initial pure yields. Zero values
@@ -172,6 +181,9 @@ type commitReq struct {
 	ops     []model.Op
 	session string
 	txid    string
+	// trace is the attempt's stage-span trace; nil when tracing is
+	// off. Protocols Mark pipeline stages on it as they pass them.
+	trace *txtrace.Trace
 }
 
 // DB is a transactional database handle. Create with New, use Session
@@ -456,12 +468,15 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 		if attempt > 0 {
 			s.backoff(attempt)
 		}
+		tr := s.db.cfg.TxTracer.Begin(s.id)
 		inner, err := s.db.impl.begin(s.site)
 		if err != nil {
 			return err
 		}
+		tr.Mark(txtrace.StageBeginWait)
 		began := time.Now()
 		txid := s.beginAttempt()
+		tr.SetTxID(txid)
 		tx := &Tx{inner: inner, writes: make(map[model.Obj]model.Value), rec: s.db.cfg.Recorder, session: s.id, txid: txid}
 		err = fn(tx)
 		if err != nil {
@@ -470,30 +485,53 @@ func (s *Session) TransactNamed(name string, fn func(tx *Tx) error) error {
 				s.event(eventlog.Conflict, txid, "")
 				s.db.mConflicts.Inc()
 				s.db.mRetries.Inc()
+				tr.Finish(txtrace.OutcomeConflict, 0)
 				continue // fn surfaced a conflict from a read; retry
 			}
 			s.event(eventlog.Abort, txid, "")
 			s.db.mAborts.Inc() // user-initiated rollback, not a conflict
+			tr.Finish(txtrace.OutcomeAbort, 0)
 			return err
 		}
+		tr.Mark(txtrace.StageReads)
 		commitStart := time.Now()
-		lsn, err := inner.commit(commitReq{writes: tx.writes, order: tx.writeOrder, ops: tx.ops, session: s.id, txid: txid})
+		lsn, err := inner.commit(commitReq{writes: tx.writes, order: tx.writeOrder, ops: tx.ops, session: s.id, txid: txid, trace: tr})
 		if err != nil {
 			if errors.Is(err, ErrConflict) {
 				s.event(eventlog.Conflict, txid, "")
 				s.db.mConflicts.Inc()
 				s.db.mRetries.Inc()
+				tr.Finish(txtrace.OutcomeConflict, 0)
 				continue
 			}
+			tr.Finish(txtrace.OutcomeError, 0)
 			return err
 		}
 		s.db.mCommits.Inc()
-		s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
+		s.observeCommitLatency(time.Since(commitStart).Nanoseconds(), tr)
 		s.db.hSnapAge.Observe(commitStart.Sub(began).Nanoseconds())
 		id := s.record(name, tx.ops)
+		if txid == "" {
+			tr.SetTxID(id)
+		}
 		s.commitEvent(txid, id, lsn)
+		if tr != nil {
+			tr.Mark(txtrace.StageAck)
+			tr.Finish(txtrace.OutcomeCommit, lsn)
+		}
 		return nil
 	}
+}
+
+// observeCommitLatency records the commit latency; traced commits go
+// through ObserveExemplar so the histogram bucket links back to the
+// trace ID (resolvable via GET /trace/{id}).
+func (s *Session) observeCommitLatency(ns int64, tr *txtrace.Trace) {
+	if tr != nil {
+		s.db.hCommitLat.ObserveExemplar(ns, tr.ID())
+		return
+	}
+	s.db.hCommitLat.Observe(ns)
 }
 
 // yieldRetries is the number of initial conflict retries that only
@@ -566,18 +604,31 @@ func (s *Session) record(name string, ops []model.Op) string {
 // normal workloads, which also handles retry. The caller must finish
 // the transaction with exactly one of Commit or Abort.
 func (s *Session) Begin(name string) (*ManualTx, error) {
+	return s.BeginTraced(name, 0)
+}
+
+// BeginTraced is Begin with a caller-provided trace ID: when the DB has
+// a TxTracer, the transaction's trace is created under that ID instead
+// of a fresh one, so a trace ID propagated over the wire joins the
+// client's spans with the server's pipeline spans. A zero ID assigns a
+// fresh one; without a TxTracer the ID is ignored.
+func (s *Session) BeginTraced(name string, traceID uint64) (*ManualTx, error) {
 	if s.db.isClosed() {
 		return nil, ErrClosed
 	}
+	tr := s.db.cfg.TxTracer.BeginWithID(traceID, s.id)
 	inner, err := s.db.impl.begin(s.site)
 	if err != nil {
 		return nil, err
 	}
+	tr.Mark(txtrace.StageBeginWait)
 	txid := s.beginAttempt()
+	tr.SetTxID(txid)
 	return &ManualTx{
 		s:     s,
 		name:  name,
 		began: time.Now(),
+		trace: tr,
 		tx:    &Tx{inner: inner, writes: make(map[model.Obj]model.Value), rec: s.db.cfg.Recorder, session: s.id, txid: txid},
 	}, nil
 }
@@ -589,9 +640,19 @@ type ManualTx struct {
 	name  string
 	began time.Time
 	tx    *Tx
+	trace *txtrace.Trace
 	done  bool
 	lsn   uint64
 }
+
+// TraceID returns the transaction's trace ID (0 when tracing is off).
+func (m *ManualTx) TraceID() uint64 { return m.trace.ID() }
+
+// TraceData returns the finished trace after Commit or Abort, or nil
+// when tracing is off or the transaction is still live. The networked
+// server sends it back inside the commit response so the client can
+// merge server pipeline spans into its own timeline.
+func (m *ManualTx) TraceData() *txtrace.TraceData { return m.trace.Data() }
 
 // LSN returns the write-ahead-log sequence number the transaction's
 // commit record was fsynced at: non-zero only after a successful
@@ -614,21 +675,33 @@ func (m *ManualTx) Commit() error {
 		return fmt.Errorf("engine: transaction %q already finished", m.name)
 	}
 	m.done = true
+	tr := m.trace
+	tr.Mark(txtrace.StageReads)
 	commitStart := time.Now()
-	lsn, err := m.tx.inner.commit(commitReq{writes: m.tx.writes, order: m.tx.writeOrder, ops: m.tx.ops, session: m.s.id, txid: m.tx.txid})
+	lsn, err := m.tx.inner.commit(commitReq{writes: m.tx.writes, order: m.tx.writeOrder, ops: m.tx.ops, session: m.s.id, txid: m.tx.txid, trace: tr})
 	if err != nil {
 		if errors.Is(err, ErrConflict) {
 			m.s.event(eventlog.Conflict, m.tx.txid, "")
 			m.s.db.mConflicts.Inc()
+			tr.Finish(txtrace.OutcomeConflict, 0)
+		} else {
+			tr.Finish(txtrace.OutcomeError, 0)
 		}
 		return err
 	}
 	m.lsn = lsn
 	m.s.db.mCommits.Inc()
-	m.s.db.hCommitLat.Observe(time.Since(commitStart).Nanoseconds())
+	m.s.observeCommitLatency(time.Since(commitStart).Nanoseconds(), tr)
 	m.s.db.hSnapAge.Observe(commitStart.Sub(m.began).Nanoseconds())
 	id := m.s.record(m.name, m.tx.ops)
+	if m.tx.txid == "" {
+		tr.SetTxID(id)
+	}
 	m.s.commitEvent(m.tx.txid, id, lsn)
+	if tr != nil {
+		tr.Mark(txtrace.StageAck)
+		tr.Finish(txtrace.OutcomeCommit, lsn)
+	}
 	return nil
 }
 
@@ -642,6 +715,7 @@ func (m *ManualTx) Abort() {
 	m.tx.inner.abort()
 	m.s.event(eventlog.Abort, m.tx.txid, "")
 	m.s.db.mAborts.Inc()
+	m.trace.Finish(txtrace.OutcomeAbort, 0)
 }
 
 // Tx is a live transaction handle passed to Transact callbacks. It

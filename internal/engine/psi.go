@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sian/internal/model"
+	"sian/internal/obs/txtrace"
 	"sian/internal/storage"
 )
 
@@ -363,8 +364,10 @@ func (t *psiTx) commit(req commitReq) (uint64, error) {
 	if len(writes) == 0 {
 		return 0, nil
 	}
+	tr := req.trace
 	p := t.p
 	p.mu.Lock()
+	tr.Mark(txtrace.StageLockWait)
 	defer p.mu.Unlock()
 	// Write-conflict check: for every written object, the snapshot
 	// must contain the globally latest committed write (stamp match);
@@ -376,9 +379,11 @@ func (t *psiTx) commit(req commitReq) (uint64, error) {
 			seen = v.Meta
 		}
 		if p.gv[x] != seen {
+			tr.Mark(txtrace.StageValidate)
 			return 0, ErrConflict
 		}
 	}
+	tr.Mark(txtrace.StageValidate)
 	c := psiCommit{
 		origin: t.site,
 		order:  append([]model.Obj(nil), order...),
@@ -401,6 +406,7 @@ func (t *psiTx) commit(req commitReq) (uint64, error) {
 	// are pinned to sites).
 	t.r.applyLocked(c)
 	t.r.mu.Unlock()
+	tr.Mark(txtrace.StageInstall)
 	p.sincetruncate++
 	if p.sincetruncate >= 256 {
 		p.sincetruncate = 0

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"sian/internal/model"
+	"sian/internal/obs/txtrace"
 	"sian/internal/storage"
 )
 
@@ -118,17 +119,21 @@ func (t *siTx) commit(req commitReq) (uint64, error) {
 		return 0, nil // read-only transactions always commit under SI
 	}
 	snap := t.ticket.snap
+	tr := req.trace
 	lock := p.store.LockObjs(req.order)
+	tr.Mark(txtrace.StageLockWait)
 	// Write-conflict detection: any object we wrote that gained a
 	// committed version after our snapshot aborts us. Holding every
 	// write-set shard makes validate-then-install atomic against any
 	// commit overlapping our write set.
 	for _, x := range req.order {
 		if lock.LatestTS(x) > snap {
+			tr.Mark(txtrace.StageValidate)
 			lock.Unlock()
 			return 0, ErrConflict
 		}
 	}
+	tr.Mark(txtrace.StageValidate)
 	ts := p.nextTS.Add(1)
 	var installErr error
 	for _, x := range req.order {
@@ -142,11 +147,19 @@ func (t *siTx) commit(req commitReq) (uint64, error) {
 			}
 		}
 	}
+	tr.Mark(txtrace.StageInstall)
 	// Hand a durable window the commit record while the shards are
 	// still held, so the log's per-object record order matches the
 	// timestamp order installed above.
 	if lg, ok := lock.(storage.CommitLogger); ok {
 		lg.LogCommit(storage.CommitRecord{TS: ts, Session: req.session, TxID: req.txid, Ops: req.ops})
+	}
+	// A durable window marks the wal_append and fsync_wait stages
+	// itself (they happen inside Unlock, below).
+	if tr != nil {
+		if ta, ok := lock.(storage.TraceAttacher); ok {
+			ta.AttachTrace(tr)
+		}
 	}
 	// For a durable driver, Unlock appends the staged record inside
 	// the critical section, releases the shards, and returns only once
@@ -161,6 +174,7 @@ func (t *siTx) commit(req commitReq) (uint64, error) {
 	for !p.commitTS.CompareAndSwap(ts-1, ts) {
 		runtime.Gosched()
 	}
+	tr.Mark(txtrace.StagePublish)
 	var lsn uint64
 	if dw, ok := lock.(storage.DurableWindow); ok {
 		durLSN, err := dw.Durable()

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"sian/internal/model"
+	"sian/internal/obs/txtrace"
 	"sian/internal/storage"
 )
 
@@ -215,8 +216,10 @@ func (t *ssiTx) read(x model.Obj) (model.Value, error) {
 // anti-dependency marks from concurrent readers.
 func (t *ssiTx) commit(req commitReq) (uint64, error) {
 	writes, order := req.writes, req.order
+	tr := req.trace
 	p := t.p
 	p.mu.Lock()
+	tr.Mark(txtrace.StageLockWait)
 	defer p.mu.Unlock()
 	defer func() {
 		t.rec.ended = true
@@ -238,6 +241,7 @@ func (t *ssiTx) commit(req commitReq) (uint64, error) {
 	// First-committer-wins (plain SI).
 	for _, x := range order {
 		if p.store.LatestTS(x) > t.rec.snap {
+			tr.Mark(txtrace.StageValidate)
 			return 0, ErrConflict
 		}
 	}
@@ -253,6 +257,7 @@ func (t *ssiTx) commit(req commitReq) (uint64, error) {
 			if r.commitTS != 0 && r.in {
 				// r is committed and would become a pivot: abort the
 				// marker (us).
+				tr.Mark(txtrace.StageValidate)
 				return 0, ErrConflict
 			}
 			readers = append(readers, r)
@@ -260,8 +265,10 @@ func (t *ssiTx) commit(req commitReq) (uint64, error) {
 		}
 	}
 	if willHaveIn && t.rec.out {
+		tr.Mark(txtrace.StageValidate)
 		return 0, ErrConflict // we would commit as a pivot
 	}
+	tr.Mark(txtrace.StageValidate)
 	// Point of no return: apply marks and install.
 	for _, r := range readers {
 		r.out = true
@@ -276,6 +283,7 @@ func (t *ssiTx) commit(req commitReq) (uint64, error) {
 			return 0, err
 		}
 	}
+	tr.Mark(txtrace.StageInstall)
 	return 0, nil
 }
 

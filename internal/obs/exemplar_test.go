@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestHistogramExemplars covers the exemplar slot per bucket: traced
+// observations pin (value, trace ID) to their bucket, untraced ones
+// (trace ID 0) count normally but leave no exemplar, and newer traced
+// observations replace older ones in the same bucket.
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.Observe(100)                  // untraced
+	h.ObserveExemplar(0, 0)         // untraced via the exemplar path
+	h.ObserveExemplar(100, 0xabc)   // traced, same bucket as the first
+	h.ObserveExemplar(5_000, 0xdef) // traced, higher bucket
+
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (exemplar path must still count)", h.Count())
+	}
+
+	seen := map[uint64]int64{}
+	for i := 0; i < numBuckets; i++ {
+		if ex := h.BucketExemplar(i); ex != nil {
+			seen[ex.TraceID] = ex.Value
+			if ex.UnixNS == 0 {
+				t.Errorf("bucket %d exemplar has no timestamp", i)
+			}
+		}
+	}
+	if len(seen) != 2 || seen[0xabc] != 100 || seen[0xdef] != 5_000 {
+		t.Errorf("exemplars = %v", seen)
+	}
+
+	// Replacement within a bucket keeps the newest trace ID.
+	h.ObserveExemplar(101, 0x999)
+	found := false
+	for i := 0; i < numBuckets; i++ {
+		if ex := h.BucketExemplar(i); ex != nil && ex.Value == 101 {
+			found = true
+			if ex.TraceID != 0x999 {
+				t.Errorf("bucket kept old exemplar %#x", ex.TraceID)
+			}
+		}
+	}
+	if !found {
+		t.Error("replacement exemplar not stored")
+	}
+
+	// Nil receiver safety mirrors Observe.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, 2)
+	if nilH.BucketExemplar(0) != nil {
+		t.Error("nil histogram returned an exemplar")
+	}
+}
+
+// TestExemplarJSONExport pins the scrape-side rendering: buckets with
+// an exemplar carry exemplar_value and the 16-hex-digit
+// exemplar_trace_id, buckets without stay clean.
+func TestExemplarJSONExport(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("commit_latency_ns")
+	h.Observe(10)
+	h.ObserveExemplar(100_000, 0xbeef)
+
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []struct {
+		Name    string `json:"name"`
+		Buckets []struct {
+			Count           int64  `json:"count"`
+			ExemplarValue   *int64 `json:"exemplar_value,omitempty"`
+			ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 1 {
+		t.Fatalf("metrics: %d", len(metrics))
+	}
+	withEx, withoutEx := 0, 0
+	for _, b := range metrics[0].Buckets {
+		switch {
+		case b.ExemplarTraceID != "":
+			withEx++
+			if b.ExemplarTraceID != "000000000000beef" {
+				t.Errorf("exemplar_trace_id = %q", b.ExemplarTraceID)
+			}
+			if b.ExemplarValue == nil || *b.ExemplarValue != 100_000 {
+				t.Errorf("exemplar_value = %v", b.ExemplarValue)
+			}
+		case b.Count > 0:
+			withoutEx++
+			if b.ExemplarValue != nil {
+				t.Error("untraced bucket carries an exemplar value")
+			}
+		}
+	}
+	if withEx != 1 || withoutEx != 1 {
+		t.Errorf("buckets with exemplar: %d, without: %d", withEx, withoutEx)
+	}
+}

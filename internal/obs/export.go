@@ -84,6 +84,12 @@ type JSONBucket struct {
 	LowerBound int64 `json:"ge"`
 	UpperBound int64 `json:"le"`
 	Count      int64 `json:"count"`
+	// ExemplarValue and ExemplarTraceID link the bucket to one traced
+	// observation (the latest): the observed value and its trace ID as
+	// 16 hex digits, resolvable via GET /trace/{id}. Absent when no
+	// traced observation landed in the bucket.
+	ExemplarValue   *int64 `json:"exemplar_value,omitempty"`
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
 }
 
 // JSONMetric is one series in the JSON export. Value is set for
@@ -128,7 +134,13 @@ func (r *Registry) Snapshot() []JSONMetric {
 			m.Count, m.Sum, m.P50, m.P99 = &c, &sum, &p50, &p99
 			for i, n := range s.histogram.snapshotBuckets() {
 				if n > 0 {
-					m.Buckets = append(m.Buckets, JSONBucket{LowerBound: BucketLowerBound(i), UpperBound: BucketUpperBound(i), Count: n})
+					b := JSONBucket{LowerBound: BucketLowerBound(i), UpperBound: BucketUpperBound(i), Count: n}
+					if ex := s.histogram.BucketExemplar(i); ex != nil {
+						v := ex.Value
+						b.ExemplarValue = &v
+						b.ExemplarTraceID = fmt.Sprintf("%016x", ex.TraceID)
+					}
+					m.Buckets = append(m.Buckets, b)
 				}
 			}
 		}

@@ -79,9 +79,26 @@ type BenchReport struct {
 	// fields then reflect the best point.
 	Sweep []SweepPoint `json:"sweep,omitempty"`
 
+	// Stages is the per-stage latency breakdown of a -trace-txns run:
+	// one row per commit-pipeline (or wire round-trip) stage, in
+	// pipeline order. Absent on untraced runs, so pre-tracing ledger
+	// lines parse unchanged and old readers ignore it; the -compare
+	// gate never reads it (only the headline throughput metrics gate).
+	Stages []StageLatency `json:"stages,omitempty"`
+
 	// Note carries free-form provenance for recorded artifacts (for
 	// example the host's core count); sibench round-trips it.
 	Note string `json:"note,omitempty"`
+}
+
+// StageLatency is one row of a traced run's per-stage breakdown,
+// mirroring txtrace.StageLatency (redeclared here so the ledger schema
+// stays self-contained).
+type StageLatency struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50NS float64 `json:"p50_ns"`
+	P99NS float64 `json:"p99_ns"`
 }
 
 // SweepPoint is one entry of a -sweep run: the closed-loop workload

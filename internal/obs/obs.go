@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one key=value dimension of a metric series (for example
@@ -98,11 +99,22 @@ const numBuckets = 64
 
 // Histogram is a fixed log-scale (power-of-two bucket) histogram of
 // non-negative int64 observations. Observation is one atomic add per
-// bucket/sum/count — allocation-free and lock-free.
+// bucket/sum/count — allocation-free and lock-free. Each bucket can
+// additionally carry one exemplar (the latest traced observation that
+// landed in it), linking a latency bucket to a resolvable trace ID.
 type Histogram struct {
-	buckets [numBuckets]atomic.Int64
-	sum     atomic.Int64
-	count   atomic.Int64
+	buckets   [numBuckets]atomic.Int64
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+	sum       atomic.Int64
+	count     atomic.Int64
+}
+
+// Exemplar is one concrete traced observation attached to a histogram
+// bucket: the observed value and the trace ID that produced it.
+type Exemplar struct {
+	Value   int64
+	TraceID uint64
+	UnixNS  int64
 }
 
 // Observe records v. Negative values clamp to 0.
@@ -116,6 +128,35 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bits.Len64(uint64(v))].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records v like Observe and, when traceID is non-zero,
+// replaces the containing bucket's exemplar with (v, traceID). Unlike
+// Observe it allocates (one Exemplar per call) — callers use it only on
+// the traced path, keeping the untraced hot path allocation-free.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != 0 {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNS: time.Now().UnixNano()})
+	}
+}
+
+// BucketExemplar returns bucket i's exemplar, or nil when the bucket
+// has none (or on a nil histogram / out-of-range index).
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= numBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations.

@@ -15,6 +15,13 @@
 //	                   included).
 //	GET /healthz       Liveness JSON: status, component name, uptime,
 //	                   flight-recorder and SSE stream counters.
+//	GET /trace/{id}    One finished transaction's span tree (txtrace
+//	                   TraceData JSON; id is the 16-hex-digit trace ID,
+//	                   e.g. from a histogram exemplar or /slow).
+//	GET /slow          The slow-transaction log: finished traces above
+//	                   ?threshold= (a Go duration or nanosecond count),
+//	                   slowest first, at most ?limit= (default: the
+//	                   tracer's top-64 retention).
 //	GET /events        Server-Sent Events tail of the flight recorder
 //	                   (one NDJSON event per SSE data frame; see
 //	                   Server.handleEvents for the framing contract).
@@ -37,11 +44,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"sian/internal/obs"
 	"sian/internal/obs/eventlog"
+	"sian/internal/obs/txtrace"
 )
 
 // Config parameterises a Server. Every field is optional: endpoints
@@ -59,6 +68,9 @@ type Config struct {
 	Recorder *eventlog.Recorder
 	// Tracer contributes phase spans to /timeline.
 	Tracer *obs.Tracer
+	// TxTracer backs /trace/{id} and /slow. Absent (the default —
+	// transaction tracing is opt-in) both endpoints respond 404.
+	TxTracer *txtrace.Tracer
 	// KeepAlive is the SSE keep-alive interval: how often an idle
 	// stream emits a comment frame so proxies and clients can detect
 	// liveness. Non-positive selects 5 seconds.
@@ -75,6 +87,7 @@ type Server struct {
 	registry atomic.Pointer[obs.Registry]
 	recorder atomic.Pointer[eventlog.Recorder]
 	tracer   atomic.Pointer[obs.Tracer]
+	txtracer atomic.Pointer[txtrace.Tracer]
 
 	// self holds the server's own metric series (SSE client gauges and
 	// slow-consumer drop counters), appended to every scrape so the
@@ -112,6 +125,7 @@ func New(cfg Config) *Server {
 	s.registry.Store(cfg.Registry)
 	s.recorder.Store(cfg.Recorder)
 	s.tracer.Store(cfg.Tracer)
+	s.txtracer.Store(cfg.TxTracer)
 	s.events = newSSEStream(s.self, "events")
 	s.verdicts = newSSEStream(s.self, "verdicts")
 
@@ -122,6 +136,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /verdicts", s.handleVerdicts)
 	mux.HandleFunc("GET /timeline", s.handleTimeline)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /slow", s.handleSlow)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -141,6 +157,10 @@ func (s *Server) SetRecorder(rec *eventlog.Recorder) { s.recorder.Store(rec) }
 
 // SetTracer repoints /timeline's phase-span source at tr.
 func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
+
+// SetTxTracer repoints /trace/{id} and /slow at t. Nil is allowed and
+// returns both endpoints to their tracing-off 404.
+func (s *Server) SetTxTracer(t *txtrace.Tracer) { s.txtracer.Store(t) }
 
 // SetHealth registers a callback whose key/value pairs are merged into
 // the /healthz document on every request, letting the embedding
@@ -226,12 +246,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = s.self.WritePrometheus(w)
+	// Flight-recorder accounting, sampled at scrape time so drops are
+	// visible on the scrape plane (not only via per-SSE-subscriber
+	// `event: drops` frames).
+	if rec := s.recorder.Load(); rec != nil {
+		fmt.Fprintf(w, "# TYPE eventlog_recorded_total counter\neventlog_recorded_total %d\n", rec.Recorded())
+		fmt.Fprintf(w, "# TYPE eventlog_dropped_total counter\neventlog_dropped_total %d\n", rec.Dropped())
+		fmt.Fprintf(w, "# TYPE eventlog_retained_events gauge\neventlog_retained_events %d\n", rec.Len())
+	}
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	snap := s.registry.Load().Snapshot()
 	snap = append(snap, s.self.Snapshot()...)
+	if rec := s.recorder.Load(); rec != nil {
+		snap = append(snap, recorderMetrics(rec)...)
+	}
 	if snap == nil {
 		snap = []obs.JSONMetric{}
 	}
@@ -240,15 +271,30 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(snap)
 }
 
+// recorderMetrics renders the flight recorder's scrape-time counters
+// in the JSON export schema.
+func recorderMetrics(rec *eventlog.Recorder) []obs.JSONMetric {
+	recorded, dropped, retained := rec.Recorded(), rec.Dropped(), int64(rec.Len())
+	return []obs.JSONMetric{
+		{Name: "eventlog_recorded_total", Kind: "counter", Value: &recorded},
+		{Name: "eventlog_dropped_total", Kind: "counter", Value: &dropped},
+		{Name: "eventlog_retained_events", Kind: "gauge", Value: &retained},
+	}
+}
+
 // health is the /healthz document.
 type health struct {
 	Status   string `json:"status"`
 	Name     string `json:"name"`
 	UptimeNS int64  `json:"uptime_ns"`
 	// Recorder counters (zero when no recorder is attached).
-	EventsRecorded int64 `json:"events_recorded"`
-	EventsRetained int   `json:"events_retained"`
-	RingOverwrites int64 `json:"ring_overwrites"`
+	// EventlogDropped duplicates RingOverwrites under the name the
+	// scrape plane uses (eventlog_dropped_total), so dashboards join
+	// health and metrics without a translation table.
+	EventsRecorded  int64 `json:"events_recorded"`
+	EventsRetained  int   `json:"events_retained"`
+	RingOverwrites  int64 `json:"ring_overwrites"`
+	EventlogDropped int64 `json:"eventlog_dropped"`
 	// SSE stream accounting.
 	EventClients    int64 `json:"event_clients"`
 	EventDropped    int64 `json:"event_dropped"`
@@ -266,6 +312,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		EventsRecorded:  rec.Recorded(),
 		EventsRetained:  rec.Len(),
 		RingOverwrites:  rec.Dropped(),
+		EventlogDropped: rec.Dropped(),
 		EventClients:    s.events.clients.Value(),
 		EventDropped:    s.events.dropped.Value(),
 		VerdictClients:  s.verdicts.clients.Value(),
@@ -275,6 +322,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{}
 	hb, _ := json.Marshal(h)
 	_ = json.Unmarshal(hb, &doc)
+	if tt := s.txtracer.Load(); tt != nil {
+		started, finished, evicted := tt.Stats()
+		doc["traces_started"] = started
+		doc["traces_finished"] = finished
+		doc["traces_evicted"] = evicted
+	}
 	if fnp := s.healthExtra.Load(); fnp != nil {
 		for k, v := range (*fnp)() {
 			if _, taken := doc[k]; !taken {
@@ -282,6 +335,79 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleTrace serves one finished transaction's span tree by trace ID
+// (the 16-hex-digit form that exemplars, /slow and sibench print).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tt := s.txtracer.Load()
+	if tt == nil {
+		http.Error(w, "transaction tracing is off (run with -trace-txns)", http.StatusNotFound)
+		return
+	}
+	id, err := txtrace.ParseID(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad trace id: %v", err), http.StatusBadRequest)
+		return
+	}
+	td := tt.Get(id)
+	if td == nil {
+		http.Error(w, "trace not found (evicted or never finished)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(td)
+}
+
+// slowDoc is the /slow response document.
+type slowDoc struct {
+	ThresholdNS int64                `json:"threshold_ns"`
+	Count       int                  `json:"count"`
+	Traces      []*txtrace.TraceData `json:"traces"`
+}
+
+// handleSlow serves the slow-transaction log: finished traces at or
+// above ?threshold= (a Go duration like 2ms, or a bare nanosecond
+// count), slowest first, capped at ?limit=.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	tt := s.txtracer.Load()
+	if tt == nil {
+		http.Error(w, "transaction tracing is off (run with -trace-txns)", http.StatusNotFound)
+		return
+	}
+	var threshold time.Duration
+	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			ns, nerr := strconv.ParseInt(raw, 10, 64)
+			if nerr != nil {
+				http.Error(w, fmt.Sprintf("bad threshold: %v", err), http.StatusBadRequest)
+				return
+			}
+			d = time.Duration(ns)
+		}
+		threshold = d
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	traces := tt.Slow(threshold, limit)
+	if traces == nil {
+		traces = []*txtrace.TraceData{}
+	}
+	doc := slowDoc{ThresholdNS: threshold.Nanoseconds(), Count: len(traces), Traces: traces}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,172 @@
+package txtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// traceEvent is one entry of the Chrome trace-event JSON format
+// (loadable at ui.perfetto.dev and chrome://tracing). ts and dur are
+// microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Trace-event process ids for the merged view: client wire spans on
+// one track group, server pipeline spans on another.
+const (
+	pidClient = 1
+	pidServer = 2
+)
+
+// isWireStage reports whether a stage was produced on the client side
+// of the wire (everything else is server/engine pipeline work).
+func isWireStage(s Stage) bool { return strings.HasPrefix(string(s), "wire_") }
+
+// WriteChromeTrace renders finished traces as a Chrome trace-event
+// JSON document with the client and server halves of each transaction
+// on separate process tracks: per trace, an umbrella "X" slice named
+// by its trace ID, and one "X" slice per stage span — wire_* stages
+// under the client process, pipeline stages under the server process,
+// each grouped into one thread per session. Timestamps are rebased to
+// the earliest span so the timeline starts near zero (client and
+// server stamps share a timebase only when both halves ran on the same
+// host; otherwise tracks may be skewed by the clock offset). Output is
+// deterministic for a given input.
+func WriteChromeTrace(w io.Writer, traces []*TraceData) error {
+	// Stable session → tid assignment per side, in sorted order.
+	sessions := map[int]map[string]bool{pidClient: {}, pidServer: {}}
+	sideOf := func(td *TraceData) int {
+		for _, sp := range td.Spans {
+			if isWireStage(sp.Stage) {
+				return pidClient
+			}
+		}
+		return pidServer
+	}
+	for _, td := range traces {
+		if td == nil {
+			continue
+		}
+		sessions[sideOf(td)][td.Session] = true
+	}
+	tidOf := map[int]map[string]int{pidClient: {}, pidServer: {}}
+	for pid, set := range sessions {
+		names := make([]string, 0, len(set))
+		for s := range set {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for i, s := range names {
+			tidOf[pid][s] = i + 1
+		}
+	}
+
+	base := int64(0)
+	first := true
+	for _, td := range traces {
+		if td == nil {
+			continue
+		}
+		if first || td.Start < base {
+			base = td.Start
+			first = false
+		}
+		for _, sp := range td.Spans {
+			if sp.Start < base {
+				base = sp.Start
+			}
+		}
+	}
+	usSince := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	var out []traceEvent
+	out = append(out,
+		traceEvent{Name: "process_name", Ph: "M", Pid: pidClient,
+			Args: map[string]any{"name": "client (wire)"}},
+		traceEvent{Name: "process_name", Ph: "M", Pid: pidServer,
+			Args: map[string]any{"name": "server (commit pipeline)"}},
+	)
+	for _, pid := range []int{pidClient, pidServer} {
+		names := make([]string, 0, len(tidOf[pid]))
+		for s := range tidOf[pid] {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			out = append(out, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tidOf[pid][s],
+				Args: map[string]any{"name": "session " + s},
+			})
+		}
+	}
+
+	for _, td := range traces {
+		if td == nil {
+			continue
+		}
+		homePid := sideOf(td)
+		homeTid := tidOf[homePid][td.Session]
+		name := td.TxID
+		if name == "" {
+			name = td.TraceID
+		}
+		dur := usSince(td.End) - usSince(td.Start)
+		out = append(out, traceEvent{
+			Name: name, Cat: "txn", Ph: "X",
+			Pid: homePid, Tid: homeTid,
+			TS: usSince(td.Start), Dur: &dur,
+			Args: map[string]any{
+				"trace_id": td.TraceID,
+				"outcome":  td.Outcome,
+				"session":  td.Session,
+			},
+		})
+		for _, sp := range td.Spans {
+			pid := pidServer
+			if isWireStage(sp.Stage) {
+				pid = pidClient
+			}
+			tid := tidOf[pid][td.Session]
+			if tid == 0 {
+				// Server spans merged into a client trace: the server
+				// side has no thread for this session yet; reuse the
+				// client tid so related rows stay adjacent.
+				tid = homeTid
+			}
+			spDur := usSince(sp.End) - usSince(sp.Start)
+			args := map[string]any{"trace_id": td.TraceID}
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			out = append(out, traceEvent{
+				Name: string(sp.Stage), Cat: "stage", Ph: "X",
+				Pid: pid, Tid: tid,
+				TS: usSince(sp.Start), Dur: &spDur,
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(traceDoc{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("txtrace: encoding chrome trace: %w", err)
+	}
+	return nil
+}

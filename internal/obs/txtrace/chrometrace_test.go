@@ -1,0 +1,104 @@
+package txtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeTraceMerged renders one merged client+server trace
+// plus one server-only trace and pins the structural invariants: wire
+// stages land on the client process, pipeline stages on the server
+// process, timestamps are rebased to the earliest span, and the output
+// is deterministic.
+func TestWriteChromeTraceMerged(t *testing.T) {
+	base := int64(5_000_000)
+	merged := &TraceData{
+		TraceID: FormatID(0xa1), TxID: "w0#3", Session: "w0",
+		Outcome: OutcomeCommit, LSN: 7,
+		Start: base, End: base + 900, Duration: 900,
+		Spans: []Span{
+			{Stage: StageWireBegin, Start: base, End: base + 100},
+			{Stage: StageWireOps, Start: base + 100, End: base + 400},
+			{Stage: StageWireCommit, Start: base + 400, End: base + 900},
+			// Server spans merged in via AddSpans: nested inside the
+			// commit round-trip.
+			{Stage: StageValidate, Start: base + 450, End: base + 500},
+			{Stage: StageFsyncWait, Start: base + 500, End: base + 800, Attrs: map[string]int64{"group_gap": 3}},
+		},
+	}
+	serverOnly := &TraceData{
+		TraceID: FormatID(0xb2), TxID: "wire/1#0", Session: "wire/1",
+		Outcome: OutcomeCommit,
+		Start:   base + 50, End: base + 300, Duration: 250,
+		Spans: []Span{
+			{Stage: StageValidate, Start: base + 60, End: base + 80},
+			{Stage: StagePublish, Start: base + 80, End: base + 280},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*TraceData{merged, nil, serverOnly}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	pidOf := map[string]int{}
+	var minTS = 1e18
+	umbrellas := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		pidOf[ev.Name] = ev.Pid
+		if ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if ev.Name == "w0#3" || ev.Name == "wire/1#0" {
+			umbrellas++
+		}
+	}
+	if umbrellas != 2 {
+		t.Errorf("umbrella slices: %d, want 2", umbrellas)
+	}
+	// Sides: wire stages client (pid 1), pipeline stages server (pid 2);
+	// the merged trace's umbrella sits on its home (client) side, the
+	// server-only trace's on the server side.
+	for name, wantPid := range map[string]int{
+		"wire_begin": pidClient, "wire_ops": pidClient, "wire_commit": pidClient,
+		"fsync_wait": pidServer, "publish": pidServer,
+		"w0#3": pidClient, "wire/1#0": pidServer,
+	} {
+		if pidOf[name] != wantPid {
+			t.Errorf("%s on pid %d, want %d", name, pidOf[name], wantPid)
+		}
+	}
+	// Rebasing: the earliest slice starts at ts 0.
+	if minTS != 0 {
+		t.Errorf("earliest ts = %v, want 0 (rebased)", minTS)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, []*TraceData{merged, nil, serverOnly}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("output is not deterministic")
+	}
+}

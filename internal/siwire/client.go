@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sian/internal/model"
+	"sian/internal/obs/txtrace"
 )
 
 // Client is a binary-protocol connection to a siwire server: one
@@ -59,8 +60,18 @@ func (c *Client) roundTrip(req []byte) (status byte, body []byte, err error) {
 }
 
 // Begin starts a transaction on the connection.
-func (c *Client) Begin() error {
-	status, _, err := c.roundTrip([]byte{opBegin})
+func (c *Client) Begin() error { return c.BeginTraced(0) }
+
+// BeginTraced starts a transaction and propagates a client-assigned
+// trace ID (the version-tolerant begin extension): a tracing server
+// adopts the ID for its pipeline spans, an old or untracing server
+// ignores it. A zero ID sends a plain begin.
+func (c *Client) BeginTraced(traceID uint64) error {
+	req := []byte{opBegin}
+	if traceID != 0 {
+		req = appendU64(req, traceID)
+	}
+	status, _, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}
@@ -106,7 +117,8 @@ func (c *Client) Write(x model.Obj, v model.Value) error {
 // Commit commits the open transaction and returns its durability LSN
 // (zero for read-only transactions or volatile servers). ErrConflict
 // reports a lost first-committer-wins race; the transaction is
-// finished either way.
+// finished either way. Trailing response bytes (a tracing server's
+// trace blob) are ignored — this is exactly the pre-extension parser.
 func (c *Client) Commit() (uint64, error) {
 	status, body, err := c.roundTrip([]byte{opCommit})
 	if err != nil {
@@ -121,6 +133,43 @@ func (c *Client) Commit() (uint64, error) {
 		return 0, ErrConflict
 	default:
 		return 0, fmt.Errorf("siwire: commit: unexpected status %d", status)
+	}
+}
+
+// CommitResult is CommitTraced's decoded response: the durability LSN
+// plus, when the server traces, the server-side trace ID and pipeline
+// stage spans of the committed transaction.
+type CommitResult struct {
+	LSN uint64
+	// TraceID is the server's trace ID (the client's, when propagated
+	// via BeginTraced); zero when the server does not trace.
+	TraceID uint64
+	// ServerSpans are the server's pipeline stage spans (lock_wait,
+	// validate, install, wal_append, fsync_wait, publish, ack, …),
+	// ready to merge into a client-side trace via Trace.AddSpans.
+	ServerSpans []txtrace.Span
+}
+
+// CommitTraced commits like Commit and additionally decodes the
+// server's trace blob when present (absent on old or untracing
+// servers: the result then carries only the LSN).
+func (c *Client) CommitTraced() (CommitResult, error) {
+	status, body, err := c.roundTrip([]byte{opCommit})
+	if err != nil {
+		return CommitResult{}, err
+	}
+	switch status {
+	case statusOK:
+		r := &reader{b: body}
+		res := CommitResult{LSN: r.u64("commit lsn")}
+		if r.err == nil && r.remaining() > 0 {
+			res.TraceID, res.ServerSpans = parseTraceBlob(r)
+		}
+		return res, r.err
+	case statusConflict:
+		return CommitResult{}, ErrConflict
+	default:
+		return CommitResult{}, fmt.Errorf("siwire: commit: unexpected status %d", status)
 	}
 }
 

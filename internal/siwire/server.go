@@ -166,7 +166,13 @@ func (s *Server) handleConn(conn net.Conn) {
 				werr = fail("begin: transaction already open")
 				break
 			}
-			tx, err = sess.Begin(fmt.Sprintf("w%d", n))
+			// Version-tolerant trace extension: a tracing client appends
+			// its u64 trace ID; old clients send no body.
+			var traceID uint64
+			if r.remaining() >= 8 {
+				traceID = r.u64("trace id")
+			}
+			tx, err = sess.BeginTraced(fmt.Sprintf("w%d", n), traceID)
 			if err != nil {
 				tx = nil
 				werr = fail(err.Error())
@@ -217,6 +223,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			err := tx.Commit()
 			lsn := tx.LSN()
+			td := tx.TraceData()
 			tx = nil
 			switch {
 			case errors.Is(err, engine.ErrConflict):
@@ -225,8 +232,10 @@ func (s *Server) handleConn(conn net.Conn) {
 				werr = fail(err.Error())
 			default:
 				// Over a durable driver this line is reached only after
-				// the commit record is fsynced: ok ⇒ durable.
-				werr = respond(statusOK, appendU64(nil, lsn))
+				// the commit record is fsynced: ok ⇒ durable. When the
+				// server traces, the pipeline spans ride back after the
+				// LSN (old clients ignore them).
+				werr = respond(statusOK, appendTraceBlob(appendU64(nil, lsn), td))
 			}
 		case opAbort:
 			if tx != nil {

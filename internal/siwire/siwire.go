@@ -29,6 +29,23 @@
 // stays open), error (3, str message; the connection's transaction, if
 // any, is aborted).
 //
+// # Trace propagation (version-tolerant extension)
+//
+// A tracing client may append a u64 trace ID to the begin request; a
+// tracing server adopts it for the transaction's txtrace trace, so the
+// client's wire spans and the server's pipeline spans share one ID. A
+// tracing server in turn appends a trace blob after the LSN of the
+// commit ok body:
+//
+//	blob  := u64 traceID | u32 nspans | nspans × span
+//	span  := str stage | u64 startNS | u64 endNS | u32 nattrs | nattrs × (str key | u64 val)
+//
+// Both extensions are backward- and forward-compatible by
+// construction: the original begin handler reads no body (extra bytes
+// are ignored), and the original commit parser reads exactly one u64
+// and discards the rest. A client or server that does not trace simply
+// omits its half, and the other side degrades gracefully.
+//
 // The server never retries: conflict handling is the client's
 // (Client.Transact implements the standard retry loop). A commit's ok
 // response is sent only after the engine acknowledged the commit —
@@ -43,6 +60,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+
+	"sian/internal/obs/txtrace"
 )
 
 // Magic opens every binary connection.
@@ -179,6 +199,77 @@ func (r *reader) rest() []byte {
 		return nil
 	}
 	return r.b[r.off:]
+}
+
+// remaining reports how many undecoded bytes the frame still holds.
+func (r *reader) remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.b) - r.off
+}
+
+// appendTraceBlob appends the commit response's trace blob (see the
+// package doc): the server's trace ID and pipeline spans. A nil td
+// appends nothing, which old and new clients alike parse as "server
+// not tracing".
+func appendTraceBlob(b []byte, td *txtrace.TraceData) []byte {
+	if td == nil {
+		return b
+	}
+	b = appendU64(b, td.ID())
+	b = appendU32(b, uint32(len(td.Spans)))
+	for _, sp := range td.Spans {
+		b = appendStr(b, string(sp.Stage))
+		b = appendU64(b, uint64(sp.Start))
+		b = appendU64(b, uint64(sp.End))
+		b = appendU32(b, uint32(len(sp.Attrs)))
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = appendStr(b, k)
+			b = appendU64(b, uint64(sp.Attrs[k]))
+		}
+	}
+	return b
+}
+
+// parseTraceBlob decodes a trace blob. Callers check remaining() > 0
+// first; a malformed blob surfaces as the reader's sticky error.
+func parseTraceBlob(r *reader) (traceID uint64, spans []txtrace.Span) {
+	traceID = r.u64("trace id")
+	n := r.u32("trace span count")
+	if r.err != nil {
+		return 0, nil
+	}
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		sp := txtrace.Span{
+			Stage: txtrace.Stage(r.str("span stage")),
+			Start: int64(r.u64("span start")),
+			End:   int64(r.u64("span end")),
+		}
+		na := r.u32("span attr count")
+		for j := uint32(0); j < na && r.err == nil; j++ {
+			k := r.str("attr key")
+			v := int64(r.u64("attr value"))
+			if r.err == nil {
+				if sp.Attrs == nil {
+					sp.Attrs = make(map[string]int64, na)
+				}
+				sp.Attrs[k] = v
+			}
+		}
+		if r.err == nil {
+			spans = append(spans, sp)
+		}
+	}
+	if r.err != nil {
+		return 0, nil
+	}
+	return traceID, spans
 }
 
 // Info is the server identity document returned by the info request

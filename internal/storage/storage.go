@@ -27,6 +27,7 @@ package storage
 
 import (
 	"sian/internal/model"
+	"sian/internal/obs/txtrace"
 	"sian/internal/storage/mem"
 )
 
@@ -133,6 +134,16 @@ type CommitLogger interface {
 // in-order timestamp pipeline cannot stall).
 type DurableWindow interface {
 	Durable() (lsn uint64, err error)
+}
+
+// TraceAttacher is implemented by the commit windows of drivers that
+// can attribute their internal stages (WAL append, group-fsync wait)
+// to a per-transaction trace. The engine attaches the transaction's
+// trace before Unlock — only when tracing is on — and the window marks
+// its stages on it inside Unlock. The in-memory driver does not
+// implement it, so the untraced and in-memory paths pay nothing.
+type TraceAttacher interface {
+	AttachTrace(tr *txtrace.Trace)
 }
 
 // Recovered is implemented by drivers that restore state from a log.

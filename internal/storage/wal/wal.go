@@ -52,6 +52,7 @@ import (
 	"sian/internal/model"
 	"sian/internal/monitor"
 	"sian/internal/obs"
+	"sian/internal/obs/txtrace"
 	"sian/internal/storage"
 	"sian/internal/storage/mem"
 )
@@ -662,7 +663,8 @@ func (d *Driver) LockObjs(objs []model.Obj) storage.Locked {
 
 // window is the durable commit window: mem's multi-shard lock plus
 // the staged log record. It implements storage.Locked,
-// storage.CommitLogger and storage.DurableWindow.
+// storage.CommitLogger, storage.DurableWindow and
+// storage.TraceAttacher.
 type window struct {
 	d     *Driver
 	inner *mem.Locked
@@ -670,10 +672,16 @@ type window struct {
 	// collects raw installs for windows driven without one.
 	staged   *storage.CommitRecord
 	installs []storage.Write
+	trace    *txtrace.Trace
 	lsn      uint64
 	err      error
 	unlocked bool
 }
+
+// AttachTrace hands the window the transaction's trace; Unlock then
+// marks the wal_append and fsync_wait stages on it, attributing the
+// group fsync via the append/sync LSN gap.
+func (w *window) AttachTrace(tr *txtrace.Trace) { w.trace = tr }
 
 func (w *window) LatestTS(x model.Obj) uint64 { return w.inner.LatestTS(x) }
 
@@ -717,6 +725,9 @@ func (w *window) Unlock() {
 			}
 		}
 	}
+	if w.trace != nil && last > 0 {
+		w.trace.MarkAttrs(txtrace.StageWALAppend, map[string]int64{"lsn": int64(last)})
+	}
 	w.inner.Unlock()
 	if appendErr != nil {
 		w.err = appendErr
@@ -724,8 +735,29 @@ func (w *window) Unlock() {
 	}
 	if last > 0 {
 		w.lsn = last
+		// The append/sync LSN gap at entry is the group-commit
+		// attribution: how many already-appended records the fsync this
+		// window joins (or starts) will cover along with ours.
+		var syncedBefore uint64
+		if w.trace != nil {
+			syncedBefore = w.d.syncedLSN()
+		}
 		w.err = w.d.syncTo(last)
+		if w.trace != nil {
+			w.trace.MarkAttrs(txtrace.StageFsyncWait, map[string]int64{
+				"lsn":             int64(last),
+				"synced_at_enter": int64(syncedBefore),
+				"group_gap":       int64(last) - int64(syncedBefore),
+			})
+		}
 	}
+}
+
+// syncedLSN reads the durable watermark.
+func (d *Driver) syncedLSN() uint64 {
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	return d.synced
 }
 
 // Durable reports the fsynced LSN of the window's record, valid after
