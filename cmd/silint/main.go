@@ -7,13 +7,18 @@
 //
 // Usage:
 //
-//	silint [-model si|psi|ser|all] [-format text|json] [packages...]
+//	silint [-model si|psi|ser|all] [-format text|json] [-fix] [packages...]
 //
 // Package patterns are directories, with an optional /... suffix to
 // walk subdirectories; the default is the current directory. Exit
 // status 0 means every check passed, 1 at least one potential anomaly
 // was reported, 2 an analysis error (unparseable or untypeable code,
 // bad flags, exceeded search budget).
+//
+// With -fix, the repair advisor's first-ranked suggestions — verified
+// read→write promotions (§6's materialised conflict) — are applied to
+// the source files in place; re-running silint afterwards shows which
+// diagnostics remain.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"sian/internal/cliutil"
 	"sian/internal/depgraph"
@@ -56,6 +62,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	model := fs.String("model", "si", "consistency model to check: si, psi, ser or all")
 	format := fs.String("format", "text", "output format: text or json")
 	notes := fs.Bool("notes", false, "also print analysis notes (⊤-widenings, session identity losses)")
+	fix := fs.Bool("fix", false, "apply the first-ranked suggested promotions to the source files")
 	obsFlags := cliutil.RegisterObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -91,6 +98,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) 
 	exit := 0
 	if report.Anomalies() > 0 {
 		exit = 1
+	}
+	if *fix {
+		if err := applyFixes(report, stdout); err != nil {
+			return finish(2, err)
+		}
 	}
 	doneOut := tr.Phase("output")
 	defer doneOut()
@@ -132,7 +144,7 @@ func writeJSON(w io.Writer, report *silint.Report, exit int) error {
 			continue
 		}
 		for _, d := range p.Diagnostics {
-			set.Verdicts = append(set.Verdicts, cliutil.Verdict{
+			v := cliutil.Verdict{
 				Check:    d.Check,
 				Target:   d.Package,
 				OK:       false,
@@ -142,8 +154,74 @@ func writeJSON(w io.Writer, report *silint.Report, exit int) error {
 				Pos:      fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
 				Tx:       d.Tx,
 				Detail:   d.Message,
-			})
+			}
+			for _, f := range d.Fixes {
+				cf := cliutil.SuggestedFix{
+					Obj:     f.Obj,
+					Txs:     f.Txs,
+					Pos:     fmt.Sprintf("%s:%d:%d", f.Pos.Filename, f.Pos.Line, f.Pos.Column),
+					Rank:    f.Rank,
+					Message: f.Message,
+				}
+				for _, e := range f.Edits {
+					cf.Edits = append(cf.Edits, cliutil.TextEdit{
+						Filename: e.Filename, Offset: e.Offset, End: e.End, NewText: e.NewText,
+					})
+				}
+				v.Fixes = append(v.Fixes, cf)
+			}
+			set.Verdicts = append(set.Verdicts, v)
 		}
 	}
 	return cliutil.WriteVerdicts(w, set)
+}
+
+// applyFixes applies every rank-1 suggested edit to the source files in
+// place (identical edits suggested by several diagnostics are applied
+// once; edits are applied back-to-front so offsets stay valid).
+func applyFixes(report *silint.Report, stdout io.Writer) error {
+	type edit = silint.TextEdit
+	perFile := make(map[string][]edit)
+	seen := make(map[string]bool)
+	for _, d := range report.Diagnostics() {
+		for _, f := range d.Fixes {
+			if f.Rank != 1 {
+				continue
+			}
+			for _, e := range f.Edits {
+				key := fmt.Sprintf("%s\x00%d\x00%d\x00%s", e.Filename, e.Offset, e.End, e.NewText)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				perFile[e.Filename] = append(perFile[e.Filename], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	applied := 0
+	for _, fn := range files {
+		edits := perFile[fn]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Offset > edits[j].Offset })
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			return err
+		}
+		for _, e := range edits {
+			if e.Offset < 0 || e.End < e.Offset || e.End > len(data) {
+				return fmt.Errorf("fix edit out of range for %s: [%d,%d)", fn, e.Offset, e.End)
+			}
+			data = append(data[:e.Offset], append([]byte(e.NewText), data[e.End:]...)...)
+		}
+		if err := os.WriteFile(fn, data, 0o644); err != nil {
+			return err
+		}
+		applied += len(edits)
+	}
+	fmt.Fprintf(stdout, "silint: applied %d suggested fix(es) in %d file(s)\n", applied, len(files))
+	return nil
 }

@@ -73,6 +73,21 @@ func TestRunJSON(t *testing.T) {
 		!strings.Contains(v.Pos, "main.go:") {
 		t.Errorf("verdict = %+v", v)
 	}
+	// The repair advisor's suggestions ride along in the schema: the
+	// write-skew fixture is repairable by a single promotion, so the
+	// verdict carries at least one rank-1 fix with a textual edit.
+	if len(v.Fixes) == 0 {
+		t.Fatalf("verdict has no suggested fixes: %+v", v)
+	}
+	f := v.Fixes[0]
+	if f.Rank != 1 || f.Obj == "" || len(f.Txs) == 0 ||
+		!strings.Contains(f.Message, "promote read of") ||
+		!strings.Contains(v.Detail, "suggested fix: promote read of") {
+		t.Errorf("fix = %+v (detail %q)", f, v.Detail)
+	}
+	if len(f.Edits) == 0 || !strings.Contains(f.Edits[0].NewText, ".Promote(") {
+		t.Errorf("fix edits = %+v", f.Edits)
+	}
 
 	out.Reset()
 	code, err = run([]string{"-format", "json", bankingPkg}, strings.NewReader(""), &out, io.Discard)

@@ -1,0 +1,271 @@
+// Command sivet runs the silint analyzers as a `go vet` tool:
+//
+//	go vet -vettool=$(which sivet) ./...
+//
+// go vet invokes the tool once per package with a JSON configuration
+// file describing the type-check unit (source files plus compiled
+// export data for every dependency); sivet implements that driver
+// protocol — the same contract as x/tools' unitchecker, hand-rolled
+// here because this module carries no third-party dependencies — and
+// reports silint diagnostics with their suggested fixes at the
+// offending call sites.
+//
+// Invoked directly (without a .cfg argument), sivet falls back to a
+// standalone mode that loads packages from source like the silint
+// command:
+//
+//	sivet [-model si|psi|all] [packages...]
+//
+// The analyzer selection in vettool mode comes from the SIVET_MODEL
+// environment variable (si, psi or all; default si), since go vet
+// offers no way to pass tool-specific flags through to the unit
+// executions.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sian/internal/silint"
+	"sian/internal/silint/analyzer"
+)
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			// cmd/go hashes this line into its action IDs; the binary
+			// fingerprint makes rebuilt tools invalidate vet caches.
+			fmt.Printf("%s version devel buildID=%s\n", progname, fingerprint())
+			return
+		case "-flags", "--flags":
+			// cmd/go asks which analyzer flags the tool accepts.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitcheck(os.Args[1]))
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// fingerprint hashes the executable itself, so `go vet` re-runs
+// cached packages when sivet is rebuilt.
+func fingerprint() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// config is the JSON unit description go vet writes for each package
+// (the unitchecker.Config contract).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// unitcheck analyses one go vet unit: parse the package's files,
+// type-check against the compiled export data of its dependencies, run
+// the selected analyzer, print diagnostics. Exit 0 clean, 1 on driver
+// errors, 2 when diagnostics were reported (the unitchecker contract).
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sivet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// sivet computes no cross-package facts, but go vet expects the
+	// output file of every unit to exist before dependents run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sivet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	a, err := analyzer.ByName(os.Getenv("SIVET_MODEL"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "sivet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export data of each dependency comes from the compiled package
+	// files go vet lists; ImportMap canonicalises source import paths.
+	compiled := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if canonical, ok := cfg.ImportMap[importPath]; ok {
+			importPath = canonical
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiled.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+
+	diags, err := analyzer.Check(a, &silint.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+	printDiagnostics(os.Stderr, diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printDiagnostics renders findings in the canonical file:line:col
+// form, with suggested fixes indented beneath each.
+func printDiagnostics(w io.Writer, diags []analyzer.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+		for _, f := range d.SuggestedFixes {
+			fmt.Fprintf(w, "\tfix: %s\n", f.Message)
+		}
+	}
+}
+
+// standalone loads packages from source (like cmd/silint) and runs the
+// selected analyzer over each — no go vet driver required. Exit 0
+// clean, 1 on errors, 2 when diagnostics were reported.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("sivet", flag.ContinueOnError)
+	model := fs.String("model", "si", "analyzer selection: si, psi or all")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	a, err := analyzer.ByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	loader, err := silint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sivet:", err)
+		return 1
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := analyzer.Check(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sivet:", err)
+			return 1
+		}
+		printDiagnostics(os.Stderr, diags)
+		total += len(diags)
+	}
+	if total > 0 {
+		return 2
+	}
+	fmt.Printf("sivet: no findings in %d package(s)\n", len(pkgs))
+	return 0
+}

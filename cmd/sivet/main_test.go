@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSivet compiles the sivet binary into a scratch dir and returns
+// its path, skipping the test when no go toolchain is on PATH.
+func buildSivet(t *testing.T) (bin, repoRoot string) {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain on PATH")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "sivet")
+	cmd := exec.Command(goTool, "build", "-o", bin, "sian/cmd/sivet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sivet: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+// TestVettoolProtocol drives the real thing: `go vet -vettool=sivet`
+// over a clean package (exit 0) and over the write-skew fixture (vet
+// fails, diagnostic plus suggested fixes on stderr).
+func TestVettoolProtocol(t *testing.T) {
+	t.Parallel()
+	bin, root := buildSivet(t)
+
+	run := func(pkg string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, pkg)
+		cmd.Dir = root
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	out, err := run("./internal/silint/fixtures/banking")
+	if err != nil {
+		t.Fatalf("clean package: go vet failed: %v\n%s", err, out)
+	}
+
+	out, err = run("./internal/silint/testdata/src/writeskew")
+	if err == nil {
+		t.Fatalf("write-skew package: go vet passed\n%s", out)
+	}
+	if !strings.Contains(out, "write-skew: dangerous cycle") {
+		t.Errorf("missing diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "fix: promote read of") {
+		t.Errorf("missing suggested fix:\n%s", out)
+	}
+}
+
+// TestVersionAndFlagsProtocol pins the two auxiliary invocations
+// cmd/go makes before running units: -V=full for the tool ID and
+// -flags for the supported analyzer flags.
+func TestVersionAndFlagsProtocol(t *testing.T) {
+	t.Parallel()
+	bin, _ := buildSivet(t)
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "sivet version ") {
+		t.Errorf("-V=full output %q lacks the tool-ID prefix", out)
+	}
+	out, err = exec.Command(bin, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-flags: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("-flags output %q, want []", out)
+	}
+}
+
+// TestStandaloneMode runs sivet without a driver: source-loading mode.
+func TestStandaloneMode(t *testing.T) {
+	t.Parallel()
+	bin, root := buildSivet(t)
+
+	cmd := exec.Command(bin, "./internal/silint/fixtures/...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no findings") {
+		t.Errorf("output: %s", out)
+	}
+
+	cmd = exec.Command(bin, "-model", "si", "./internal/silint/testdata/src/writeskew")
+	cmd.Dir = root
+	out, err = cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Errorf("err = %v, want exit status 2", err)
+	}
+	if !strings.Contains(string(out), "write-skew: dangerous cycle") {
+		t.Errorf("output: %s", out)
+	}
+}

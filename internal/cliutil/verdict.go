@@ -31,6 +31,37 @@ type Verdict struct {
 	Tx string `json:"tx,omitempty"`
 	// Detail carries the human-readable message.
 	Detail string `json:"detail,omitempty"`
+	// Fixes are the repair advisor's verified suggestions when the
+	// emitting tool computed any (silint robustness diagnostics):
+	// read→write promotions whose application makes the check pass.
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
+}
+
+// SuggestedFix is one read→write promotion of a verified repair, in
+// the shared schema (mirrors silint.SuggestedFix).
+type SuggestedFix struct {
+	// Obj is the object whose read is promoted.
+	Obj string `json:"obj"`
+	// Txs are the labels of the promoted transaction instances.
+	Txs []string `json:"txs,omitempty"`
+	// Pos is the promoting transaction's call site (file:line:col).
+	Pos string `json:"pos,omitempty"`
+	// Rank groups the fixes of one repair alternative; apply every fix
+	// of a rank together. Rank 1 is the advisor's first choice.
+	Rank int `json:"rank"`
+	// Message is the human-readable hint.
+	Message string `json:"message"`
+	// Edits are textual insertions implementing the promotion.
+	Edits []TextEdit `json:"edits,omitempty"`
+}
+
+// TextEdit is one byte-range replacement in a source file (End ==
+// Offset for pure insertions).
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Offset   int    `json:"offset"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
 }
 
 // VerdictSet is a tool run's complete JSON output.

@@ -667,6 +667,9 @@ func (m *ManualTx) Read(x model.Obj) (model.Value, error) { return m.tx.Read(x) 
 // Write buffers a write.
 func (m *ManualTx) Write(x model.Obj, v model.Value) error { return m.tx.Write(x, v) }
 
+// Promote promotes a read of x to a write (see Tx.Promote).
+func (m *ManualTx) Promote(x model.Obj) error { return m.tx.Promote(x) }
+
 // Commit attempts to commit. A commit that loses a conflict race
 // returns ErrConflict (wrapped); unlike Transact, ManualTx does not
 // retry. The transaction is finished either way.
@@ -750,6 +753,20 @@ func (t *Tx) Read(x model.Obj) (model.Value, error) {
 		t.rec.Record(eventlog.Event{Kind: eventlog.Read, Session: t.session, TxID: t.txid, Obj: x, Val: v})
 	}
 	return v, nil
+}
+
+// Promote promotes a read of x to a write: it reads x and writes the
+// observed value back unchanged. The write materialises a write-write
+// conflict with any concurrent writer of x, so first-committer-wins
+// orders the two transactions — the §6 remedy that restores robustness
+// against SI for write-skew shapes (see DESIGN.md §14). silint's
+// repair advisor suggests inserting exactly this call.
+func (t *Tx) Promote(x model.Obj) error {
+	v, err := t.Read(x)
+	if err != nil {
+		return err
+	}
+	return t.Write(x, v)
 }
 
 // Write buffers a write of v to x.

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"sian/internal/model"
+)
+
+// TestPromoteMaterialisesConflict pins the §6 remedy primitive: two
+// overlapping transactions that Promote the same object must collide
+// on SI's first-committer-wins check, so at most one commits — the
+// write skew they would otherwise exhibit cannot occur.
+func TestPromoteMaterialisesConflict(t *testing.T) {
+	t.Parallel()
+	db, err := New(SI, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{"acct1": 60, "acct2": 60, "total": 120}); err != nil {
+		t.Fatal(err)
+	}
+
+	t1, err := db.Session("alice").Begin("withdraw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := db.Session("bob").Begin("withdraw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both decide on the combined balance, write disjoint accounts, and
+	// promote their read of the shared total — the suggested fix.
+	if _, err := t1.Read("acct1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write("acct1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Promote("total"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read("acct2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("acct2", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Promote("total"); err != nil {
+		t.Fatal(err)
+	}
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	if err1 != nil {
+		t.Fatalf("first committer failed: %v", err1)
+	}
+	if !errors.Is(err2, ErrConflict) {
+		t.Fatalf("second committer: err = %v, want ErrConflict", err2)
+	}
+}
+
+// TestPromoteRecordsReadAndWrite checks the recorded operation log: a
+// promoted object appears in both the read set and the write set of
+// the committed transaction, with the value written back unchanged.
+func TestPromoteRecordsReadAndWrite(t *testing.T) {
+	t.Parallel()
+	db, err := New(SI, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Session("s").TransactNamed("promo", func(tx *Tx) error {
+		return tx.Promote("x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Flush()
+	found := false
+	for _, sess := range db.History().Sessions() {
+		for _, tr := range sess.Transactions {
+			if len(tr.ReadSet()) == 0 {
+				continue
+			}
+			reads, writes := tr.ReadSet(), tr.WriteSet()
+			if len(reads) == 1 && reads[0] == "x" && len(writes) == 1 && writes[0] == "x" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no transaction recorded x in both read and write set")
+	}
+	var v model.Value
+	if err := db.Session("check").Transact(func(tx *Tx) error {
+		var err error
+		v, err = tx.Read("x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Errorf("promoted value changed: %d, want 7", v)
+	}
+}

@@ -1,0 +1,288 @@
+// Read→write promotion search: the automatic remedy of §6.
+//
+// When the static analyses of §6 reject an application, the witness is
+// a dangerous cycle through vulnerable anti-dependency edges. The
+// paper's fix is to *materialise the conflict*: promote a read on one
+// of those edges to a write of the same object, so the racing pair
+// gains a write-write conflict, the anti-dependency stops being
+// vulnerable, and the dangerous cycle disappears. This file searches
+// for minimal sets of such promotions whose application makes the
+// criterion pass, re-verifying every candidate by re-running the full
+// static check on the promoted application.
+package robustness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sian/internal/model"
+)
+
+// Promotion is one suggested read→write promotion: in every
+// transaction of Group, the read of Obj is promoted to also write Obj
+// (read the value, write it back — engine.Tx.Promote).
+type Promotion struct {
+	// Group is the promotion-group key (TxSpec.PromoteGroup, or the
+	// synthetic per-vertex key for ungrouped specifications).
+	Group string
+	// Txs are the labels of the promoted transaction instances.
+	Txs []string
+	// Obj is the object whose read is promoted.
+	Obj model.Obj
+}
+
+// String renders e.g. `promote read of "total" in tx withdraw1`.
+func (p Promotion) String() string {
+	return fmt.Sprintf("promote read of %q in tx %s", string(p.Obj), strings.Join(p.Txs, ", "))
+}
+
+// Repair is one verified fix: applying every listed promotion makes
+// the failed static check pass.
+type Repair struct {
+	Promotions []Promotion
+}
+
+// String renders the promotions joined by "; ".
+func (r Repair) String() string {
+	parts := make([]string, len(r.Promotions))
+	for i, p := range r.Promotions {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// RepairOptions bounds the promotion search.
+type RepairOptions struct {
+	// MaxPromotions caps the size of a suggested promotion set
+	// (default 3).
+	MaxPromotions int
+	// MaxRepairs caps how many verified repairs are returned
+	// (default 3).
+	MaxRepairs int
+	// MaxChecks caps how many candidate applications are re-verified
+	// before the search gives up (default 512).
+	MaxChecks int
+}
+
+func (o RepairOptions) withDefaults() RepairOptions {
+	if o.MaxPromotions <= 0 {
+		o.MaxPromotions = 3
+	}
+	if o.MaxRepairs <= 0 {
+		o.MaxRepairs = 3
+	}
+	if o.MaxChecks <= 0 {
+		o.MaxChecks = 512
+	}
+	return o
+}
+
+// RepairAgainstSI searches for minimal promotion sets that make
+// CheckSIRobust pass. It returns verified repairs ranked smallest
+// first (ties broken lexicographically), or nil when the application
+// is already robust or no repair exists within the bounds.
+func RepairAgainstSI(app App, opts RepairOptions) []Repair {
+	return repair(app, CheckSIRobust, opts)
+}
+
+// RepairAgainstPSI is RepairAgainstSI for the §6.2 criterion
+// (robustness against parallel SI towards SI, Theorem 22).
+func RepairAgainstPSI(app App, opts RepairOptions) []Repair {
+	return repair(app, CheckPSIRobust, opts)
+}
+
+// promKey identifies a promotion candidate.
+type promKey struct {
+	group string
+	obj   model.Obj
+}
+
+// groupKeyOf returns the promotion group of the vertex-th flattened
+// specification: its PromoteGroup, or a synthetic per-vertex key.
+func groupKeyOf(spec TxSpec, vertex int) string {
+	if spec.PromoteGroup != "" {
+		return spec.PromoteGroup
+	}
+	return fmt.Sprintf("#%d", vertex)
+}
+
+// flatten returns the application's specifications in session-major
+// (static-graph vertex) order, as (session index, tx index) pairs.
+func flatten(app App) (specs []TxSpec, at [][2]int) {
+	for si, s := range app.Sessions {
+		for ti, t := range s.Txs {
+			specs = append(specs, t)
+			at = append(at, [2]int{si, ti})
+		}
+	}
+	return specs, at
+}
+
+// applyPromotions returns a deep copy of app with every promotion
+// applied: each transaction of a promoted group additionally reads and
+// writes the promoted object (Promote performs both).
+func applyPromotions(app App, set []promKey) App {
+	specs, at := flatten(app)
+	out := App{Sessions: make([]SessionSpec, len(app.Sessions))}
+	for i, s := range app.Sessions {
+		out.Sessions[i] = SessionSpec{Name: s.Name, Txs: append([]TxSpec(nil), s.Txs...)}
+	}
+	for v, spec := range specs {
+		g := groupKeyOf(spec, v)
+		var add []model.Obj
+		for _, p := range set {
+			if p.group == g {
+				add = append(add, p.obj)
+			}
+		}
+		if len(add) == 0 {
+			continue
+		}
+		si, ti := at[v][0], at[v][1]
+		t := out.Sessions[si].Txs[ti]
+		t.Reads = model.NormalizeObjs(append(append([]model.Obj(nil), t.Reads...), add...))
+		t.Writes = model.NormalizeObjs(append(append([]model.Obj(nil), t.Writes...), add...))
+		out.Sessions[si].Txs[ti] = t
+	}
+	return out
+}
+
+// candidatesOf derives the promotion candidates of a witness cycle:
+// for every vulnerable anti-dependency edge From -RW*-> To, each
+// object in Reads(From) ∩ Writes(To) names a promotion of From's read.
+// Edges incident to a widened writer are skipped — a promotion cannot
+// certify a concrete conflict against a may-write set, so it can never
+// defuse such an edge.
+func candidatesOf(app App, w *Witness) []promKey {
+	specs, _ := flatten(app)
+	var out []promKey
+	seen := make(map[promKey]bool)
+	for _, step := range w.Steps {
+		if step.Kind != EdgeVulnerableRW {
+			continue
+		}
+		from, to := specs[step.From], specs[step.To]
+		if from.WritesWidened || to.WritesWidened {
+			continue
+		}
+		for _, x := range from.Reads {
+			if !model.ObjsIntersect([]model.Obj{x}, to.Writes) {
+				continue
+			}
+			k := promKey{group: groupKeyOf(specs[step.From], step.From), obj: x}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// setKey canonicalises a promotion set for the visited map.
+func setKey(set []promKey) string {
+	parts := make([]string, len(set))
+	for i, p := range set {
+		parts[i] = p.group + "\x00" + string(p.obj)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+// repair runs a breadth-first search over promotion sets: level k
+// explores sets of k promotions, each derived by extending a failing
+// level-(k-1) set with a candidate from its own witness cycle. The
+// first level that yields any verified repair is completed and the
+// search stops — every returned repair is therefore minimal in the
+// number of promotions. Each candidate set is verified by re-running
+// the full static check on the promoted application.
+func repair(app App, check func(App) (*Witness, bool), opts RepairOptions) []Repair {
+	opts = opts.withDefaults()
+	w0, ok := check(app)
+	if ok {
+		return nil
+	}
+	specs, _ := flatten(app)
+	labelsOf := func(group string) []string {
+		var out []string
+		for v, spec := range specs {
+			if groupKeyOf(spec, v) == group {
+				out = append(out, labelOf(spec, v))
+			}
+		}
+		return out
+	}
+
+	type node struct {
+		set     []promKey
+		app     App // app with set applied; witness indexes its vertices
+		witness *Witness
+	}
+	frontier := []node{{set: nil, app: app, witness: w0}}
+	visited := map[string]bool{setKey(nil): true}
+	checks := 0
+	var found [][]promKey
+	for level := 1; level <= opts.MaxPromotions && len(found) == 0 && len(frontier) > 0; level++ {
+		var next []node
+		for _, n := range frontier {
+			for _, cand := range candidatesOf(n.app, n.witness) {
+				set := append(append([]promKey(nil), n.set...), cand)
+				key := setKey(set)
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				if checks++; checks > opts.MaxChecks {
+					return repairsFrom(found, labelsOf, opts)
+				}
+				promoted := applyPromotions(app, set)
+				w, ok := check(promoted)
+				if ok {
+					found = append(found, set)
+					continue
+				}
+				next = append(next, node{set: set, app: promoted, witness: w})
+			}
+		}
+		frontier = next
+	}
+	return repairsFrom(found, labelsOf, opts)
+}
+
+// labelOf mirrors BuildStatic's vertex labelling.
+func labelOf(spec TxSpec, vertex int) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return fmt.Sprintf("tx%d", vertex)
+}
+
+// repairsFrom materialises and ranks the found promotion sets.
+func repairsFrom(found [][]promKey, labelsOf func(string) []string, opts RepairOptions) []Repair {
+	var out []Repair
+	for _, set := range found {
+		r := Repair{}
+		for _, p := range set {
+			r.Promotions = append(r.Promotions, Promotion{Group: p.group, Txs: labelsOf(p.group), Obj: p.obj})
+		}
+		sort.Slice(r.Promotions, func(i, j int) bool {
+			a, b := r.Promotions[i], r.Promotions[j]
+			if a.Group != b.Group {
+				return a.Group < b.Group
+			}
+			return a.Obj < b.Obj
+		})
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Promotions) != len(out[j].Promotions) {
+			return len(out[i].Promotions) < len(out[j].Promotions)
+		}
+		return out[i].String() < out[j].String()
+	})
+	if len(out) > opts.MaxRepairs {
+		out = out[:opts.MaxRepairs]
+	}
+	return out
+}

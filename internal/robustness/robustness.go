@@ -60,6 +60,13 @@ type TxSpec struct {
 	// implication, so anti-dependencies incident to a widened
 	// transaction are always treated as vulnerable.
 	WritesWidened bool
+	// PromoteGroup keys read→write promotion (see promote.go): a
+	// suggested promotion applies to every transaction specification
+	// sharing the same non-empty group. silint uses this to tie the
+	// loop- and instance-expanded copies of one source transaction
+	// together, so a suggested source edit is modelled on all of them.
+	// Empty means the specification promotes alone.
+	PromoteGroup string
 }
 
 // NewTxSpec builds a specification; both sets are copied, deduplicated

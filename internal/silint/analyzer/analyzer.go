@@ -1,0 +1,223 @@
+// Package analyzer packages silint as go/analysis-style analyzers.
+//
+// The container for this repository deliberately carries no
+// third-party modules, so the canonical golang.org/x/tools/go/analysis
+// types are unavailable; this package defines a minimal structural
+// twin — Analyzer, Pass, Diagnostic, SuggestedFix, TextEdit — with the
+// same shape and contract, and cmd/sivet implements the `go vet
+// -vettool` driver protocol over it. An Analyzer here can be ported to
+// the real API by swapping the import when x/tools is available.
+//
+// Each analyzer runs the silint pipeline (extraction → lowering →
+// §5/§6 checks → repair advisor) over one type-checked package and
+// reports silint's diagnostics, attaching two kinds of suggested
+// fixes: verified read→write promotion stubs from the repair advisor,
+// and // silint:obj= annotation templates at the ⊤-widening sites of
+// the anchoring transaction.
+package analyzer
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sian/internal/depgraph"
+	"sian/internal/silint"
+)
+
+// Analyzer describes one analysis, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the one-paragraph description.
+	Doc string
+	// Run executes the analysis over one package.
+	Run func(*Pass) error
+
+	models []depgraph.Model
+}
+
+// Pass carries one package through an analyzer run, mirroring
+// analysis.Pass.
+type Pass struct {
+	// Fset positions all files of the pass.
+	Fset *token.FileSet
+	// Files are the parsed files of the package under analysis.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the resolution maps.
+	TypesInfo *types.Info
+	// ImportPath is the package's import path (Pkg.Path may be
+	// shortened by some importers, so the driver supplies it).
+	ImportPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	// Pos anchors the finding (resolved, not a token.Pos, so drivers
+	// without the originating FileSet can render it).
+	Pos token.Position
+	// Category classifies the finding, e.g. "write-skew".
+	Category string
+	// Message is the human-readable finding.
+	Message string
+	// SuggestedFixes are optional machine-applicable remedies.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one remedy, mirroring analysis.SuggestedFix.
+type SuggestedFix struct {
+	// Message describes the fix.
+	Message string
+	// TextEdits implement it (empty for advisory-only fixes).
+	TextEdits []TextEdit
+}
+
+// TextEdit is one byte-range replacement (End == Offset inserts).
+type TextEdit struct {
+	Filename string
+	Offset   int
+	End      int
+	NewText  string
+}
+
+// New returns an analyzer running the silint checks for the given
+// models (SI when empty).
+func New(name, doc string, models []depgraph.Model) *Analyzer {
+	a := &Analyzer{Name: name, Doc: doc, models: models}
+	a.Run = a.run
+	return a
+}
+
+// SI is the default analyzer: Theorem 19 robustness and Corollary 18
+// chopping correctness under snapshot isolation.
+var SI = New("silint",
+	"report transactional programs that are not robust against snapshot isolation (write skew, incorrect chopping)",
+	[]depgraph.Model{depgraph.SI})
+
+// PSI checks robustness of parallel SI towards SI (Theorem 22) and
+// chopping under PSI (Theorem 31).
+var PSI = New("silintpsi",
+	"report transactional programs that are not robust against parallel snapshot isolation (long fork, incorrect chopping)",
+	[]depgraph.Model{depgraph.PSI})
+
+// All runs every model's checks.
+var All = New("silintall",
+	"report transactional programs failing any of the paper's static criteria (SI, PSI, SER)",
+	[]depgraph.Model{depgraph.SI, depgraph.PSI, depgraph.SER})
+
+// ByName resolves an analyzer selection string (the -model vocabulary:
+// si, psi, all).
+func ByName(name string) (*Analyzer, error) {
+	switch name {
+	case "", "si", "silint":
+		return SI, nil
+	case "psi", "silintpsi":
+		return PSI, nil
+	case "all", "silintall":
+		return All, nil
+	}
+	return nil, fmt.Errorf("unknown analyzer %q (want si, psi or all)", name)
+}
+
+// run adapts the pass to silint.AnalyzePackage.
+func (a *Analyzer) run(pass *Pass) error {
+	pkg := &silint.Package{
+		ImportPath: pass.ImportPath,
+		Dir:        pass.Dir,
+		Fset:       pass.Fset,
+		Files:      pass.Files,
+		Types:      pass.Pkg,
+		Info:       pass.TypesInfo,
+	}
+	pr, err := silint.AnalyzePackage(pkg, a.models)
+	if err != nil {
+		return err
+	}
+	for _, d := range pr.Diagnostics {
+		out := Diagnostic{
+			Pos:      d.Pos,
+			Category: d.Category,
+			Message:  d.Message,
+		}
+		for _, f := range d.Fixes {
+			fix := SuggestedFix{Message: fmt.Sprintf("%s (rank %d)", f.Message, f.Rank)}
+			for _, e := range f.Edits {
+				fix.TextEdits = append(fix.TextEdits, TextEdit{
+					Filename: e.Filename, Offset: e.Offset, End: e.End, NewText: e.NewText,
+				})
+			}
+			out.SuggestedFixes = append(out.SuggestedFixes, fix)
+		}
+		out.SuggestedFixes = append(out.SuggestedFixes, annotationFixes(pass, pr, d)...)
+		pass.Report(out)
+	}
+	return nil
+}
+
+// annotationFixes suggests // silint:obj= annotation templates at the
+// ⊤-widening sites of the diagnostic's anchoring transaction: naming
+// the widened keys is the other way to defuse a spurious cycle, and
+// often the only one when the repair advisor is blocked by a widened
+// write set.
+func annotationFixes(pass *Pass, pr *silint.PackageReport, d silint.Diagnostic) []SuggestedFix {
+	base := strings.TrimSuffix(d.Tx, "@it2")
+	var tx *silint.Tx
+	for _, s := range pr.Sessions {
+		for _, t := range s.Txs {
+			if t.Name == base {
+				tx = t
+			}
+		}
+	}
+	if tx == nil || len(tx.WidenSites) == 0 {
+		return nil
+	}
+	var out []SuggestedFix
+	for _, site := range tx.WidenSites {
+		f := pass.Fset.File(site)
+		if f == nil {
+			continue
+		}
+		pos := f.Position(site)
+		lineStart := f.Offset(f.LineStart(pos.Line))
+		out = append(out, SuggestedFix{
+			Message: fmt.Sprintf("assert the key widened at %s:%d with a silint:obj annotation (replace KEY with the object names)", pos.Filename, pos.Line),
+			TextEdits: []TextEdit{{
+				Filename: pos.Filename,
+				Offset:   lineStart,
+				End:      lineStart,
+				NewText:  "// silint:obj=KEY\n",
+			}},
+		})
+	}
+	return out
+}
+
+// Check runs the analyzer over one loaded package and returns the
+// collected diagnostics (the driver-independent entry point used by
+// cmd/sivet and tests).
+func Check(a *Analyzer, pkg *silint.Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	pass := &Pass{
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		ImportPath: pkg.ImportPath,
+		Dir:        pkg.Dir,
+		Report:     func(d Diagnostic) { out = append(out, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

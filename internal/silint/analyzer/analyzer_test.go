@@ -1,0 +1,116 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"sian/internal/silint"
+)
+
+// loadPkg loads one silint testdata package (pattern relative to the
+// internal/silint directory).
+func loadPkg(t *testing.T, pattern string) *silint.Package {
+	t.Helper()
+	l, err := silint.NewLoader("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// TestAnalyzerWriteSkew: the SI analyzer reports the Figure 2(d) write
+// skew with the repair advisor's promotion stubs attached.
+func TestAnalyzerWriteSkew(t *testing.T) {
+	t.Parallel()
+	diags, err := Check(SI, loadPkg(t, "testdata/src/writeskew"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics for the write-skew fixture")
+	}
+	d := diags[0]
+	if d.Category != "write-skew" || !strings.Contains(d.Message, "Theorem 19") {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if d.Pos.Line == 0 || !strings.HasSuffix(d.Pos.Filename, "main.go") {
+		t.Errorf("diagnostic not anchored: %+v", d.Pos)
+	}
+	var promote *SuggestedFix
+	for i, f := range d.SuggestedFixes {
+		if strings.Contains(f.Message, "promote read of") {
+			promote = &d.SuggestedFixes[i]
+			break
+		}
+	}
+	if promote == nil {
+		t.Fatalf("no promotion fix among %+v", d.SuggestedFixes)
+	}
+	if len(promote.TextEdits) == 0 || !strings.Contains(promote.TextEdits[0].NewText, ".Promote(") {
+		t.Errorf("promotion fix edits = %+v", promote.TextEdits)
+	}
+}
+
+// TestAnalyzerAnnotationFix: when the anchoring transaction was
+// ⊤-widened, the analyzer suggests a silint:obj annotation template at
+// the widening site.
+func TestAnalyzerAnnotationFix(t *testing.T) {
+	t.Parallel()
+	diags, err := Check(SI, loadPkg(t, "testdata/src/widenwrites"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics for the widenwrites fixture")
+	}
+	var annot *SuggestedFix
+	for _, d := range diags {
+		for i, f := range d.SuggestedFixes {
+			if strings.Contains(f.Message, "silint:obj annotation") {
+				annot = &d.SuggestedFixes[i]
+			}
+		}
+	}
+	if annot == nil {
+		t.Fatal("no annotation fix suggested for the widened anchor")
+	}
+	if len(annot.TextEdits) != 1 || !strings.Contains(annot.TextEdits[0].NewText, "silint:obj=") {
+		t.Errorf("annotation edits = %+v", annot.TextEdits)
+	}
+	if annot.TextEdits[0].Offset != annot.TextEdits[0].End {
+		t.Errorf("annotation edit is not a pure insertion: %+v", annot.TextEdits[0])
+	}
+}
+
+// TestAnalyzerClean: a robust package yields no findings.
+func TestAnalyzerClean(t *testing.T) {
+	t.Parallel()
+	diags, err := Check(SI, loadPkg(t, "fixtures/banking"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("diagnostics on clean package: %+v", diags)
+	}
+}
+
+// TestByName pins the selection vocabulary shared with SIVET_MODEL.
+func TestByName(t *testing.T) {
+	t.Parallel()
+	for name, want := range map[string]*Analyzer{"": SI, "si": SI, "psi": PSI, "all": All} {
+		a, err := ByName(name)
+		if err != nil || a != want {
+			t.Errorf("ByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("bogus analyzer name accepted")
+	}
+}

@@ -91,6 +91,17 @@ type Tx struct {
 	// lowering duplicates it within its session to model repeated
 	// sequential execution.
 	InLoop bool
+	// FixInsert is the position just after the opening brace of the
+	// transaction body (when statically visible): the anchor where a
+	// suggested Promote stub can be inserted textually.
+	FixInsert token.Pos
+	// Handle is the name of the body's transaction parameter, for
+	// rendering suggested-fix stubs.
+	Handle string
+	// WidenSites are the positions whose key (or handle) resolution
+	// widened a set to ⊤ — the places a silint:obj annotation would
+	// restore precision.
+	WidenSites []token.Pos
 }
 
 // Session is an ordered list of transactions extracted for one session
@@ -136,6 +147,11 @@ type extractor struct {
 	inMain       bool
 	fnName       string
 
+	// interprocedural state (interproc.go)
+	summaries   map[sumKey]*summary
+	summarizing map[*types.Func]bool
+	goCalls     map[*ast.CallExpr]bool // calls that are `go` statements
+
 	notes     []string
 	widenings int
 }
@@ -154,6 +170,9 @@ func newExtractor(pkg *Package) *extractor {
 		manualAll:    make(map[types.Object][]*Tx),
 		okIdent:      make(map[*ast.Ident]bool),
 		beginDone:    make(map[*ast.CallExpr]bool),
+		summaries:    make(map[sumKey]*summary),
+		summarizing:  make(map[*types.Func]bool),
+		goCalls:      make(map[*ast.CallExpr]bool),
 	}
 }
 
@@ -272,6 +291,8 @@ func (e *extractor) prepass() {
 				e.loopRange = append(e.loopRange, posRange{s.Body.Pos(), s.Body.End()})
 			case *ast.ForStmt:
 				e.loopRange = append(e.loopRange, posRange{s.Body.Pos(), s.Body.End()})
+			case *ast.GoStmt:
+				e.goCalls[s.Call] = true
 			case *ast.UnaryExpr:
 				if s.Op == token.AND {
 					if id, ok := unparen(s.X).(*ast.Ident); ok {
@@ -458,6 +479,7 @@ func (e *extractor) beginTx(recv ast.Expr, call *ast.CallExpr) *Tx {
 func (e *extractor) handleCall(call *ast.CallExpr) {
 	recv, typeName, method, ok := e.methodCall(call)
 	if !ok {
+		e.handleManualHelper(call)
 		return
 	}
 	switch typeName {
@@ -496,16 +518,56 @@ func (e *extractor) handleCall(call *ast.CallExpr) {
 		switch method {
 		case "Read":
 			if len(call.Args) == 1 {
-				tx.Reads.add(e.resolveObj(call.Args[0], call))
+				tx.Reads.add(e.resolveObj(call.Args[0], call, tx))
 				e.okIdent[id] = true
 			}
 		case "Write":
 			if len(call.Args) == 2 {
-				tx.Writes.add(e.resolveObj(call.Args[0], call))
+				tx.Writes.add(e.resolveObj(call.Args[0], call, tx))
+				e.okIdent[id] = true
+			}
+		case "Promote":
+			if len(call.Args) == 1 {
+				objs, top := e.resolveObj(call.Args[0], call, tx)
+				tx.Reads.add(objs, top)
+				tx.Writes.add(objs, top)
 				e.okIdent[id] = true
 			}
 		case "Commit", "Abort":
 			e.okIdent[id] = true
+		}
+	}
+}
+
+// handleManualHelper intercepts plain calls that pass a tracked manual
+// transaction handle to a helper function, instantiating the helper's
+// interprocedural summary instead of letting the handle escape.
+func (e *extractor) handleManualHelper(call *ast.CallExpr) {
+	if _, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		// A method call forwarding the handle is not summarisable (the
+		// receiver may retain it); leave it to the escape check.
+		if e.funcDeclFor(call.Fun) == nil {
+			return
+		}
+	}
+	applied := make(map[types.Object]bool)
+	for _, arg := range call.Args {
+		id, isIdent := unparen(arg).(*ast.Ident)
+		if !isIdent {
+			continue
+		}
+		obj := e.pkg.Info.Uses[id]
+		tx, tracked := e.manual[obj]
+		if !tracked || applied[obj] {
+			continue
+		}
+		applied[obj] = true
+		if e.applyHelperCall(call, obj, tx) {
+			for _, a := range call.Args {
+				if aid, aIsIdent := unparen(a).(*ast.Ident); aIsIdent && e.pkg.Info.Uses[aid] == obj {
+					e.okIdent[aid] = true
+				}
+			}
 		}
 	}
 }
@@ -541,9 +603,11 @@ func (e *extractor) handleTransact(call *ast.CallExpr, recv ast.Expr, name strin
 		e.widen(tx, call.Pos(), "transaction body is not statically visible")
 		return
 	}
+	tx.FixInsert = body.Lbrace + 1
 	if txObj == nil {
 		return // no way to name the tx handle: the body cannot read or write
 	}
+	tx.Handle = txObj.Name()
 	e.extractOps(body, txObj, tx)
 }
 
@@ -585,10 +649,11 @@ func (e *extractor) funcDeclFor(x ast.Expr) *ast.FuncDecl {
 	return nil
 }
 
-// extractOps walks a transaction body, adding every tx.Read/tx.Write
-// key to the sets; any other use of the transaction handle (passing it
-// to a helper, aliasing it) escapes the abstraction and widens both
-// sets to ⊤.
+// extractOps walks a transaction body, adding every tx.Read/tx.Write/
+// tx.Promote key to the sets and instantiating summaries of helper
+// functions the handle is passed to (interproc.go); any other use of
+// the transaction handle (storing it, launching a goroutine with it,
+// aliasing it) escapes the abstraction and widens both sets to ⊤.
 func (e *extractor) extractOps(body *ast.BlockStmt, txObj types.Object, tx *Tx) {
 	ok := make(map[*ast.Ident]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -596,24 +661,39 @@ func (e *extractor) extractOps(body *ast.BlockStmt, txObj types.Object, tx *Tx) 
 		if !isCall {
 			return true
 		}
-		sel, isSel := call.Fun.(*ast.SelectorExpr)
-		if !isSel {
-			return true
-		}
-		id, isIdent := unparen(sel.X).(*ast.Ident)
-		if !isIdent || e.pkg.Info.Uses[id] != txObj {
-			return true
-		}
-		switch sel.Sel.Name {
-		case "Read":
-			if len(call.Args) == 1 {
-				tx.Reads.add(e.resolveObj(call.Args[0], call))
-				ok[id] = true
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			id, isIdent := unparen(sel.X).(*ast.Ident)
+			if !isIdent || e.pkg.Info.Uses[id] != txObj {
+				return true
 			}
-		case "Write":
-			if len(call.Args) == 2 {
-				tx.Writes.add(e.resolveObj(call.Args[0], call))
-				ok[id] = true
+			switch sel.Sel.Name {
+			case "Read":
+				if len(call.Args) == 1 {
+					tx.Reads.add(e.resolveObj(call.Args[0], call, tx))
+					ok[id] = true
+				}
+			case "Write":
+				if len(call.Args) == 2 {
+					tx.Writes.add(e.resolveObj(call.Args[0], call, tx))
+					ok[id] = true
+				}
+			case "Promote":
+				if len(call.Args) == 1 {
+					objs, top := e.resolveObj(call.Args[0], call, tx)
+					tx.Reads.add(objs, top)
+					tx.Writes.add(objs, top)
+					ok[id] = true
+				}
+			}
+			return true
+		}
+		// A plain call receiving the handle as an argument: apply the
+		// callee's interprocedural summary when one can be computed.
+		if e.applyHelperCall(call, txObj, tx) {
+			for _, arg := range call.Args {
+				if id, isIdent := unparen(arg).(*ast.Ident); isIdent && e.pkg.Info.Uses[id] == txObj {
+					ok[id] = true
+				}
 			}
 		}
 		return true
@@ -657,6 +737,7 @@ func (e *extractor) widen(tx *Tx, pos token.Pos, why string) {
 	}
 	tx.Reads.Top = true
 	tx.Writes.Top = true
+	tx.WidenSites = append(tx.WidenSites, pos)
 	e.widenings++
 	e.note(pos, "%s: read/write sets widened to ⊤", why)
 }
@@ -697,12 +778,15 @@ func (e *extractor) constString(x ast.Expr) string {
 // (recursively), and explicit conversions of a resolvable operand.
 // Everything else — loop variables, function parameters, computed keys
 // — widens to ⊤.
-func (e *extractor) resolveObj(arg ast.Expr, call *ast.CallExpr) ([]model.Obj, bool) {
+func (e *extractor) resolveObj(arg ast.Expr, call *ast.CallExpr, tx *Tx) ([]model.Obj, bool) {
 	if objs, ok := e.annotationAt(call.Pos()); ok {
 		return objs, false
 	}
 	objs, top := e.resolveExpr(arg, make(map[types.Object]bool))
 	if top {
+		if tx != nil {
+			tx.WidenSites = append(tx.WidenSites, call.Pos())
+		}
 		e.widenings++
 		e.note(call.Pos(), "object key %s is not a resolvable constant: widened to ⊤ (annotate with // silint:obj=<name> to assert the key)", exprText(arg))
 	}

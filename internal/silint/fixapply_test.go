@@ -1,0 +1,185 @@
+package silint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"sian/internal/check"
+	"sian/internal/depgraph"
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+// TestRepairAdvisorEndToEnd closes the loop on the repair advisor: the
+// write-skew fixture's first-ranked suggested fix is applied textually
+// to a scratch copy, the promoted program is re-verified statically
+// (Theorem 19 now passes), and the same promoted program is replayed
+// dynamically through the SI engine — the materialised conflict forces
+// one transaction to abort, and the committed history certifies as
+// serialisable.
+func TestRepairAdvisorEndToEnd(t *testing.T) {
+	// Scratch package inside the module (t.TempDir lives outside the
+	// module root, where sian/... imports would not resolve). It sits
+	// under testdata/ but not testdata/src/, so the golden walk and the
+	// package build both ignore it.
+	src, err := os.ReadFile("testdata/src/writeskew/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("testdata", "fixapply-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	target := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	absTarget, err := filepath.Abs(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{Models: []depgraph.Model{depgraph.SI}}
+	report, err := Analyze([]string{dir}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Packages) != 1 || len(report.Packages[0].Diagnostics) != 1 {
+		t.Fatalf("scratch copy: report = %+v", report)
+	}
+	d := report.Packages[0].Diagnostics[0]
+	var rank1 []SuggestedFix
+	for _, f := range d.Fixes {
+		if f.Rank == 1 {
+			rank1 = append(rank1, f)
+		}
+	}
+	if len(rank1) == 0 {
+		t.Fatalf("no first-ranked fix among %+v", d.Fixes)
+	}
+
+	// Apply the first-ranked repair textually, back to front so earlier
+	// offsets stay valid.
+	var edits []TextEdit
+	for _, f := range rank1 {
+		for _, e := range f.Edits {
+			if e.Filename != absTarget {
+				t.Fatalf("edit targets %s, want %s", e.Filename, absTarget)
+			}
+			edits = append(edits, e)
+		}
+	}
+	if len(edits) == 0 {
+		t.Fatal("first-ranked fix carries no text edits")
+	}
+	data := src
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Offset > edits[j].Offset })
+	for _, e := range edits {
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(data) {
+			t.Fatalf("edit out of bounds: %+v", e)
+		}
+		data = append(data[:e.Offset], append([]byte(e.NewText), data[e.End:]...)...)
+	}
+	if err := os.WriteFile(target, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Static re-verification: the promoted program passes Theorem 19.
+	report, err = Analyze([]string{dir}, opts)
+	if err != nil {
+		t.Fatalf("promoted copy does not type-check or analyze: %v", err)
+	}
+	if n := len(report.Packages[0].Diagnostics); n != 0 {
+		t.Fatalf("promoted copy still has %d diagnostic(s): %+v", n, report.Packages[0].Diagnostics)
+	}
+
+	// Dynamic replay, driven by the fix metadata: which transaction
+	// promotes which object.
+	promoted := make(map[string]model.Obj)
+	for _, f := range rank1 {
+		for _, name := range f.Txs {
+			promoted[strings.TrimSuffix(name, "@it2")] = model.Obj(f.Obj)
+		}
+	}
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{"acct1": 60, "acct2": 60}); err != nil {
+		t.Fatal(err)
+	}
+	body := func(tx *engine.ManualTx, name string, acct model.Obj) error {
+		if obj, ok := promoted[name]; ok {
+			if err := tx.Promote(obj); err != nil {
+				return err
+			}
+		}
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			var v model.Value
+			if acct == "acct1" {
+				v = v1
+			} else {
+				v = v2
+			}
+			return tx.Write(acct, v-100)
+		}
+		return nil
+	}
+	t1, err := db.Session("alice").Begin("withdraw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := db.Session("bob").Begin("withdraw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := body(t1, "withdraw1", "acct1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := body(t2, "withdraw2", "acct2"); err != nil {
+		t.Fatal(err)
+	}
+	// The promotion materialises a write-write conflict between the two
+	// overlapping withdrawals: first committer wins, the other aborts —
+	// exactly the §6 remedy the static fix promised.
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first committer failed: %v", err)
+	}
+	if err := t2.Commit(); !errors.Is(err, engine.ErrConflict) {
+		t.Fatalf("second committer: err = %v, want ErrConflict", err)
+	}
+	// The standard response to ErrConflict: retry on a fresh snapshot.
+	t3, err := db.Session("bob").Begin("withdraw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := body(t3, "withdraw2", "acct2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+
+	db.Flush()
+	res, err := check.Certify(db.History(), depgraph.SER, check.Options{NoInit: true, PinInit: true, Budget: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Member {
+		t.Fatalf("promoted replay is not serialisable: %v", res.Explain)
+	}
+}

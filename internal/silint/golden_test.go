@@ -178,6 +178,38 @@ func TestGoldenExtraction(t *testing.T) {
 	checkSet(t, "escape/leak reads", leak.Reads, true, nil)
 	checkSet(t, "escape/leak writes", leak.Writes, true, nil)
 
+	// Interprocedural fixtures: factored bodies extract exactly.
+	hw1 := findTx(t, report, "/helpercall", "withdraw1")
+	checkSet(t, "helpercall/withdraw1 reads", hw1.Reads, false, objs("acct1", "acct2"))
+	checkSet(t, "helpercall/withdraw1 writes", hw1.Writes, false, objs("acct1"))
+	hw2 := findTx(t, report, "/helpercall", "withdraw2")
+	checkSet(t, "helpercall/withdraw2 reads", hw2.Reads, false, objs("acct1", "acct2"))
+	checkSet(t, "helpercall/withdraw2 writes", hw2.Writes, false, objs("acct2"))
+	haud := findTx(t, report, "/helpercall", "audit")
+	checkSet(t, "helpercall/audit reads", haud.Reads, false, objs("total"))
+	checkSet(t, "helpercall/audit writes", haud.Writes, false, objs("total"))
+
+	drain := findTx(t, report, "/recursion", "drain")
+	checkSet(t, "recursion/drain reads", drain.Reads, true, nil)
+	checkSet(t, "recursion/drain writes", drain.Writes, true, nil)
+	poke := findTx(t, report, "/recursion", "poke")
+	checkSet(t, "recursion/poke reads", poke.Reads, false, nil)
+	checkSet(t, "recursion/poke writes", poke.Writes, false, objs("cursor"))
+
+	shallow := findTx(t, report, "/depthbound", "shallow")
+	checkSet(t, "depthbound/shallow reads", shallow.Reads, false, nil)
+	checkSet(t, "depthbound/shallow writes", shallow.Writes, false, objs("leaf"))
+	deep := findTx(t, report, "/depthbound", "deep")
+	checkSet(t, "depthbound/deep reads", deep.Reads, true, nil)
+	checkSet(t, "depthbound/deep writes", deep.Writes, true, nil)
+
+	// promofix is the write skew with the advisor's promotion applied:
+	// the promoted read lands in both sets and the package is clean
+	// (TestGoldenDiagnostics fails on any unexpected diagnostic there).
+	pf2 := findTx(t, report, "/promofix", "withdraw2")
+	checkSet(t, "promofix/withdraw2 reads", pf2.Reads, false, objs("acct1", "acct2"))
+	checkSet(t, "promofix/withdraw2 writes", pf2.Writes, false, objs("acct1", "acct2"))
+
 	manual := findTx(t, report, "/manualtx", "withdraw1")
 	if manual.Kind != TxManual {
 		t.Errorf("manualtx/withdraw1: Kind = %v, want TxManual", manual.Kind)

@@ -1,0 +1,368 @@
+package silint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"sian/internal/model"
+)
+
+// Interprocedural extraction: summary-based analysis of helper
+// functions that receive a transaction handle.
+//
+// v1 widened a transaction to ⊤ the moment its handle was passed to
+// any function — which made every realistically factored application
+// (func credit(tx *engine.Tx, acct string) …) unanalyzable. v2 instead
+// computes a bottom-up *summary* of each helper: the read and write
+// keys it touches through the handle, expressed as resolved objects
+// plus references to the helper's own parameters. At a call site the
+// summary is instantiated by resolving the actual arguments with the
+// caller's constant propagation. Helpers calling helpers compose the
+// same way, bounded by maxHelperDepth; recursion, unresolvable
+// callees, variadic handle positions, `go` statements and any other
+// use of the handle (storing it, aliasing it, method values) still
+// widen to ⊤ — the escape analysis of v1 remains the sound fallback.
+
+// maxHelperDepth bounds summary composition: a chain of more than this
+// many nested helper calls widens to ⊤ (soundly) instead of recursing
+// further.
+const maxHelperDepth = 6
+
+// sumSet is an abstract object set relative to a helper's parameters:
+// resolved named objects, parameter indices whose argument supplies
+// the key, and a ⊤ flag for keys unresolvable even symbolically.
+type sumSet struct {
+	objs   map[model.Obj]bool
+	params map[int]bool
+	top    bool
+}
+
+func newSumSet() *sumSet {
+	return &sumSet{objs: make(map[model.Obj]bool), params: make(map[int]bool)}
+}
+
+func (s *sumSet) add(objs []model.Obj, params []int, top bool) {
+	for _, o := range objs {
+		s.objs[o] = true
+	}
+	for _, p := range params {
+		s.params[p] = true
+	}
+	if top {
+		s.top = true
+	}
+}
+
+// summary is the transaction-handle footprint of one helper function,
+// relative to one handle parameter position.
+type summary struct {
+	fn     *types.Func
+	txIdx  int
+	reads  *sumSet
+	writes *sumSet
+	// widened records that the handle itself escapes inside the helper
+	// (or a composition bound was hit): only ⊤ for both sets is sound.
+	widened bool
+	reason  string
+}
+
+// sumKey caches summaries per (function, handle-parameter) pair.
+type sumKey struct {
+	fn    *types.Func
+	txIdx int
+}
+
+// flatParams returns the flat parameter objects of a declaration (one
+// entry per declared name, nil for blank), plus whether the final
+// parameter is variadic.
+func (e *extractor) flatParams(fd *ast.FuncDecl) (objs []types.Object, variadic bool) {
+	if fd.Type.Params == nil {
+		return nil, false
+	}
+	fields := fd.Type.Params.List
+	for fi, f := range fields {
+		if _, ok := f.Type.(*ast.Ellipsis); ok && fi == len(fields)-1 {
+			variadic = true
+		}
+		if len(f.Names) == 0 {
+			objs = append(objs, nil) // unnamed parameter occupies one slot
+			continue
+		}
+		for _, name := range f.Names {
+			if name.Name == "_" {
+				objs = append(objs, nil)
+				continue
+			}
+			objs = append(objs, e.pkg.Info.Defs[name])
+		}
+	}
+	return objs, variadic
+}
+
+// helperTarget resolves a call to a summarisable same-package helper:
+// the declared function and the flat index of the parameter receiving
+// the handle argument at position argIdx. ok is false when the callee
+// is not statically visible or the handle lands in a variadic slot.
+func (e *extractor) helperTarget(call *ast.CallExpr, argIdx int) (fn *types.Func, fd *ast.FuncDecl, txIdx int, ok bool) {
+	fd = e.funcDeclFor(call.Fun)
+	if fd == nil {
+		return nil, nil, 0, false
+	}
+	obj := e.pkg.Info.Defs[fd.Name]
+	fn, isFn := obj.(*types.Func)
+	if !isFn {
+		return nil, nil, 0, false
+	}
+	params, variadic := e.flatParams(fd)
+	if variadic && argIdx >= len(params)-1 {
+		return nil, nil, 0, false // handle spread into the variadic slot
+	}
+	if argIdx >= len(params) {
+		return nil, nil, 0, false // f(g()) style multi-value call
+	}
+	return fn, fd, argIdx, true
+}
+
+// summarize computes (and caches) the summary of fd with respect to
+// its txIdx-th parameter. depth counts helper-call nesting from the
+// transaction body; beyond maxHelperDepth the result widens.
+func (e *extractor) summarize(fn *types.Func, fd *ast.FuncDecl, txIdx, depth int) *summary {
+	key := sumKey{fn, txIdx}
+	if s, cached := e.summaries[key]; cached {
+		return s
+	}
+	if e.summarizing[fn] {
+		return &summary{fn: fn, txIdx: txIdx, widened: true,
+			reason: fmt.Sprintf("helper %s is recursive", fn.Name())}
+	}
+	if depth > maxHelperDepth {
+		return &summary{fn: fn, txIdx: txIdx, widened: true,
+			reason: fmt.Sprintf("helper call depth exceeds %d at %s", maxHelperDepth, fn.Name())}
+	}
+	e.summarizing[fn] = true
+	defer delete(e.summarizing, fn)
+
+	s := &summary{fn: fn, txIdx: txIdx, reads: newSumSet(), writes: newSumSet()}
+	params, _ := e.flatParams(fd)
+	txObj := params[txIdx]
+	if txObj == nil {
+		// The handle binds to a blank/unnamed parameter: the helper
+		// cannot touch it, so its contribution is empty.
+		e.summaries[key] = s
+		return s
+	}
+	paramIdx := make(map[types.Object]int, len(params))
+	for i, p := range params {
+		if p != nil {
+			paramIdx[p] = i
+		}
+	}
+
+	ok := make(map[*ast.Ident]bool)
+	widen := func(reason string) {
+		if !s.widened {
+			s.widened = true
+			s.reason = reason
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			if id, isIdent := unparen(sel.X).(*ast.Ident); isIdent && e.pkg.Info.Uses[id] == txObj {
+				switch sel.Sel.Name {
+				case "Read":
+					if len(call.Args) == 1 {
+						s.reads.add(e.resolveSumExpr(call.Args[0], call, paramIdx))
+						ok[id] = true
+					}
+				case "Write":
+					if len(call.Args) == 2 {
+						s.writes.add(e.resolveSumExpr(call.Args[0], call, paramIdx))
+						ok[id] = true
+					}
+				case "Promote":
+					if len(call.Args) == 1 {
+						objs, ps, top := e.resolveSumExpr(call.Args[0], call, paramIdx)
+						s.reads.add(objs, ps, top)
+						s.writes.add(objs, ps, top)
+						ok[id] = true
+					}
+				case "Commit", "Abort":
+					ok[id] = true
+				}
+				return true
+			}
+		}
+		// A nested helper call forwarding the handle composes
+		// summaries; `go` hands the handle to concurrent code and must
+		// escape.
+		if e.goCalls[call] {
+			return true
+		}
+		for ai, arg := range call.Args {
+			id, isIdent := unparen(arg).(*ast.Ident)
+			if !isIdent || e.pkg.Info.Uses[id] != txObj {
+				continue
+			}
+			nfn, nfd, nIdx, resolvable := e.helperTarget(call, ai)
+			if !resolvable {
+				continue // second pass widens via the unmarked ident
+			}
+			ns := e.summarize(nfn, nfd, nIdx, depth+1)
+			if ns.widened {
+				widen(ns.reason)
+				ok[id] = true
+				continue
+			}
+			e.substitute(ns.reads, call, paramIdx, s.reads)
+			e.substitute(ns.writes, call, paramIdx, s.writes)
+			ok[id] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || ok[id] || e.pkg.Info.Uses[id] != txObj {
+			return true
+		}
+		widen(fmt.Sprintf("transaction handle %s escapes helper %s (%s)", id.Name, fn.Name(), e.position(id.Pos())))
+		return false
+	})
+	e.summaries[key] = s
+	return s
+}
+
+// substitute maps a nested summary set through a nested call's
+// arguments into the enclosing helper's parameter space.
+func (e *extractor) substitute(nested *sumSet, call *ast.CallExpr, paramIdx map[types.Object]int, into *sumSet) {
+	if nested.top {
+		into.top = true
+	}
+	for o := range nested.objs {
+		into.objs[o] = true
+	}
+	for p := range nested.params {
+		if p >= len(call.Args) {
+			into.top = true
+			continue
+		}
+		objs, ps, top := e.resolveSumExpr(call.Args[p], call, paramIdx)
+		into.add(objs, ps, top)
+	}
+}
+
+// resolveSumExpr resolves a key expression inside a helper body: a
+// silint:obj annotation or compile-time constant yields objects; a
+// reference to one of the helper's own (never-reassigned) parameters
+// yields a parameter index resolved later at the call site;
+// single-assignment locals and conversions resolve recursively;
+// everything else is ⊤.
+func (e *extractor) resolveSumExpr(arg ast.Expr, call *ast.CallExpr, paramIdx map[types.Object]int) (objs []model.Obj, params []int, top bool) {
+	if a, ok := e.annotationAt(call.Pos()); ok {
+		return a, nil, false
+	}
+	return e.resolveSumRec(arg, paramIdx, make(map[types.Object]bool))
+}
+
+func (e *extractor) resolveSumRec(x ast.Expr, paramIdx map[types.Object]int, visited map[types.Object]bool) (objs []model.Obj, params []int, top bool) {
+	x = unparen(x)
+	if s := e.constString(x); s != "" {
+		return []model.Obj{model.Obj(s)}, nil, false
+	}
+	switch v := x.(type) {
+	case *ast.Ident:
+		obj := e.pkg.Info.Uses[v]
+		if obj == nil || visited[obj] {
+			return nil, nil, true
+		}
+		if pi, isParam := paramIdx[obj]; isParam {
+			if e.assigns[obj] == 0 && !e.addrTaken[obj] {
+				return nil, []int{pi}, false
+			}
+			return nil, nil, true // reassigned parameter: value unknown
+		}
+		vr, isVar := obj.(*types.Var)
+		if !isVar || e.assigns[vr] != 1 || e.addrTaken[vr] {
+			return nil, nil, true
+		}
+		rhs, hasRHS := e.assignRHS[vr]
+		if !hasRHS {
+			return nil, nil, true
+		}
+		visited[obj] = true
+		return e.resolveSumRec(rhs, paramIdx, visited)
+	case *ast.CallExpr:
+		if len(v.Args) == 1 {
+			if tv, ok := e.pkg.Info.Types[v.Fun]; ok && tv.IsType() {
+				return e.resolveSumRec(v.Args[0], paramIdx, visited)
+			}
+		}
+	}
+	return nil, nil, true
+}
+
+// applyHelperCall instantiates a helper summary at a top-level call
+// site inside a transaction span: the handle bound to handleObj is
+// passed to call as an argument. Reports whether the call was handled
+// (so the handle use must not be treated as an escape).
+func (e *extractor) applyHelperCall(call *ast.CallExpr, handleObj types.Object, tx *Tx) bool {
+	if e.goCalls[call] {
+		return false // the goroutine may outlive the span: escape
+	}
+	handled := false
+	for ai, arg := range call.Args {
+		id, isIdent := unparen(arg).(*ast.Ident)
+		if !isIdent || e.pkg.Info.Uses[id] != handleObj {
+			continue
+		}
+		fn, fd, txIdx, ok := e.helperTarget(call, ai)
+		if !ok {
+			return false
+		}
+		sum := e.summarize(fn, fd, txIdx, 1)
+		e.applySummary(sum, call, tx)
+		handled = true
+	}
+	return handled
+}
+
+// applySummary instantiates a computed summary at a concrete call
+// site, resolving parameter references against the actual arguments
+// with the caller's constant propagation.
+func (e *extractor) applySummary(sum *summary, call *ast.CallExpr, tx *Tx) {
+	if sum.widened {
+		e.widen(tx, call.Pos(), sum.reason)
+		return
+	}
+	instantiate := func(set *sumSet, target *ObjSet, what string) {
+		if set.top {
+			if !target.Top {
+				target.Top = true
+				e.widenings++
+				e.note(call.Pos(), "helper %s %s a key that is not statically resolvable: widened to ⊤ (annotate with // silint:obj=<name> to assert the key)", sum.fn.Name(), what)
+			}
+		}
+		for o := range set.objs {
+			target.add([]model.Obj{o}, false)
+		}
+		for p := range set.params {
+			if p >= len(call.Args) {
+				target.add(nil, true)
+				continue
+			}
+			objs, top := e.resolveExpr(call.Args[p], make(map[types.Object]bool))
+			if top && !target.Top {
+				e.widenings++
+				e.note(call.Pos(), "argument %s of helper %s is not a resolvable constant: %s set widened to ⊤ (annotate with // silint:obj=<name> to assert the key)",
+					exprText(call.Args[p]), sum.fn.Name(), what)
+			}
+			target.add(objs, top)
+		}
+	}
+	instantiate(sum.reads, tx.Reads, "reads")
+	instantiate(sum.writes, tx.Writes, "writes")
+}

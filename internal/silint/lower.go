@@ -1,6 +1,8 @@
 package silint
 
 import (
+	"fmt"
+
 	"sian/internal/chopping"
 	"sian/internal/model"
 	"sian/internal/robustness"
@@ -82,9 +84,15 @@ func materialize(s *ObjSet, universe []model.Obj) []model.Obj {
 // refinement of §6 is disabled for its anti-dependencies: the
 // materialised universe would otherwise intersect every write set and
 // unsoundly defuse dangerous structures.
-func lowerApp(expanded []loweredSession, universe []model.Obj) (robustness.App, []*Tx) {
+// Every specification carries a PromoteGroup keyed by its source
+// transaction, so the repair advisor promotes all loop-expanded copies
+// of one extracted transaction jointly; the returned groups map leads
+// from group key back to the source transaction for fix rendering.
+func lowerApp(expanded []loweredSession, universe []model.Obj) (robustness.App, []*Tx, map[string]*Tx) {
 	var sessions []robustness.SessionSpec
 	var flat []*Tx
+	groups := make(map[string]*Tx)
+	groupOf := make(map[*Tx]string)
 	for _, s := range expanded {
 		spec := robustness.SessionSpec{Name: s.name}
 		for _, e := range s.txs {
@@ -92,12 +100,19 @@ func lowerApp(expanded []loweredSession, universe []model.Obj) (robustness.App, 
 				materialize(e.tx.Reads, universe),
 				materialize(e.tx.Writes, universe))
 			ts.WritesWidened = e.tx.Writes.Top
+			g, seen := groupOf[e.tx]
+			if !seen {
+				g = fmt.Sprintf("g%d", len(groups))
+				groupOf[e.tx] = g
+				groups[g] = e.tx
+			}
+			ts.PromoteGroup = g
 			spec.Txs = append(spec.Txs, ts)
 			flat = append(flat, e.tx)
 		}
 		sessions = append(sessions, spec)
 	}
-	return robustness.NewApp(sessions...), flat
+	return robustness.NewApp(sessions...), flat, groups
 }
 
 // lowerPrograms lowers the expanded sessions to chopping programs: a

@@ -20,6 +20,7 @@ package silint
 import (
 	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 
 	"sian/internal/chopping"
@@ -65,6 +66,41 @@ type Diagnostic struct {
 	// Message is the full human-readable diagnostic (without the
 	// position prefix).
 	Message string `json:"message"`
+	// Fixes are the repair advisor's verified suggestions: read→write
+	// promotions whose application makes the failed check pass. Fixes
+	// sharing a Rank form one alternative and must be applied together.
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
+}
+
+// TextEdit is one byte-range replacement in a source file (End ==
+// Offset for pure insertions).
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Offset   int    `json:"offset"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
+}
+
+// SuggestedFix is one read→write promotion of a verified repair:
+// promoting the read of Obj in the listed transaction instances
+// materialises the racing conflict (§6), and the advisor has re-run
+// the static check to confirm that the promoted application passes.
+type SuggestedFix struct {
+	// Obj is the object whose read is promoted.
+	Obj string `json:"obj"`
+	// Txs are the labels of the promoted transaction instances — the
+	// loop-expanded copies of one source transaction promote together.
+	Txs []string `json:"txs"`
+	// Pos is the promoting transaction's call site.
+	Pos token.Position `json:"pos"`
+	// Rank groups the fixes of one repair alternative (1 is the
+	// advisor's first choice); apply every fix of a rank together.
+	Rank int `json:"rank"`
+	// Message is the human-readable hint.
+	Message string `json:"message"`
+	// Edits insert a Promote stub into the transaction body when its
+	// closure is statically visible (empty for manual Begin spans).
+	Edits []TextEdit `json:"edits,omitempty"`
 }
 
 // String renders the diagnostic in file:line:col: message form.
@@ -84,6 +120,9 @@ type PackageReport struct {
 	// Notes are informational messages: ⊤-widenings, session identity
 	// losses, and similar precision events.
 	Notes []string
+	// Widenings counts the ⊤-widening events of the extraction — zero
+	// means every set was extracted exactly.
+	Widenings int
 }
 
 // Report is the result of one Analyze call.
@@ -141,23 +180,52 @@ func Analyze(patterns []string, opts Options) (*Report, error) {
 	reg := opts.Registry
 	report := &Report{}
 	for _, pkg := range pkgs {
-		e := newExtractor(pkg)
-		e.extract()
-		pr := &PackageReport{Path: pkg.ImportPath, Sessions: e.sessions, Notes: e.notes}
-		if err := diagnose(pkg, pr, models); err != nil {
-			return nil, fmt.Errorf("silint: %s: %w", pkg.ImportPath, err)
+		pr, err := AnalyzePackage(pkg, models)
+		if err != nil {
+			return nil, err
 		}
 		report.Packages = append(report.Packages, pr)
 		reg.Counter("silint_packages_total").Inc()
-		reg.Counter("silint_sessions_total").Add(int64(len(e.sessions)))
-		for _, s := range e.sessions {
+		reg.Counter("silint_sessions_total").Add(int64(len(pr.Sessions)))
+		for _, s := range pr.Sessions {
 			reg.Counter("silint_txs_total").Add(int64(len(s.Txs)))
 		}
-		reg.Counter("silint_widened_sets_total").Add(int64(e.widenings))
-		reg.Counter("silint_notes_total").Add(int64(len(e.notes)))
+		reg.Counter("silint_widened_sets_total").Add(int64(pr.Widenings))
+		reg.Counter("silint_notes_total").Add(int64(len(pr.Notes)))
 		reg.Counter("silint_anomalies_total").Add(int64(len(pr.Diagnostics)))
 	}
 	return report, nil
+}
+
+// AnalyzePackage runs extraction and the selected checks over one
+// loaded package. It is the entry point shared by Analyze and the
+// go/analysis wrapper (internal/silint/analyzer): everything from
+// extraction through the repair advisor happens here. Diagnostics are
+// sorted by (position, check) for deterministic output.
+func AnalyzePackage(pkg *Package, models []depgraph.Model) (*PackageReport, error) {
+	if len(models) == 0 {
+		models = []depgraph.Model{depgraph.SI}
+	}
+	e := newExtractor(pkg)
+	e.extract()
+	pr := &PackageReport{Path: pkg.ImportPath, Sessions: e.sessions, Notes: e.notes, Widenings: e.widenings}
+	if err := diagnose(pkg, pr, models); err != nil {
+		return nil, fmt.Errorf("silint: %s: %w", pkg.ImportPath, err)
+	}
+	sort.SliceStable(pr.Diagnostics, func(i, j int) bool {
+		a, b := pr.Diagnostics[i], pr.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return pr, nil
 }
 
 // diagnose lowers a package's sessions and runs every selected check,
@@ -168,10 +236,10 @@ func diagnose(pkg *Package, pr *PackageReport, models []depgraph.Model) error {
 		return nil
 	}
 	universe := universeOf(expanded)
-	app, flat := lowerApp(expanded, universe)
+	app, flat, groups := lowerApp(expanded, universe)
 	programs := lowerPrograms(expanded, universe)
 
-	robust := func(check, category, theorem, against string, w *robustness.Witness) {
+	robust := func(check, category, theorem, against string, w *robustness.Witness, repairs []robustness.Repair) {
 		anchor := flat[w.Steps[0].From]
 		label := w.Labels[w.Steps[0].From]
 		d := Diagnostic{
@@ -185,6 +253,10 @@ func diagnose(pkg *Package, pr *PackageReport, models []depgraph.Model) error {
 		}
 		d.Message = fmt.Sprintf("%s: dangerous cycle %s — tx %s is not robust against %s (%s)",
 			category, d.Witness, label, against, theorem)
+		d.Fixes = lowerRepairs(pkg, groups, repairs)
+		if len(repairs) > 0 {
+			d.Message += fmt.Sprintf(" — suggested fix: %s", repairs[0])
+		}
 		pr.Diagnostics = append(pr.Diagnostics, d)
 	}
 	chop := func(level chopping.Criticality, check, theorem, under string) error {
@@ -219,14 +291,16 @@ func diagnose(pkg *Package, pr *PackageReport, models []depgraph.Model) error {
 			// vulnerable anti-dependencies — the (generalised) write
 			// skew pattern of §2 — so the category is uniform.
 			if w, ok := robustness.CheckSIRobust(app); !ok {
-				robust("robustness-si", "write-skew", "Theorem 19, §6.1", "SI", w)
+				robust("robustness-si", "write-skew", "Theorem 19, §6.1", "SI", w,
+					robustness.RepairAgainstSI(app, robustness.RepairOptions{}))
 			}
 			if err := chop(chopping.SICritical, "chopping-si", "Corollary 18, §5", "SI"); err != nil {
 				return err
 			}
 		case depgraph.PSI:
 			if w, ok := robustness.CheckPSIRobust(app); !ok {
-				robust("robustness-psi", "long-fork", "Theorem 22, §6.2", "PSI (towards SI)", w)
+				robust("robustness-psi", "long-fork", "Theorem 22, §6.2", "PSI (towards SI)", w,
+					robustness.RepairAgainstPSI(app, robustness.RepairOptions{}))
 			}
 			if err := chop(chopping.PSICritical, "chopping-psi", "Theorem 31, Appendix B", "PSI"); err != nil {
 				return err
@@ -238,6 +312,41 @@ func diagnose(pkg *Package, pr *PackageReport, models []depgraph.Model) error {
 		}
 	}
 	return nil
+}
+
+// lowerRepairs renders the advisor's verified repairs as suggested
+// fixes: one SuggestedFix per promotion, rank-grouped per repair, with
+// a textual Promote-stub edit when the promoting transaction's closure
+// is statically visible.
+func lowerRepairs(pkg *Package, groups map[string]*Tx, repairs []robustness.Repair) []SuggestedFix {
+	var out []SuggestedFix
+	for ri, r := range repairs {
+		for _, p := range r.Promotions {
+			tx := groups[p.Group]
+			if tx == nil {
+				continue
+			}
+			fix := SuggestedFix{
+				Obj:     string(p.Obj),
+				Txs:     p.Txs,
+				Pos:     pkg.Fset.Position(tx.Pos),
+				Rank:    ri + 1,
+				Message: p.String(),
+			}
+			if tx.FixInsert.IsValid() && tx.Handle != "" {
+				ip := pkg.Fset.Position(tx.FixInsert)
+				fix.Edits = []TextEdit{{
+					Filename: ip.Filename,
+					Offset:   ip.Offset,
+					End:      ip.Offset,
+					NewText: fmt.Sprintf("\n\tif err := %s.Promote(%q); err != nil {\n\t\treturn err\n\t}",
+						tx.Handle, string(p.Obj)),
+				}}
+			}
+			out = append(out, fix)
+		}
+	}
+	return out
 }
 
 // flatIndex maps a chopping PieceID back to the session-major flat

@@ -1,0 +1,39 @@
+// Golden fixture: the helper-depth bound. Summary composition stops
+// at maxHelperDepth nested helper calls: the six-deep chain is
+// extracted exactly, the seven-deep chain widens to ⊤ (soundly)
+// rather than recursing further.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	s := db.Session("s")
+	_ = s.TransactNamed("shallow", func(tx *engine.Tx) error {
+		return h1(tx)
+	})
+	_ = s.TransactNamed("deep", func(tx *engine.Tx) error {
+		return d1(tx)
+	})
+}
+
+func h1(tx *engine.Tx) error { return h2(tx) }
+func h2(tx *engine.Tx) error { return h3(tx) }
+func h3(tx *engine.Tx) error { return h4(tx) }
+func h4(tx *engine.Tx) error { return h5(tx) }
+func h5(tx *engine.Tx) error { return h6(tx) }
+func h6(tx *engine.Tx) error { return tx.Write("leaf", 1) }
+
+func d1(tx *engine.Tx) error { return d2(tx) }
+func d2(tx *engine.Tx) error { return d3(tx) }
+func d3(tx *engine.Tx) error { return d4(tx) }
+func d4(tx *engine.Tx) error { return d5(tx) }
+func d5(tx *engine.Tx) error { return d6(tx) }
+func d6(tx *engine.Tx) error { return d7(tx) }
+func d7(tx *engine.Tx) error { return tx.Write("leaf", 1) }

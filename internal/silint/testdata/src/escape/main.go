@@ -1,12 +1,16 @@
 // Golden fixture: handler functions and handle escape. The first
 // session passes a same-package top-level function to Transact, whose
-// body is extracted precisely; the second leaks its transaction handle
-// into a helper, which widens both of its sets to ⊤.
+// body is extracted precisely; the second stores its transaction
+// handle in a package-level variable — a genuinely dynamic flow no
+// helper summary covers — which widens both of its sets to ⊤.
 package main
 
 import (
 	"sian/internal/engine"
 )
+
+// stash retains a handle beyond the span the extractor can see.
+var stash *engine.Tx
 
 func main() {
 	db, err := engine.New(engine.SI, engine.Config{})
@@ -18,7 +22,8 @@ func main() {
 	bob := db.Session("bob")
 	_ = alice.Transact(logic) // want "write-skew: dangerous cycle tx@main\.go.*not robust against SI"
 	_ = bob.TransactNamed("leak", func(tx *engine.Tx) error {
-		return helper(tx)
+		stash = tx
+		return stash.Write("hidden", 1)
 	})
 }
 
@@ -30,11 +35,4 @@ func logic(tx *engine.Tx) error {
 		return err
 	}
 	return tx.Write("y", 1)
-}
-
-func helper(tx *engine.Tx) error {
-	if _, err := tx.Read("hidden"); err != nil {
-		return err
-	}
-	return tx.Write("hidden", 1)
 }

@@ -1,0 +1,72 @@
+// Golden fixture: interprocedural extraction. Transaction bodies are
+// factored into helper functions that receive the handle — the
+// `func credit(tx *engine.Tx, acct string)` pattern — and the
+// extractor composes their summaries instead of widening to ⊤:
+// constant arguments are substituted at each call site, helpers
+// calling helpers compose, and a helper that promotes contributes to
+// both sets. The two sessions write-skew on the shared total, so the
+// package is still (correctly) flagged; the extraction test pins that
+// every set is exact, with zero widenings.
+package main
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	_ = alice.TransactNamed("withdraw1", func(tx *engine.Tx) error { // want "write-skew: dangerous cycle withdraw1.*not robust against SI"
+		return withdraw(tx, "acct1")
+	})
+	_ = bob.TransactNamed("withdraw2", func(tx *engine.Tx) error {
+		return withdraw(tx, "acct2")
+	})
+	carol := db.Session("carol")
+	_ = carol.TransactNamed("audit", func(tx *engine.Tx) error {
+		return snapshotTotal(tx)
+	})
+}
+
+// withdraw debits one account after checking the combined balance —
+// the helper reads both accounts via checkBalance and writes only the
+// account named by its caller.
+func withdraw(tx *engine.Tx, acct string) error {
+	total, err := checkBalance(tx)
+	if err != nil {
+		return err
+	}
+	if total < 100 {
+		return nil
+	}
+	v, err := tx.Read(model.Obj(acct))
+	if err != nil {
+		return err
+	}
+	return tx.Write(model.Obj(acct), v-100)
+}
+
+// checkBalance composes one level deeper: a helper called by a helper.
+func checkBalance(tx *engine.Tx) (model.Value, error) {
+	a, err := tx.Read("acct1")
+	if err != nil {
+		return 0, err
+	}
+	b, err := tx.Read("acct2")
+	if err != nil {
+		return 0, err
+	}
+	return a + b, nil
+}
+
+// snapshotTotal promotes inside a helper: the promoted object lands in
+// both the read and the write set of the calling transaction.
+func snapshotTotal(tx *engine.Tx) error {
+	return tx.Promote("total")
+}

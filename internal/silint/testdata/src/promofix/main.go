@@ -1,0 +1,51 @@
+// Golden fixture: the Figure 2(d) write skew with the repair advisor's
+// suggested promotion applied — withdraw2 promotes its read of acct1 to
+// a write (§6 materialised conflict), so the two withdrawals conflict
+// on acct1 and the RW cycle of Theorem 19 is defused. This fixture must
+// produce no diagnostics.
+package main
+
+import (
+	"sian/internal/engine"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	_ = alice.TransactNamed("withdraw1", func(tx *engine.Tx) error {
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			return tx.Write("acct1", v1-100)
+		}
+		return nil
+	})
+	_ = bob.TransactNamed("withdraw2", func(tx *engine.Tx) error {
+		if err := tx.Promote("acct1"); err != nil {
+			return err
+		}
+		v1, err := tx.Read("acct1")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read("acct2")
+		if err != nil {
+			return err
+		}
+		if v1+v2 >= 100 {
+			return tx.Write("acct2", v2-100)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,36 @@
+// Golden fixture: the recursion cutoff. A helper that forwards the
+// handle to itself cannot be summarised bottom-up; the extractor
+// soundly widens the transaction to ⊤ instead of diverging. The
+// sibling precise transaction pins that the widening is local to the
+// recursive span.
+package main
+
+import (
+	"sian/internal/engine"
+	"sian/internal/model"
+)
+
+func main() {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	s := db.Session("s")
+	_ = s.TransactNamed("drain", func(tx *engine.Tx) error {
+		return drain(tx, 3)
+	})
+	_ = s.TransactNamed("poke", func(tx *engine.Tx) error {
+		return tx.Write("cursor", 0)
+	})
+}
+
+func drain(tx *engine.Tx, n int) error {
+	if n == 0 {
+		return nil
+	}
+	if err := tx.Write("cursor", model.Value(n)); err != nil {
+		return err
+	}
+	return drain(tx, n-1)
+}

@@ -1,0 +1,56 @@
+package randmix_test
+
+import (
+	"strings"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/engine"
+	"sian/internal/silint"
+	"sian/internal/workload/silform/randmix"
+)
+
+// TestRandmixFlagged pins the expected-failure side of the CI gate:
+// the skew-prone mix is statically rejected under SI, with the repair
+// advisor pointing at the racing pair.
+func TestRandmixFlagged(t *testing.T) {
+	report, err := silint.Analyze([]string{"."}, silint.Options{
+		Models: []depgraph.Model{depgraph.SI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Packages) != 1 {
+		t.Fatalf("%d packages analyzed, want 1", len(report.Packages))
+	}
+	diags := report.Packages[0].Diagnostics
+	if len(diags) == 0 {
+		t.Fatal("randmix not flagged — the expected-failure CI gate would pass vacuously")
+	}
+	found := false
+	for _, d := range diags {
+		if d.Category == "write-skew" && len(d.Fixes) > 0 &&
+			strings.Contains(d.Fixes[0].Message, "promote read of") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no write-skew diagnostic with a promotion fix: %+v", diags)
+	}
+}
+
+// TestMixReplays checks the form still runs: a sequential replay
+// commits every transaction (the skew needs overlapping snapshots).
+func TestMixReplays(t *testing.T) {
+	db, err := engine.New(engine.SI, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := randmix.Init(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := randmix.Mix(db); err != nil {
+		t.Fatal(err)
+	}
+}

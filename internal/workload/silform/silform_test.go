@@ -1,0 +1,170 @@
+package silform_test
+
+import (
+	"strings"
+	"testing"
+
+	"sian/internal/depgraph"
+	"sian/internal/engine"
+	"sian/internal/model"
+	"sian/internal/silint"
+	"sian/internal/workload/silform"
+)
+
+// analyzeSilform runs the §6.1 static analysis over this package.
+func analyzeSilform(t *testing.T) *silint.PackageReport {
+	t.Helper()
+	report, err := silint.Analyze([]string{"."}, silint.Options{
+		Models: []depgraph.Model{depgraph.SI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Packages) != 1 {
+		t.Fatalf("%d packages analyzed, want 1", len(report.Packages))
+	}
+	return report.Packages[0]
+}
+
+// staticTxs indexes the extracted transactions by name.
+func staticTxs(pkg *silint.PackageReport) map[string]*silint.Tx {
+	txs := make(map[string]*silint.Tx)
+	for _, s := range pkg.Sessions {
+		for _, tx := range s.Txs {
+			txs[tx.Name] = tx
+		}
+	}
+	return txs
+}
+
+// TestSilformStatic pins the acceptance criterion for the
+// interprocedural extractor: the factored SmallBank and closed-loop
+// forms extract exact per-object sets — no diagnostics, zero
+// ⊤-widenings.
+func TestSilformStatic(t *testing.T) {
+	pkg := analyzeSilform(t)
+	if len(pkg.Diagnostics) != 0 {
+		t.Fatalf("diagnostics on silform: %+v", pkg.Diagnostics)
+	}
+	if pkg.Widenings != 0 {
+		t.Fatalf("widenings = %d, want 0 (factored helpers must extract exactly)", pkg.Widenings)
+	}
+	txs := staticTxs(pkg)
+	want := map[string]struct{ reads, writes []model.Obj }{
+		"Balance":         {reads: []model.Obj{"checking0", "savings0"}},
+		"DepositChecking": {reads: []model.Obj{"checking0"}, writes: []model.Obj{"checking0"}},
+		"TransactSavings": {
+			reads:  []model.Obj{"conflict0", "savings0"},
+			writes: []model.Obj{"conflict0", "savings0"},
+		},
+		"WriteCheck": {
+			reads:  []model.Obj{"checking0", "conflict0", "savings0"},
+			writes: []model.Obj{"checking0", "conflict0"},
+		},
+		"rmw0": {reads: []model.Obj{"hits"}, writes: []model.Obj{"hits"}},
+		"rmw1": {reads: []model.Obj{"hits"}, writes: []model.Obj{"hits"}},
+		"rmw2": {reads: []model.Obj{"hits"}, writes: []model.Obj{"hits"}},
+	}
+	if len(txs) != len(want) {
+		t.Errorf("extracted %d transactions, want %d", len(txs), len(want))
+	}
+	for name, w := range want {
+		tx, ok := txs[name]
+		if !ok {
+			t.Errorf("transaction %s not extracted", name)
+			continue
+		}
+		checkExact(t, name+" reads", tx.Reads, w.reads)
+		checkExact(t, name+" writes", tx.Writes, w.writes)
+	}
+}
+
+func checkExact(t *testing.T, what string, s *silint.ObjSet, want []model.Obj) {
+	t.Helper()
+	if s.Top {
+		t.Errorf("%s: widened to ⊤, want exact %v", what, want)
+		return
+	}
+	got := s.Objects()
+	if len(got) != len(want) {
+		t.Errorf("%s = %v, want %v", what, got, want)
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s = %v, want %v", what, got, want)
+			return
+		}
+	}
+}
+
+// TestSilformDifferential closes the static-vs-dynamic loop: replay
+// the silform programs through the SI engine and assert that every
+// recorded read/write set is covered by the statically extracted one —
+// the soundness direction of the §6.1 extraction.
+func TestSilformDifferential(t *testing.T) {
+	txs := staticTxs(analyzeSilform(t))
+
+	replay := func(name string, init, run func(*engine.DB) error) {
+		db, err := engine.New(engine.SI, engine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := init(db); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(db); err != nil {
+			t.Fatal(err)
+		}
+		db.Flush()
+		compared := 0
+		for _, sess := range db.History().Sessions() {
+			for _, tr := range sess.Transactions {
+				i := strings.LastIndex(tr.ID, "/")
+				if i < 0 {
+					continue // the init transaction
+				}
+				txName := tr.ID[i+1:]
+				tx, ok := txs[txName]
+				if !ok {
+					t.Errorf("%s: recorded transaction %s has no static counterpart", name, tr.ID)
+					continue
+				}
+				compared++
+				covers(t, name+"/"+txName+" reads", tx.Reads, tr.ReadSet())
+				covers(t, name+"/"+txName+" writes", tx.Writes, tr.WriteSet())
+			}
+		}
+		if compared == 0 {
+			t.Errorf("%s: no recorded transactions compared", name)
+		}
+	}
+
+	replay("smallbank", silform.InitSmallBank, silform.SmallBank)
+	replay("closedloop", silform.InitClosedLoop, func(db *engine.DB) error {
+		// Two rounds: re-entry is the closed loop.
+		if err := silform.ClosedLoop(db); err != nil {
+			return err
+		}
+		return silform.ClosedLoop(db)
+	})
+}
+
+// covers asserts that the static set over-approximates the recorded
+// one.
+func covers(t *testing.T, what string, static *silint.ObjSet, recorded []model.Obj) {
+	t.Helper()
+	if static.Top {
+		return // ⊤ covers everything (silform should never get here)
+	}
+	in := make(map[model.Obj]bool)
+	for _, x := range static.Objects() {
+		in[x] = true
+	}
+	for _, x := range recorded {
+		if !in[x] {
+			t.Errorf("%s: engine recorded %s, not in static set %v", what, x, static.Objects())
+		}
+	}
+}
