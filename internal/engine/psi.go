@@ -362,6 +362,9 @@ func (t *psiTx) commit(req commitReq) (uint64, error) {
 	writes, order := req.writes, req.order
 	defer t.finish()
 	if len(writes) == 0 {
+		// Read-only commit: no lock, no validation. Mark the terminal
+		// stage so the commit stays attributable in traces.
+		req.trace.Mark(txtrace.StageROCommit)
 		return 0, nil
 	}
 	tr := req.trace

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"testing"
+
+	"sian/internal/model"
+)
+
+// TestReadCacheMemoisesWithinSnapshot proves the per-session read
+// cache is actually consulted while the snapshot stands still, and
+// dropped wholesale the moment it moves. The probe is a poisoned
+// entry: after a first transaction populates the cache, the test
+// overwrites the cached value directly — a second transaction at the
+// same snapshot must return the poisoned value (cache hit, no store
+// read), and a transaction after a foreign commit must return the
+// store's new value (cache invalidated).
+func TestReadCacheMemoisesWithinSnapshot(t *testing.T) {
+	db, err := New(SI, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Initialize(map[model.Obj]model.Value{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("reader")
+	readX := func() (model.Value, error) {
+		var v model.Value
+		err := s.Transact(func(tx *Tx) error {
+			var err error
+			v, err = tx.Read("x")
+			return err
+		})
+		return v, err
+	}
+	if v, err := readX(); err != nil || v != 1 {
+		t.Fatalf("first read = (%d,%v), want 1", v, err)
+	}
+	if got := s.readCache["x"]; !got.ok || got.val != 1 {
+		t.Fatalf("cache after first read = %+v, want {1 true}", got)
+	}
+	if s.cacheSnap != db.impl.(*siProtocol).commitTS.Load() {
+		t.Fatalf("cacheSnap = %d, want the published snapshot", s.cacheSnap)
+	}
+	// Poison the entry: a same-snapshot read must come from the cache.
+	s.readCache["x"] = cachedRead{val: 42, ok: true}
+	if v, err := readX(); err != nil || v != 42 {
+		t.Fatalf("same-snapshot read = (%d,%v), want the poisoned 42 (cache not consulted?)", v, err)
+	}
+	// A foreign commit advances the session's next snapshot: the
+	// poisoned cache must be dropped and the real value surfaced.
+	if err := db.Session("writer").Transact(func(tx *Tx) error {
+		return tx.Write("x", 7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := readX(); err != nil || v != 7 {
+		t.Fatalf("post-invalidation read = (%d,%v), want 7", v, err)
+	}
+}
+
+// TestReadCacheNegativeEntries pins negative caching: a read of an
+// uninitialized object caches the miss (equally immutable at a fixed
+// snapshot) and keeps answering ErrUninitialized from the cache until
+// the snapshot advances past the object's first write.
+func TestReadCacheNegativeEntries(t *testing.T) {
+	db, err := New(SI, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session("reader")
+	readY := func() error {
+		return s.Transact(func(tx *Tx) error {
+			_, err := tx.Read("y")
+			if err == ErrUninitialized {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			return nil
+		})
+	}
+	if err := readY(); err != nil {
+		t.Fatal(err)
+	}
+	if got, hit := s.readCache["y"]; !hit || got.ok {
+		t.Fatalf("cache after miss = (%+v,%v), want a negative entry", got, hit)
+	}
+	// Same snapshot: the miss must be served from the cache.
+	var v model.Value
+	var rerr error
+	if err := s.Transact(func(tx *Tx) error {
+		v, rerr = tx.Read("y")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rerr != ErrUninitialized {
+		t.Fatalf("cached miss = (%d,%v), want ErrUninitialized", v, rerr)
+	}
+	// First write of y: the next snapshot must see it despite the
+	// cached miss.
+	if err := db.Session("writer").Transact(func(tx *Tx) error {
+		return tx.Write("y", 9)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transact(func(tx *Tx) error {
+		got, err := tx.Read("y")
+		if err != nil || got != 9 {
+			t.Errorf("read after first write = (%d,%v), want 9", got, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadCacheScope pins where the cache may NOT apply: with
+// DisableReadCache set, under manual transactions (whose
+// interleavings can hold different snapshots open at once), and under
+// protocols whose reads are not pure snapshot functions (SSI, PSI).
+func TestReadCacheScope(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		db, err := New(SI, Config{DisableReadCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := db.Initialize(map[model.Obj]model.Value{"x": 1}); err != nil {
+			t.Fatal(err)
+		}
+		s := db.Session("s")
+		if err := s.Transact(func(tx *Tx) error {
+			_, err := tx.Read("x")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if s.readCache != nil {
+			t.Errorf("cache allocated with DisableReadCache: %v", s.readCache)
+		}
+	})
+	t.Run("manual-tx", func(t *testing.T) {
+		db, err := New(SI, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := db.Initialize(map[model.Obj]model.Value{"x": 1}); err != nil {
+			t.Fatal(err)
+		}
+		s := db.Session("s")
+		tx, err := s.Begin("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Read("x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if s.readCache != nil {
+			t.Error("manual transactions must not bind the session read cache")
+		}
+	})
+	for _, kind := range []Kind{SSI, PSI} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db, err := New(kind, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.Initialize(map[model.Obj]model.Value{"x": 1}); err != nil {
+				t.Fatal(err)
+			}
+			s := db.Session("s")
+			if err := s.Transact(func(tx *Tx) error {
+				_, err := tx.Read("x")
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if s.readCache != nil {
+				t.Errorf("%s reads are not snapshot-pure and must not be cached", kind)
+			}
+		})
+	}
+}

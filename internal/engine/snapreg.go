@@ -15,10 +15,22 @@ import (
 // release is a single atomic store. The watermark scan reads the
 // fixed slot array with atomic loads, so its cost is bounded by the
 // slot count, not by the number of live snapshots, and it never
-// blocks a begin. When every slot is taken (more than snapSlots
-// concurrent transactions) registration falls over to a small
-// mutex-protected count map — correctness never depends on the fast
-// path having room.
+// blocks a begin.
+//
+// When every slot is taken (more than snapSlots concurrent
+// transactions) registration falls over to epoch-based reclamation: a
+// registration coarsens its snapshot to an epoch (snap >> epochShift)
+// and counts itself into a small lock-free ring of packed
+// (epoch, count) words. A live epoch holds the watermark at its floor
+// (epoch << epochShift) — a conservative lower bound on every
+// snapshot in it — so the scan stays O(slots + epochs) no matter how
+// many thousands of transactions are live, at the cost of holding the
+// watermark back by at most 2^epochShift − 1 timestamps. (The former
+// implementation kept an exact mutex-protected count map here, whose
+// scan — and lock hold — grew with the number of distinct overflowed
+// snapshots.) If even the ring is saturated, a last-resort
+// mutex-protected epoch count map takes the registration; correctness
+// never depends on the fast paths having room.
 //
 // # The begin/GC race
 //
@@ -30,17 +42,33 @@ import (
 //
 //   - watermark(now) first raises gcIntent to now (monotonically,
 //     CAS-max), then scans.
-//   - acquire(now) publishes the slot value, then re-checks gcIntent.
-//     If gcIntent ≤ snap, any GC that could collect above snap must
-//     have raised the intent after the slot was published — and then
-//     its scan sees the slot. If gcIntent > snap, a scan may have
-//     missed us; acquire retries with a fresher timestamp. Retries
-//     terminate because gcIntent never exceeds the commit timestamp
-//     it was loaded from.
+//   - acquire(now) publishes the registration, then re-checks
+//     gcIntent. If gcIntent ≤ snap, any GC that could collect above
+//     snap must have raised the intent after the registration was
+//     published — and then its scan sees it. If gcIntent > snap, a
+//     scan may have missed us; acquire retries with a fresher
+//     timestamp. Retries terminate because gcIntent never exceeds the
+//     commit timestamp it was loaded from.
 //
-// Both sides use atomics with sequentially consistent ordering (Go's
-// sync/atomic), which the argument above relies on.
+// The epoch ring uses the same handshake (an epoch's floor is ≤ every
+// snapshot counted in it, so a scan that sees the epoch bounds the
+// watermark safely below them all); the spill map instead orders
+// registration against the scan with its mutex, like the old overflow
+// map did. Both sides use atomics with sequentially consistent
+// ordering (Go's sync/atomic), which the argument above relies on.
 const snapSlots = 512
+
+// Epoch-based overflow geometry. 2^epochShift snapshots share an
+// epoch; the ring holds up to epochSlots distinct live epochs, each
+// counting up to epochCountMask registrations per ring word (an epoch
+// may occupy several ring words when one overflows — the scan takes a
+// minimum, so duplicates are harmless).
+const (
+	epochShift     = 6
+	epochSlots     = 256 // power of two
+	epochCountBits = 16
+	epochCountMask = 1<<epochCountBits - 1
+)
 
 type snapRegistry struct {
 	slots  [snapSlots]atomic.Uint64 // snapshot+1; 0 = free
@@ -50,15 +78,26 @@ type snapRegistry struct {
 	// in-flight scan.
 	gcIntent atomic.Uint64
 
-	// overflow registers snapshots when the slot array is full.
-	overflowMu sync.Mutex
-	overflow   map[uint64]int
+	// epochs is the overflow ring: epoch<<epochCountBits | count,
+	// count 0 = free (whatever epoch bits remain).
+	epochs [epochSlots]atomic.Uint64
+
+	// spill is the last-resort epoch count map, for a pathological
+	// spread of live epochs saturating the ring. The mutex orders
+	// registration against watermark's scan, so no intent handshake is
+	// needed on this path.
+	spillMu sync.Mutex
+	spill   map[uint64]int // epoch → live registrations
 }
 
 // snapTicket is one live registration, released exactly once.
 type snapTicket struct {
 	snap uint64
-	slot *atomic.Uint64 // nil ⇒ registered in the overflow map
+	slot *atomic.Uint64 // fast-path slot; nil ⇒ epoch-registered
+	// epochSlot is the overflow ring word holding this registration;
+	// nil together with slot ⇒ counted in the spill map under epoch.
+	epochSlot *atomic.Uint64
+	epoch     uint64
 }
 
 // acquire registers a snapshot read from now (typically the published
@@ -82,17 +121,70 @@ func (r *snapRegistry) acquire(now func() uint64) snapTicket {
 			slot.Store(v + 1)
 		}
 	}
-	// Slot array exhausted: fall over to the mutex-protected map. The
-	// lock orders registration against watermark's map scan, so no
-	// intent handshake is needed here (see watermark).
-	r.overflowMu.Lock()
-	v := now()
-	if r.overflow == nil {
-		r.overflow = make(map[uint64]int)
+	// Slot array exhausted: count into the epoch ring, with the same
+	// intent handshake as the fast path (a scan that sees the epoch
+	// bounds the watermark at its floor, which is ≤ v).
+	for {
+		v := now()
+		e := v >> epochShift
+		s := r.epochClaim(e)
+		if s == nil {
+			break // ring saturated around e; spill below
+		}
+		if r.gcIntent.Load() <= v {
+			return snapTicket{snap: v, epochSlot: s, epoch: e}
+		}
+		// A scan above v may have missed the registration; drop it and
+		// re-register with a fresher timestamp.
+		epochRelease(s)
 	}
-	r.overflow[v]++
-	r.overflowMu.Unlock()
-	return snapTicket{snap: v}
+	// Last resort: the mutex-ordered spill map (see watermark).
+	r.spillMu.Lock()
+	v := now()
+	e := v >> epochShift
+	if r.spill == nil {
+		r.spill = make(map[uint64]int)
+	}
+	r.spill[e]++
+	r.spillMu.Unlock()
+	return snapTicket{snap: v, epoch: e}
+}
+
+// epochClaim counts one registration into a ring word holding epoch
+// e, claiming a free word if none does. It probes a handful of words
+// from e's home position; nil means the neighbourhood is saturated
+// and the caller must spill.
+func (r *snapRegistry) epochClaim(e uint64) *atomic.Uint64 {
+	const probes = 8
+probe:
+	for i := uint64(0); i < probes; i++ {
+		s := &r.epochs[(e+i)&(epochSlots-1)]
+		for {
+			cur := s.Load()
+			if cur&epochCountMask == 0 {
+				// Free word (count zero); claim it for e.
+				if s.CompareAndSwap(cur, e<<epochCountBits|1) {
+					return s
+				}
+				continue
+			}
+			if cur>>epochCountBits == e && cur&epochCountMask < epochCountMask {
+				if s.CompareAndSwap(cur, cur+1) {
+					return s
+				}
+				continue
+			}
+			// Held by another epoch, or its count is full.
+			continue probe
+		}
+	}
+	return nil
+}
+
+// epochRelease undoes one epochClaim. The decrement leaves the epoch
+// bits in place with count 0, which claimants treat as free.
+func epochRelease(s *atomic.Uint64) {
+	s.Add(^uint64(0)) // count−1; counts are per-word and never 0 here
 }
 
 // release drops the registration. Call exactly once per ticket.
@@ -101,18 +193,25 @@ func (r *snapRegistry) release(t snapTicket) {
 		t.slot.Store(0)
 		return
 	}
-	r.overflowMu.Lock()
-	if n := r.overflow[t.snap]; n > 1 {
-		r.overflow[t.snap] = n - 1
-	} else {
-		delete(r.overflow, t.snap)
+	if t.epochSlot != nil {
+		epochRelease(t.epochSlot)
+		return
 	}
-	r.overflowMu.Unlock()
+	r.spillMu.Lock()
+	if n := r.spill[t.epoch]; n > 1 {
+		r.spill[t.epoch] = n - 1
+	} else {
+		delete(r.spill, t.epoch)
+	}
+	r.spillMu.Unlock()
 }
 
 // watermark returns the oldest snapshot any live transaction may read
 // at, bounded above by now (the published commit timestamp). Callers
-// collect versions strictly below the result.
+// collect versions strictly below the result. Registrations in the
+// epoch paths contribute their epoch floor — a conservative bound ≤
+// every snapshot they cover, so the result can lag the true minimum
+// by at most 2^epochShift − 1 when the registry is overflowed.
 func (r *snapRegistry) watermark(now uint64) uint64 {
 	// Advertise intent before scanning; CAS-max so a slower concurrent
 	// collector with an older timestamp cannot regress it.
@@ -128,15 +227,22 @@ func (r *snapRegistry) watermark(now uint64) uint64 {
 			min = v - 1
 		}
 	}
-	// Overflow registrations happen under the same lock; a scan that
-	// runs first is ordered before the registration, whose snapshot is
-	// then ≥ the commit timestamp this scan was bounded by — safe.
-	r.overflowMu.Lock()
-	for snap := range r.overflow {
-		if snap < min {
-			min = snap
+	for i := range r.epochs {
+		if v := r.epochs[i].Load(); v&epochCountMask != 0 {
+			if f := (v >> epochCountBits) << epochShift; f < min {
+				min = f
+			}
 		}
 	}
-	r.overflowMu.Unlock()
+	// Spill registrations happen under the same lock; a scan that runs
+	// first is ordered before the registration, whose snapshot is then
+	// ≥ the commit timestamp this scan was bounded by — safe.
+	r.spillMu.Lock()
+	for e := range r.spill {
+		if f := e << epochShift; f < min {
+			min = f
+		}
+	}
+	r.spillMu.Unlock()
 	return min
 }

@@ -35,7 +35,10 @@ func TestSnapRegistryWatermark(t *testing.T) {
 }
 
 // TestSnapRegistryOverflow exhausts every slot: registrations beyond
-// the array must still hold the watermark down.
+// the array must still hold the watermark down. Epoch reclamation is
+// conservative — an overflowed registration contributes its epoch
+// floor, not its exact snapshot — so the watermark with live overflow
+// tickets is the floor, and releasing everything frees it entirely.
 func TestSnapRegistryOverflow(t *testing.T) {
 	t.Parallel()
 	var r snapRegistry
@@ -45,15 +48,128 @@ func TestSnapRegistryOverflow(t *testing.T) {
 	for i := 0; i < snapSlots+10; i++ {
 		tickets = append(tickets, r.acquire(now.Load))
 	}
+	overflowed := 0
+	for _, tk := range tickets {
+		if tk.slot == nil {
+			overflowed++
+		}
+	}
+	if overflowed != 10 {
+		t.Errorf("overflowed registrations = %d, want 10", overflowed)
+	}
 	now.Store(50)
-	if w := r.watermark(now.Load()); w != 5 {
-		t.Errorf("watermark = %d, want 5 (held by overflow registrations too)", w)
+	floor := uint64(5) >> epochShift << epochShift
+	if w := r.watermark(now.Load()); w != floor {
+		t.Errorf("watermark = %d, want the overflow epoch floor %d", w, floor)
 	}
 	for _, tk := range tickets {
 		r.release(tk)
 	}
 	if w := r.watermark(now.Load()); w != 50 {
 		t.Errorf("watermark after releasing all = %d, want 50", w)
+	}
+}
+
+// TestSnapRegistryOverflowEpochs pins the epoch arithmetic: overflow
+// registrations spread across distinct epochs each hold the watermark
+// at their own epoch's floor, and releasing the older epoch advances
+// the watermark to the next live one.
+func TestSnapRegistryOverflowEpochs(t *testing.T) {
+	t.Parallel()
+	var r snapRegistry
+	var now atomic.Uint64
+	// Fill the fast path at a high snapshot so overflow dominates the
+	// watermark.
+	now.Store(10 * (1 << epochShift))
+	var slotTickets []snapTicket
+	for i := 0; i < snapSlots; i++ {
+		slotTickets = append(slotTickets, r.acquire(now.Load))
+	}
+	old := r.acquire(now.Load) // epoch 10, floor 10<<shift
+	now.Store(12*(1<<epochShift) + 3)
+	young := r.acquire(now.Load) // epoch 12, floor 12<<shift
+	if old.slot != nil || young.slot != nil {
+		t.Fatal("expected overflow registrations")
+	}
+	if w := r.watermark(now.Load()); w != 10<<epochShift {
+		t.Errorf("watermark = %d, want old epoch floor %d", w, 10<<epochShift)
+	}
+	r.release(old)
+	if w := r.watermark(now.Load()); w != 10<<epochShift {
+		// The slot tickets (snap 10<<shift) still hold it exactly there.
+		t.Errorf("watermark = %d, want %d (slot tickets)", w, 10<<epochShift)
+	}
+	for _, tk := range slotTickets {
+		r.release(tk)
+	}
+	if w := r.watermark(now.Load()); w != 12<<epochShift {
+		t.Errorf("watermark = %d, want young epoch floor %d", w, 12<<epochShift)
+	}
+	r.release(young)
+	if w := r.watermark(now.Load()); w != now.Load() {
+		t.Errorf("watermark idle = %d, want %d", w, now.Load())
+	}
+}
+
+// TestSnapRegistryOverflowConcurrent is the >snapSlots regression
+// test for the overflow path: more than 512 concurrent registrations
+// churn acquire/release while collectors scan, under -race. The
+// safety property is the sentinel invariant: a watermark computed
+// while a registration is live never exceeds that registration's
+// snapshot — regardless of which path (slot, epoch ring, spill) took
+// the registration.
+func TestSnapRegistryOverflowConcurrent(t *testing.T) {
+	t.Parallel()
+	var r snapRegistry
+	var now atomic.Uint64
+	now.Store(1)
+	stop := make(chan struct{})
+	var clockDone sync.WaitGroup
+	clockDone.Add(1)
+	go func() {
+		defer clockDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				now.Add(1)
+			}
+		}
+	}()
+
+	const sessions = snapSlots + 256 // force sustained overflow
+	const rounds = 200
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tk := r.acquire(now.Load)
+				if tk.snap > now.Load() {
+					t.Errorf("snapshot %d above the clock", tk.snap)
+				}
+				if i%8 == 0 {
+					// Interleave collector scans with held tickets: the
+					// watermark must respect our own live registration.
+					if w := r.watermark(now.Load()); w > tk.snap {
+						t.Errorf("watermark %d above live snapshot %d", w, tk.snap)
+					}
+				}
+				r.release(tk)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	clockDone.Wait()
+
+	// Quiesced: no registrations left anywhere (every epoch word has
+	// count zero, the spill map is empty), so the watermark is free.
+	final := now.Load()
+	if w := r.watermark(final); w != final {
+		t.Errorf("idle watermark = %d, want %d (leaked registration?)", w, final)
 	}
 }
 

@@ -235,7 +235,9 @@ func (t *ssiTx) commit(req commitReq) (uint64, error) {
 	}()
 	if len(writes) == 0 {
 		// Read-only transactions commit freely under SSI, but their
-		// SIREADs stay relevant to later writers.
+		// SIREADs stay relevant to later writers. Mark the terminal
+		// stage so the commit stays attributable in traces.
+		tr.Mark(txtrace.StageROCommit)
 		return 0, nil
 	}
 	// First-committer-wins (plain SI).

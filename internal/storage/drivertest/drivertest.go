@@ -31,6 +31,8 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("HammerDifferential", func(t *testing.T) { hammerDifferential(t, factory) })
 	t.Run("InstallBatchMatchesSequential", func(t *testing.T) { installBatchMatchesSequential(t, factory) })
 	t.Run("LockObjsWindow", func(t *testing.T) { lockObjsWindow(t, factory) })
+	t.Run("BatchWindow", func(t *testing.T) { batchWindow(t, factory) })
+	t.Run("BatchWindowMatchesSolo", func(t *testing.T) { batchWindowMatchesSolo(t, factory) })
 }
 
 func newDriver(t *testing.T, factory Factory) storage.Driver {
@@ -252,6 +254,178 @@ func installBatchMatchesSequential(t *testing.T, factory Factory) {
 	// A non-monotonic batch write surfaces the install error.
 	if err := batch.InstallBatch([]storage.Write{{Obj: "b0", Version: storage.Version{TS: 1}}}); err == nil {
 		t.Error("non-monotonic batch accepted")
+	}
+}
+
+// batchWindow exercises the group-commit window (Driver.LockBatch):
+// the union lock must make validate-then-install atomic for every
+// member against concurrent overlapping windows, records staged via
+// LogCommitBatch must be durable as one group (for drivers exposing
+// DurableWindow), and installs through the batch window must read
+// back exactly like solo installs.
+func batchWindow(t *testing.T, factory Factory) {
+	d := newDriver(t, factory)
+
+	// Two disjoint members committed under one union window.
+	union := []model.Obj{"bx", "by", "bz"}
+	w := d.LockBatch(union)
+	for _, x := range union {
+		if got := w.LatestTS(x); got != 0 {
+			t.Fatalf("LatestTS(%s) = %d on empty store", x, got)
+		}
+	}
+	// Member 1 writes bx,by at ts 1; member 2 writes bz at ts 2.
+	for _, x := range []model.Obj{"bx", "by"} {
+		if err := w.Install(x, storage.Version{Val: 10, TS: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Install("bz", storage.Version{Val: 20, TS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.LogCommitBatch([]storage.CommitRecord{
+		{TS: 1, Session: "s1", TxID: "t1", Ops: []model.Op{model.Write("bx", 10), model.Write("by", 10)}},
+		{TS: 2, Session: "s2", TxID: "t2", Ops: []model.Op{model.Write("bz", 20)}},
+	})
+	w.Unlock()
+	if dw, ok := w.(storage.DurableWindow); ok {
+		lsn, err := dw.Durable()
+		if err != nil {
+			t.Fatalf("group sync: %v", err)
+		}
+		if lsn == 0 {
+			t.Error("durable batch window reported LSN 0")
+		}
+	}
+	for _, probe := range []struct {
+		obj model.Obj
+		ts  uint64
+		val model.Value
+	}{{"bx", 1, 10}, {"by", 1, 10}, {"bz", 2, 20}} {
+		v, ok := d.ReadAt(probe.obj, probe.ts)
+		if !ok || v.Val != probe.val {
+			t.Errorf("ReadAt(%s,%d) = (%+v,%v), want val %d", probe.obj, probe.ts, v, ok, probe.val)
+		}
+	}
+
+	// First-committer-wins through the batch window: concurrent
+	// batches over overlapping unions must serialize, and exactly one
+	// winner per round installs.
+	const rounds = 100
+	var wins [2]int
+	var wg sync.WaitGroup
+	start := make(chan int, 2)
+	objs := []model.Obj{"bw1", "bw2"}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := range start {
+				l := d.LockBatch(objs)
+				ok := true
+				for _, x := range objs {
+					if l.LatestTS(x) > uint64(round) {
+						ok = false
+					}
+				}
+				if ok {
+					for _, x := range objs {
+						if err := l.Install(x, storage.Version{Val: model.Value(g), TS: uint64(round + 1)}); err != nil {
+							t.Errorf("install: %v", err)
+						}
+					}
+					wins[g]++
+				}
+				l.Unlock()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for r := 0; r < rounds; r++ {
+		start <- r
+		start <- r
+	}
+	close(start)
+	<-done
+	total := wins[0] + wins[1]
+	if got := d.VersionCount("bw1"); got != total || got != d.VersionCount("bw2") {
+		t.Errorf("versions bw1=%d bw2=%d, want both %d (wins %v)",
+			d.VersionCount("bw1"), d.VersionCount("bw2"), total, wins)
+	}
+}
+
+// batchWindowMatchesSolo differentially pins the batch window to the
+// solo window: committing the same disjoint transactions through one
+// LockBatch union window or through per-transaction LockObjs windows
+// must leave identical stores.
+func batchWindowMatchesSolo(t *testing.T, factory Factory) {
+	batched := newDriver(t, factory)
+	solo := newDriver(t, factory)
+
+	type member struct {
+		objs []model.Obj
+		ts   uint64
+	}
+	var members []member
+	for i := 0; i < 20; i++ {
+		members = append(members, member{
+			objs: []model.Obj{model.Obj(fmt.Sprintf("m%d_a", i)), model.Obj(fmt.Sprintf("m%d_b", i))},
+			ts:   uint64(i + 1),
+		})
+	}
+
+	var union []model.Obj
+	var recs []storage.CommitRecord
+	for _, m := range members {
+		union = append(union, m.objs...)
+	}
+	w := batched.LockBatch(union)
+	for _, m := range members {
+		for _, x := range m.objs {
+			if err := w.Install(x, storage.Version{Val: model.Value(m.ts), TS: m.ts}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs = append(recs, storage.CommitRecord{TS: m.ts, Session: "s", TxID: fmt.Sprintf("t%d", m.ts)})
+	}
+	w.LogCommitBatch(recs)
+	w.Unlock()
+	if dw, ok := w.(storage.DurableWindow); ok {
+		if _, err := dw.Durable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, m := range members {
+		l := solo.LockObjs(m.objs)
+		for _, x := range m.objs {
+			if err := l.Install(x, storage.Version{Val: model.Value(m.ts), TS: m.ts}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if lg, ok := l.(storage.CommitLogger); ok {
+			lg.LogCommit(storage.CommitRecord{TS: m.ts, Session: "s", TxID: fmt.Sprintf("t%d", m.ts)})
+		}
+		l.Unlock()
+	}
+
+	for _, m := range members {
+		for _, x := range m.objs {
+			if batched.VersionCount(x) != solo.VersionCount(x) {
+				t.Errorf("%s: batched %d versions, solo %d", x, batched.VersionCount(x), solo.VersionCount(x))
+			}
+			for ts := uint64(0); ts <= uint64(len(members))+1; ts++ {
+				got, gok := batched.ReadAt(x, ts)
+				want, wok := solo.ReadAt(x, ts)
+				if gok != wok || got != want {
+					t.Fatalf("ReadAt(%s,%d): batched (%+v,%v) != solo (%+v,%v)", x, ts, got, gok, want, wok)
+				}
+			}
+		}
 	}
 }
 

@@ -58,6 +58,21 @@ type Locked interface {
 	Unlock()
 }
 
+// BatchLocked is the group-commit window acquired by Driver.LockBatch:
+// exclusive ownership of every lock stripe covering the union write
+// set of a batch of pairwise-disjoint commits. It extends Locked with
+// LogCommitBatch, which stages the whole batch's commit records —
+// ascending timestamp order — so a durable driver appends them as one
+// contiguous record group inside Unlock and covers the group with a
+// single fsync. Drivers without a log ignore the staging.
+type BatchLocked interface {
+	Locked
+	// LogCommitBatch stages the batch's commit records, in ascending
+	// timestamp order, for the durability point at Unlock. Call at
+	// most once, after installing every member's writes.
+	LogCommitBatch(recs []CommitRecord)
+}
+
 // Driver is the engine-facing storage surface. All methods are safe
 // for concurrent use.
 type Driver interface {
@@ -82,6 +97,13 @@ type Driver interface {
 	// LockObjs write-locks every stripe covering objs in canonical
 	// order and returns the commit window.
 	LockObjs(objs []model.Obj) Locked
+	// LockBatch write-locks every stripe covering the union write set
+	// of a batch of pairwise-disjoint commits — one multi-shard
+	// critical section in the same canonical stripe order as LockObjs —
+	// and returns the group-commit window. For a durable driver the
+	// records staged via LogCommitBatch are appended contiguously
+	// inside Unlock and fsynced as one group.
+	LockBatch(objs []model.Obj) BatchLocked
 	// Compact drops versions unreachable from snapshots at or above
 	// the watermark and returns the number discarded.
 	Compact(watermark uint64) int
@@ -176,11 +198,20 @@ func (d *memDriver) Latest(x model.Obj) (Version, bool)      { return d.s.Latest
 func (d *memDriver) LatestTS(x model.Obj) uint64             { return d.s.LatestTS(x) }
 func (d *memDriver) LatestTSBatch(objs []model.Obj) []uint64 { return d.s.LatestTSBatch(objs) }
 func (d *memDriver) LockObjs(objs []model.Obj) Locked        { return d.s.LockObjs(objs) }
-func (d *memDriver) Compact(watermark uint64) int            { return d.s.GC(watermark) }
-func (d *memDriver) Objects() []model.Obj                    { return d.s.Objects() }
-func (d *memDriver) VersionCount(x model.Obj) int            { return d.s.VersionCount(x) }
-func (d *memDriver) Close() error                            { return nil }
-func (d *memDriver) Clone() Driver                           { return &memDriver{s: d.s.Clone()} }
+func (d *memDriver) LockBatch(objs []model.Obj) BatchLocked {
+	return memBatchWindow{d.s.LockObjs(objs)}
+}
+func (d *memDriver) Compact(watermark uint64) int { return d.s.GC(watermark) }
+func (d *memDriver) Objects() []model.Obj         { return d.s.Objects() }
+func (d *memDriver) VersionCount(x model.Obj) int { return d.s.VersionCount(x) }
+func (d *memDriver) Close() error                 { return nil }
+func (d *memDriver) Clone() Driver                { return &memDriver{s: d.s.Clone()} }
+
+// memBatchWindow adapts mem's multi-shard window to the group-commit
+// interface; with no log to stage into, LogCommitBatch is a no-op.
+type memBatchWindow struct{ *mem.Locked }
+
+func (memBatchWindow) LogCommitBatch([]CommitRecord) {}
 
 // Mem returns the underlying concrete store of a NewMem driver, for
 // callers layering on top of it (tests, durability drivers). It

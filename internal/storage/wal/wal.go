@@ -355,6 +355,39 @@ func (d *Driver) append(kind byte, body []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// appendGroup writes one commit frame per body under a single hold of
+// the log mutex, so a group commit's records are contiguous in the
+// log, and returns the LSN of the group's last frame. One later
+// syncTo at that LSN makes the whole group durable with one fsync.
+func (d *Driver) appendGroup(bodies [][]byte) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, fmt.Errorf("wal: closed")
+	}
+	if d.ioErr != nil {
+		return 0, d.ioErr
+	}
+	var lsn uint64
+	for _, body := range bodies {
+		d.lsn++
+		lsn = d.lsn
+		if _, err := d.bw.Write(encodeFrame(recCommit, lsn, body)); err != nil {
+			d.ioErr = fmt.Errorf("wal: append: %w", err)
+			return 0, d.ioErr
+		}
+		d.cAppends.Inc()
+		d.recsSinceSnap++
+	}
+	d.gAppended.Set(int64(lsn))
+	if d.opts.SnapshotEvery > 0 && d.recsSinceSnap >= d.opts.SnapshotEvery &&
+		d.snapshotting.CompareAndSwap(false, true) {
+		d.wg.Add(1)
+		go d.snapshot()
+	}
+	return lsn, nil
+}
+
 // syncTo blocks until every record with LSN ≤ target is durable
 // (group commit: whichever waiter arrives first while no sync is in
 // flight performs one flush+fsync covering everything appended so
@@ -661,6 +694,15 @@ func (d *Driver) LockObjs(objs []model.Obj) storage.Locked {
 	return &window{d: d, inner: d.store.LockObjs(objs)}
 }
 
+// LockBatch opens a durable group-commit window over the union write
+// set of a batch of disjoint commits: the records staged via
+// LogCommitBatch are appended contiguously inside Unlock — while the
+// union's shard locks are still held, so per-object log order matches
+// timestamp order — and one fsync covers the whole group.
+func (d *Driver) LockBatch(objs []model.Obj) storage.BatchLocked {
+	return &window{d: d, inner: d.store.LockObjs(objs)}
+}
+
 // window is the durable commit window: mem's multi-shard lock plus
 // the staged log record. It implements storage.Locked,
 // storage.CommitLogger, storage.DurableWindow and
@@ -668,14 +710,16 @@ func (d *Driver) LockObjs(objs []model.Obj) storage.Locked {
 type window struct {
 	d     *Driver
 	inner *mem.Locked
-	// staged is the engine's commit record (LogCommit); installs
-	// collects raw installs for windows driven without one.
-	staged   *storage.CommitRecord
-	installs []storage.Write
-	trace    *txtrace.Trace
-	lsn      uint64
-	err      error
-	unlocked bool
+	// staged is the engine's commit record (LogCommit); stagedBatch a
+	// group commit's record set (LogCommitBatch); installs collects
+	// raw installs for windows driven without either.
+	staged      *storage.CommitRecord
+	stagedBatch []storage.CommitRecord
+	installs    []storage.Write
+	trace       *txtrace.Trace
+	lsn         uint64
+	err         error
+	unlocked    bool
 }
 
 // AttachTrace hands the window the transaction's trace; Unlock then
@@ -703,6 +747,13 @@ func (w *window) LogCommit(rec storage.CommitRecord) {
 	w.staged = &rec
 }
 
+// LogCommitBatch stages a group commit's records (ascending timestamp
+// order); Unlock appends them as one contiguous frame group under a
+// single log-mutex hold, and the group's durability is one fsync.
+func (w *window) LogCommitBatch(recs []storage.CommitRecord) {
+	w.stagedBatch = recs
+}
+
 // Unlock appends the staged record (or the raw installs) while the
 // shard locks are still held, releases the shards, then joins the
 // group fsync. When the window wrote nothing there is nothing to log
@@ -714,7 +765,15 @@ func (w *window) Unlock() {
 	w.unlocked = true
 	var last uint64
 	var appendErr error
+	var groupRecords int
 	switch {
+	case len(w.stagedBatch) > 0:
+		bodies := make([][]byte, len(w.stagedBatch))
+		for i, rec := range w.stagedBatch {
+			bodies[i] = encodeCommitBody(rec)
+		}
+		groupRecords = len(bodies)
+		last, appendErr = w.d.appendGroup(bodies)
 	case w.staged != nil:
 		last, appendErr = w.d.append(recCommit, encodeCommitBody(*w.staged))
 	case len(w.installs) > 0:
@@ -726,7 +785,11 @@ func (w *window) Unlock() {
 		}
 	}
 	if w.trace != nil && last > 0 {
-		w.trace.MarkAttrs(txtrace.StageWALAppend, map[string]int64{"lsn": int64(last)})
+		attrs := map[string]int64{"lsn": int64(last)}
+		if groupRecords > 0 {
+			attrs["group_records"] = int64(groupRecords)
+		}
+		w.trace.MarkAttrs(txtrace.StageWALAppend, attrs)
 	}
 	w.inner.Unlock()
 	if appendErr != nil {

@@ -140,6 +140,74 @@ func TestReopenReplaysLog(t *testing.T) {
 	}
 }
 
+// TestBatchGroupSurvivesReopen pins the group-commit durability path:
+// a batch of disjoint commits staged via LogCommitBatch is appended as
+// one contiguous record group covered by one sync, its records replay
+// individually on recovery, and the recovered stream still certifies
+// SI. Fsync accounting is the acceptance observable: one batch of n
+// commits must cost at most one sync, i.e. strictly fewer syncs than
+// commits.
+func TestBatchGroupSurvivesReopen(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	// Real fsyncs, so the syncs-vs-commits accounting is meaningful.
+	d := mustOpen(t, Options{Dir: dir, Window: 64})
+
+	reg := d.cSyncs // wal_syncs_total handle resolved at Open
+	syncsBefore := reg.Value()
+	const members = 8
+	union := make([]model.Obj, 0, members)
+	recs := make([]storage.CommitRecord, 0, members)
+	for i := 0; i < members; i++ {
+		union = append(union, model.Obj(fmt.Sprintf("g%d", i)))
+	}
+	w := d.LockBatch(union)
+	for i, x := range union {
+		ts := uint64(i + 1)
+		if err := w.Install(x, storage.Version{Val: model.Value(i), TS: ts}); err != nil {
+			t.Fatalf("install: %v", err)
+		}
+		recs = append(recs, storage.CommitRecord{
+			TS: ts, Session: fmt.Sprintf("s%d", i), TxID: fmt.Sprintf("t%d", i),
+			Ops: []model.Op{model.Write(x, model.Value(i))},
+		})
+	}
+	w.LogCommitBatch(recs)
+	w.Unlock()
+	lsn, err := w.(storage.DurableWindow).Durable()
+	if err != nil {
+		t.Fatalf("durable: %v", err)
+	}
+	if lsn != uint64(members) {
+		t.Errorf("group LSN = %d, want %d (one frame per member, contiguous)", lsn, members)
+	}
+	if syncs := reg.Value() - syncsBefore; syncs >= members {
+		t.Errorf("batch of %d commits cost %d syncs; group fsync must cost fewer syncs than commits", members, syncs)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := mustOpen(t, testOpts(dir))
+	defer re.Close()
+	info := re.Recovery()
+	if !info.Certified {
+		t.Fatalf("recovery not certified: %s", info.Verdict)
+	}
+	if info.Commits != members {
+		t.Errorf("replayed %d commits, want %d (one record per batch member)", info.Commits, members)
+	}
+	if info.MaxTS != members {
+		t.Errorf("recovered MaxTS %d, want %d", info.MaxTS, members)
+	}
+	for i, x := range union {
+		v, ok := re.Latest(x)
+		if !ok || v.Val != model.Value(i) || v.TS != uint64(i+1) {
+			t.Errorf("Latest(%s) = %+v, %v; want val %d at ts %d", x, v, ok, i, i+1)
+		}
+	}
+}
+
 // TestRawInstallsSurviveReopen pins the non-engine append path: plain
 // Install / InstallBatch calls are logged as install records with
 // Writer and Meta preserved.
